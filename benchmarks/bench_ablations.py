@@ -1,0 +1,145 @@
+"""Ablations of the design decisions DESIGN.md calls out.
+
+Not a table or figure of the paper, but each ablation isolates one design
+choice the paper argues for:
+
+* kd-tree vs regular-grid partitioning for EB (Section 4.1),
+* the cross-border / local segment split (Section 4.1, "~20% tuning saving"),
+* square vs row-major packing of EB's A-matrix cells (Section 6.2, Figure 9),
+* the (1, m) interleaving optimum (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.air.packing import (
+    RowMajorCellPacking,
+    SquareCellPacking,
+    expected_vulnerable_packets,
+)
+from repro.broadcast.interleave import optimal_m
+from repro.experiments import QueryWorkload, build_network, build_scheme, report, run_workload
+from repro.partitioning.grid import build_grid_partitioning
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def ablation_network(bench_config):
+    network = build_network(bench_config)
+    workload = QueryWorkload(
+        network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
+    )
+    return network, workload
+
+
+def test_ablation_kdtree_vs_grid_partition_balance(benchmark, ablation_network):
+    """Section 4.1: kd-tree regions are balanced, grid cells are not."""
+    network, _ = ablation_network
+    kdtree = build_kdtree_partitioning(network, 16)
+    benchmark.pedantic(lambda: build_grid_partitioning(network, 4, 4), rounds=1, iterations=1)
+    grid = build_grid_partitioning(network, 4, 4)
+
+    rows = [
+        ["kd-tree", max(kdtree.region_sizes()), min(kdtree.region_sizes())],
+        ["grid", max(grid.region_sizes()), min(grid.region_sizes())],
+    ]
+    table = report.format_table(
+        ["Partitioning", "Largest region", "Smallest region"],
+        rows,
+        title="Ablation: kd-tree vs regular grid partitioning (16 regions)",
+    )
+    write_report("ablation_partitioning", table)
+
+    spread_kdtree = max(kdtree.region_sizes()) - min(kdtree.region_sizes())
+    spread_grid = max(grid.region_sizes()) - min(grid.region_sizes())
+    assert spread_kdtree <= spread_grid
+
+
+def test_ablation_cross_border_split_saves_tuning(benchmark, ablation_network, bench_config):
+    """Section 4.1: receiving only cross-border segments of intermediate
+    regions saves tuning time (the paper reports about 20%)."""
+    network, workload = ablation_network
+    scheme = build_scheme("EB", network, bench_config)
+    client = scheme.client()
+    nodes = network.node_ids()
+    benchmark(lambda: client.query(nodes[0], nodes[-1]))
+
+    run = run_workload(scheme, workload, bench_config)
+    with_split = run.mean.tuning_time_packets
+
+    # Without the optimization the client would also receive the local
+    # segments of every needed intermediate region.
+    without_split = 0
+    for query, metrics in zip(workload, run.per_query):
+        source_region = scheme.partitioning.region_of(query.source)
+        target_region = scheme.partitioning.region_of(query.target)
+        extra = 0
+        for region in scheme.precomputation.needed_regions_eb(source_region, target_region):
+            if region in (source_region, target_region):
+                continue
+            extra += scheme.cycle.segment(f"region-{region}-local").num_packets
+        without_split += metrics.tuning_time_packets + extra
+    without_split /= max(1, len(run.per_query))
+
+    table = report.format_table(
+        ["Configuration", "Mean tuning (packets)"],
+        [
+            ["EB with cross-border/local split", round(with_split, 1)],
+            ["EB receiving full regions", round(without_split, 1)],
+        ],
+        title="Ablation: cross-border vs full region reception (EB)",
+    )
+    write_report("ablation_cross_border_split", table)
+    assert with_split < without_split
+
+
+def test_ablation_square_vs_row_major_packing(benchmark, bench_config):
+    """Section 6.2 / Figure 9: square packing exposes fewer packets to loss."""
+    regions = bench_config.eb_nr_regions
+    cells_per_packet = 15
+    benchmark.pedantic(
+        lambda: expected_vulnerable_packets(SquareCellPacking(regions, cells_per_packet)),
+        rounds=1,
+        iterations=1,
+    )
+    square = expected_vulnerable_packets(SquareCellPacking(regions, cells_per_packet))
+    row_major = expected_vulnerable_packets(RowMajorCellPacking(regions, cells_per_packet))
+    table = report.format_table(
+        ["Packing", "Mean vulnerable packets per query"],
+        [["square (w x w)", round(square, 2)], ["row-major", round(row_major, 2)]],
+        title="Ablation: EB index cell packing under packet loss",
+    )
+    write_report("ablation_packing", table)
+    assert square < row_major
+
+
+def test_ablation_one_m_interleaving_optimum(benchmark, ablation_network, bench_config):
+    """Section 2.2: the (1, m) optimum balances index wait against data wait."""
+    network, _ = ablation_network
+    scheme = build_scheme("EB", network, bench_config)
+    data_packets = scheme.server_metrics().data_packets
+    index_packets = scheme.index_packets
+    benchmark.pedantic(lambda: optimal_m(data_packets, index_packets), rounds=1, iterations=1)
+
+    rows = []
+    best_m = optimal_m(data_packets, index_packets)
+    for m in sorted({1, best_m, 4 * best_m}):
+        # Expected waits under the standard (1, m) model: the index wait is
+        # half an inter-index gap, the data wait half the cycle, and the
+        # cycle grows by m copies of the index.
+        cycle = data_packets + m * index_packets
+        index_wait = cycle / (2 * m)
+        data_wait = cycle / 2
+        rows.append([m, round(index_wait + data_wait, 1), m == best_m])
+    table = report.format_table(
+        ["m", "Expected wait (packets)", "Optimal"],
+        rows,
+        title="Ablation: (1, m) interleaving for EB's index",
+    )
+    write_report("ablation_interleaving", table)
+
+    waits = {row[0]: row[1] for row in rows}
+    assert waits[best_m] <= min(waits.values()) + 1e-6

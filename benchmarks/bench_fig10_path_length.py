@@ -1,0 +1,95 @@
+"""Figure 10 -- effect of shortest path length (default network).
+
+Reproduces the paper's Figure 10: tuning time (a), client memory (b), access
+latency (c) and CPU time (d) as a function of the query's shortest path
+length, with the query workload classified into four length buckets.
+
+Expected shape (paper): NR is by far the best on tuning time and memory and
+EB the runner-up; both degrade as paths get longer (EB faster, since its
+"network ellipse" grows); the full-cycle competitors are flat and poor; NR's
+access latency can even beat Dijkstra's because it receives only a subset of
+the cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.metrics import average_metrics
+from repro.experiments import (
+    COMPARISON_METHODS,
+    QueryWorkload,
+    build_network,
+    build_scheme,
+    report,
+    run_workload,
+)
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def figure10_runs(bench_config):
+    network = build_network(bench_config)
+    workload = QueryWorkload(network, bench_config.num_queries, seed=bench_config.seed)
+    buckets = workload.bucket_by_length(4)
+
+    schemes = {
+        method: build_scheme(method, network, bench_config)
+        for method in COMPARISON_METHODS
+    }
+    per_bucket = {}
+    mismatches = 0
+    for label, queries in buckets.items():
+        if not queries:
+            continue
+        per_bucket[label] = {}
+        for method, scheme in schemes.items():
+            run = run_workload(scheme, queries, bench_config)
+            mismatches += run.mismatches
+            per_bucket[label][method] = run.mean
+    return network, schemes, per_bucket, mismatches
+
+
+def test_figure10_effect_of_path_length(benchmark, figure10_runs, bench_config):
+    network, schemes, per_bucket, mismatches = figure10_runs
+    assert mismatches == 0
+
+    # Benchmark a single NR on-air query (the per-query client protocol).
+    nr = schemes["NR"]
+    nodes = network.node_ids()
+    client = nr.client()
+    benchmark(lambda: client.query(nodes[1], nodes[-2]))
+
+    lines = [
+        f"Figure 10: effect of shortest path length -- {network.name} "
+        f"(scale={bench_config.scale}, {sum(1 for _ in per_bucket)} buckets)"
+    ]
+    for metric_name, getter, unit in (
+        ("Tuning time (packets)", lambda m: m.tuning_time_packets, ""),
+        ("Memory (KB)", lambda m: m.peak_memory_bytes / 1024.0, ""),
+        ("Access latency (packets)", lambda m: m.access_latency_packets, ""),
+        ("CPU time (ms)", lambda m: m.cpu_seconds * 1000.0, ""),
+    ):
+        lines.append("")
+        lines.append(f"-- {metric_name} --")
+        for method in COMPARISON_METHODS:
+            series = {
+                label: float(getter(bucket[method]))
+                for label, bucket in per_bucket.items()
+            }
+            lines.append(report.format_series(method, series, unit))
+    write_report("fig10_path_length", "\n".join(lines))
+
+    # Shape assertions on the aggregate over all buckets.
+    overall = {
+        method: average_metrics(
+            [bucket[method] for bucket in per_bucket.values()]
+        )
+        for method in COMPARISON_METHODS
+    }
+    for other in ("EB", "DJ", "LD", "AF"):
+        assert overall["NR"].tuning_time_packets <= overall[other].tuning_time_packets
+        assert overall["NR"].peak_memory_bytes <= overall[other].peak_memory_bytes
+    assert overall["EB"].tuning_time_packets < overall["LD"].tuning_time_packets
+    assert overall["EB"].tuning_time_packets < overall["AF"].tuning_time_packets

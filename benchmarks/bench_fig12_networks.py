@@ -1,0 +1,87 @@
+"""Figure 12 -- performance across the five road networks (Appendix C.3).
+
+Reproduces the paper's Figure 12: tuning time, memory, access latency and CPU
+time of every applicable method on each of the five networks (Milan through
+San Francisco), with every method fine-tuned per network.
+
+Expected shape (paper): costs grow with network size for every method; NR is
+consistently the best and the only method that works everywhere; the
+full-cycle methods degrade fastest because they receive and store the whole
+(growing) cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    COMPARISON_METHODS,
+    QueryWorkload,
+    build_scheme,
+    compare_methods,
+    report,
+)
+from repro.network import datasets
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def per_network_runs(small_bench_config):
+    config = small_bench_config
+    runs = {}
+    for name in datasets.available():
+        network = datasets.load(name, scale=config.scale, seed=config.seed)
+        workload = QueryWorkload(network, config.num_queries, seed=config.seed)
+        runs[name] = (network, compare_methods(COMPARISON_METHODS, network, workload, config))
+    return runs
+
+
+def test_figure12_different_networks(benchmark, per_network_runs, small_bench_config):
+    runs = per_network_runs
+
+    # Benchmark one NR query on the largest network.
+    largest_name = datasets.available()[-1]
+    largest_network, largest_runs = runs[largest_name]
+    scheme = build_scheme("NR", largest_network, small_bench_config)
+    nodes = largest_network.node_ids()
+    client = scheme.client()
+    benchmark(lambda: client.query(nodes[3], nodes[-3]))
+
+    lines = [
+        "Figure 12: performance across networks "
+        f"(scale={small_bench_config.scale}, x axis = {datasets.available()})"
+    ]
+    for metric_name, getter in (
+        ("Tuning time (packets)", lambda m: m.tuning_time_packets),
+        ("Memory (KB)", lambda m: m.peak_memory_bytes / 1024.0),
+        ("Access latency (packets)", lambda m: m.access_latency_packets),
+        ("CPU time (ms)", lambda m: m.cpu_seconds * 1000.0),
+    ):
+        lines.append("")
+        lines.append(f"-- {metric_name} --")
+        for method in COMPARISON_METHODS:
+            series = {
+                name: float(getter(runs[name][1][method].mean))
+                for name in datasets.available()
+            }
+            lines.append(report.format_series(method, series))
+    write_report("fig12_networks", "\n".join(lines))
+
+    # Shape assertions.
+    for name, (_, method_runs) in runs.items():
+        for run in method_runs.values():
+            assert run.mismatches == 0
+        # NR is the best method on tuning time and memory on every network.
+        nr = method_runs["NR"].mean
+        for other in ("DJ", "LD", "AF"):
+            assert nr.tuning_time_packets <= method_runs[other].mean.tuning_time_packets
+            assert nr.peak_memory_bytes <= method_runs[other].mean.peak_memory_bytes
+    # Every method costs more on the largest network than on the smallest.
+    smallest = datasets.available()[0]
+    largest = datasets.available()[-1]
+    for method in COMPARISON_METHODS:
+        assert (
+            runs[largest][1][method].mean.tuning_time_packets
+            > runs[smallest][1][method].mean.tuning_time_packets
+        )

@@ -1,0 +1,79 @@
+"""Figure 13 -- client-side pre-computation for memory-bound devices (§6.1).
+
+Reproduces the paper's Figure 13: peak client memory (a) and client CPU time
+(b) for EB and NR with and without the super-edge pre-computation scheme of
+Section 6.1.
+
+Expected shape (paper): the scheme lowers peak memory (by roughly 35% at the
+paper's scale; the saving shrinks with the network because smaller regions
+have proportionally more border nodes) at the cost of additional client CPU
+time spent compressing regions while they are received.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.metrics import average_metrics
+from repro.experiments import QueryWorkload, build_network, build_scheme, report
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def memory_bound_runs(bench_config):
+    network = build_network(bench_config)
+    workload = QueryWorkload(network, bench_config.num_queries, seed=bench_config.seed)
+    results = {}
+    for method in ("EB", "NR"):
+        scheme = build_scheme(method, network, bench_config)
+        for memory_bound in (False, True):
+            client = scheme.client(bench_config.device, memory_bound=memory_bound)
+            metrics = []
+            for query in workload:
+                outcome = client.query(query.source, query.target)
+                assert abs(outcome.distance - query.true_distance) <= 1e-6 * max(
+                    1.0, query.true_distance
+                )
+                metrics.append(outcome.metrics)
+            results[(method, memory_bound)] = average_metrics(metrics)
+    return network, results
+
+
+def test_figure13_memory_bound_processing(benchmark, memory_bound_runs, bench_config):
+    network, results = memory_bound_runs
+
+    # Benchmark a single memory-bound NR query.
+    scheme = build_scheme("NR", network, bench_config)
+    client = scheme.client(bench_config.device, memory_bound=True)
+    nodes = network.node_ids()
+    benchmark(lambda: client.query(nodes[2], nodes[-2]))
+
+    rows = []
+    for method in ("NR", "EB"):
+        for memory_bound in (True, False):
+            mean = results[(method, memory_bound)]
+            label = f"{method} ({'w/' if memory_bound else 'w/o'} precomp)"
+            rows.append(
+                [
+                    label,
+                    round(mean.peak_memory_bytes / 1024.0, 2),
+                    round(mean.cpu_seconds * 1000.0, 3),
+                ]
+            )
+    table = report.format_table(
+        ["Configuration", "Memory (KB)", "CPU (ms)"],
+        rows,
+        title=(
+            "Figure 13: client-side pre-computation scheme -- "
+            f"{network.name} (scale={bench_config.scale})"
+        ),
+    )
+    write_report("fig13_memory_bound", table)
+
+    # Shape assertions: the scheme reduces peak memory and costs CPU.
+    for method in ("NR", "EB"):
+        with_precomp = results[(method, True)]
+        without = results[(method, False)]
+        assert with_precomp.peak_memory_bytes < without.peak_memory_bytes
+        assert with_precomp.cpu_seconds > 0.0

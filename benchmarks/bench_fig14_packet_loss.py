@@ -1,0 +1,92 @@
+"""Figure 14 -- robustness to packet loss (Appendix C.5).
+
+Reproduces the paper's Figure 14: tuning time (a) and access latency (b) of
+every method while the packet loss rate varies from 0.1% to 10% (the
+practical range cited by the paper).
+
+Expected shape (paper): every method degrades as the loss rate grows, but
+the lower a method's tuning time, the less it is exposed to losses -- NR
+remains the clear winner across the whole range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    COMPARISON_METHODS,
+    QueryWorkload,
+    build_network,
+    build_scheme,
+    report,
+    run_workload,
+)
+
+from conftest import write_report
+
+LOSS_RATES = [0.001, 0.005, 0.01, 0.05, 0.10]
+
+
+@pytest.fixture(scope="module")
+def loss_sweep(bench_config):
+    network = build_network(bench_config)
+    workload = QueryWorkload(
+        network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
+    )
+    schemes = {
+        method: build_scheme(method, network, bench_config)
+        for method in COMPARISON_METHODS
+    }
+    results = {}
+    for rate in LOSS_RATES:
+        results[rate] = {}
+        for method, scheme in schemes.items():
+            run = run_workload(
+                scheme, workload, bench_config, loss_rate=rate, loss_seed=int(rate * 1e4)
+            )
+            results[rate][method] = run
+    return network, schemes, results
+
+
+def test_figure14_packet_loss(benchmark, loss_sweep, bench_config):
+    network, schemes, results = loss_sweep
+
+    # Benchmark one NR query over a 5% lossy channel.
+    scheme = schemes["NR"]
+    channel = scheme.channel(loss_rate=0.05, seed=99)
+    client = scheme.client()
+    nodes = network.node_ids()
+    benchmark(lambda: client.query(nodes[4], nodes[-4], channel=channel))
+
+    lines = [
+        f"Figure 14: effect of packet loss -- {network.name} "
+        f"(scale={bench_config.scale}, loss rates {LOSS_RATES})"
+    ]
+    for metric_name, getter in (
+        ("Tuning time (packets)", lambda m: m.tuning_time_packets),
+        ("Access latency (packets)", lambda m: m.access_latency_packets),
+    ):
+        lines.append("")
+        lines.append(f"-- {metric_name} --")
+        for method in COMPARISON_METHODS:
+            series = {
+                f"{rate * 100:g}%": float(getter(results[rate][method].mean))
+                for rate in LOSS_RATES
+            }
+            lines.append(report.format_series(method, series))
+    write_report("fig14_packet_loss", "\n".join(lines))
+
+    # Shape assertions.
+    for rate in LOSS_RATES:
+        for method, run in results[rate].items():
+            assert run.mismatches == 0, f"{method} wrong under {rate:.1%} loss"
+        # NR keeps the lowest tuning time at every loss rate.
+        nr_tuning = results[rate]["NR"].mean.tuning_time_packets
+        for other in ("DJ", "LD", "AF"):
+            assert nr_tuning < results[rate][other].mean.tuning_time_packets
+    # Full-cycle methods degrade visibly between the smallest and largest rate.
+    for method in ("DJ", "LD", "AF"):
+        assert (
+            results[LOSS_RATES[-1]][method].mean.tuning_time_packets
+            > results[LOSS_RATES[0]][method].mean.tuning_time_packets
+        )

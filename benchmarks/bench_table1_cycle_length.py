@@ -1,0 +1,72 @@
+"""Table 1 -- broadcast cycle length.
+
+Reproduces the paper's Table 1: for every method (DJ, NR, EB, LD, AF, SPQ,
+HiTi) the length of one broadcast cycle in packets and its duration at the
+two 3G channel rates (2 Mbps and 384 Kbps).
+
+Expected shape (paper): DJ has the shortest possible cycle, NR and EB follow
+closely (they broadcast very little indexing information), Landmark and
+ArcFlag pay for their per-node/per-edge vectors, and SPQ and HiTi broadcast
+pre-computed information several times larger than the network itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS
+from repro.experiments import ALL_METHODS, build_network, build_scheme, report
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def schemes(bench_config):
+    """Every Table 1 method built over the (scaled) default network."""
+    network = build_network(bench_config)
+    built = {}
+    for method in ALL_METHODS:
+        built[method] = build_scheme(method, network, bench_config)
+        built[method].cycle  # force construction
+    return network, built
+
+
+def test_table1_cycle_length(benchmark, schemes, bench_config):
+    network, built = schemes
+
+    # Benchmark the cycle layout step of the paper's best method (its
+    # pre-computation already happened when the fixture built the scheme).
+    benchmark(built["NR"].build_cycle)
+
+    rows = []
+    for method in ["DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"]:
+        metrics = built[method].server_metrics()
+        rows.append(
+            [
+                method,
+                metrics.cycle_packets,
+                round(metrics.cycle_seconds(CHANNEL_2MBPS), 3),
+                round(metrics.cycle_seconds(CHANNEL_384KBPS), 3),
+            ]
+        )
+    table = report.format_table(
+        ["Method", "Packets", "Sec (2Mbps)", "Sec (384Kbps)"],
+        rows,
+        title=(
+            f"Table 1: broadcast cycle length -- {network.name} "
+            f"(scale={bench_config.scale}, {network.num_nodes} nodes, "
+            f"{network.num_edges} edges)"
+        ),
+    )
+    write_report("table1_cycle_length", table)
+
+    # Shape assertions mirroring the paper's ordering: Dijkstra's cycle is the
+    # shortest, NR and EB stay close to it, Landmark and ArcFlag pay for
+    # their vectors/flags, and the pre-computation-heavy SPQ and HiTi carry
+    # substantially more than EB.  (The exact AF-vs-HiTi order depends on the
+    # network's edge density and is not asserted; see EXPERIMENTS.md.)
+    packets = {row[0]: row[1] for row in rows}
+    assert packets["DJ"] <= packets["NR"] <= packets["EB"]
+    assert packets["EB"] < packets["LD"] < packets["AF"]
+    assert packets["EB"] < packets["SPQ"]
+    assert packets["EB"] < packets["HiTi"]

@@ -1,0 +1,87 @@
+"""Table 2 -- method applicability per network.
+
+Reproduces the paper's Table 2: which methods can run at all on each of the
+five road networks given the client device's heap.  The networks are scaled
+down (pure-Python pre-computation), so the 8 MB heap of the paper's phone is
+scaled by the same factor, which preserves exactly the quantity the table is
+about: each method's working set relative to the heap.
+
+Expected shape (paper): ArcFlag and Landmark drop out first, then Dijkstra;
+EB survives longer; NR is the only method applicable on every network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import method_applicability, report, scaled_device
+from repro.network import datasets
+
+from conftest import write_report
+
+METHODS = ["AF", "LD", "DJ", "EB", "NR"]
+
+
+@pytest.fixture(scope="module")
+def applicability(small_bench_config):
+    device = scaled_device(small_bench_config.device, small_bench_config.scale)
+    results = method_applicability(
+        METHODS,
+        datasets.available(),
+        small_bench_config,
+        probe_queries=3,
+        device=device,
+    )
+    return device, results
+
+
+def test_table2_applicability(benchmark, applicability, small_bench_config):
+    device, results = applicability
+
+    # Benchmark the applicability probe for the cheapest method on the
+    # smallest network (the per-network loop above runs once per session).
+    benchmark.pedantic(
+        lambda: method_applicability(
+            ["DJ"], ["milan"], small_bench_config, probe_queries=1, device=device
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    by_network = {}
+    for result in results:
+        by_network.setdefault(result.network, {})[result.method] = result
+
+    rows = []
+    for name in datasets.available():
+        spec = datasets.spec(name).scaled(small_bench_config.scale)
+        row = [name, spec.num_nodes, spec.num_edges]
+        for method in METHODS:
+            row.append("yes" if by_network[name][method].applicable else "-")
+        rows.append(row)
+    table = report.format_table(
+        ["Network", "Nodes", "Edges"] + METHODS,
+        rows,
+        title=(
+            "Table 2: method applicability per network "
+            f"(scale={small_bench_config.scale}, heap={device.heap_bytes} bytes)"
+        ),
+    )
+    write_report("table2_applicability", table)
+
+    # Shape assertions: NR fits everywhere; every method fits the smallest
+    # network; full-cycle methods consume monotonically more memory as the
+    # networks grow.
+    for name in datasets.available():
+        assert by_network[name]["NR"].applicable
+    smallest = by_network["milan"]
+    assert all(smallest[m].peak_memory_bytes > 0 for m in METHODS)
+    ordered = datasets.available()
+    for method in ("DJ", "LD", "AF"):
+        sizes = [by_network[name][method].peak_memory_bytes for name in ordered]
+        assert sizes[0] < sizes[-1]
+    # NR's working set is always the smallest of all methods.
+    for name in ordered:
+        nr_memory = by_network[name]["NR"].peak_memory_bytes
+        for method in ("DJ", "LD", "AF"):
+            assert nr_memory < by_network[name][method].peak_memory_bytes

@@ -1,0 +1,80 @@
+"""Table 3 -- server-side pre-computation time per network.
+
+Reproduces the paper's Table 3 (Appendix C.2): the one-off cost of forming
+the broadcast cycle for EB/NR (identical by construction), ArcFlag and
+Landmark on each of the five road networks.
+
+Expected shape (paper): Landmark is orders of magnitude cheaper than the
+border-node methods; EB/NR and ArcFlag are comparable; cost grows steeply
+with network size.  Absolute seconds differ (pure Python here vs the paper's
+C++ on a 3 GHz machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, build_scheme, report
+from repro.network import datasets
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def precomputation_times(small_bench_config):
+    config = ExperimentConfig(
+        network=small_bench_config.network,
+        scale=min(small_bench_config.scale, 0.01),
+        seed=small_bench_config.seed,
+        eb_nr_regions=16,
+        arcflag_regions=16,
+        num_landmarks=4,
+    )
+    times = {}
+    for name in datasets.available():
+        network = datasets.load(name, scale=config.scale, seed=config.seed)
+        row = {}
+        for method in ("EB", "AF", "LD"):
+            scheme = build_scheme(method, network, config)
+            row[method] = scheme.precomputation_seconds
+        times[name] = (network, row)
+    return config, times
+
+
+def test_table3_precomputation_time(benchmark, precomputation_times):
+    config, times = precomputation_times
+
+    # Benchmark Landmark pre-computation on the smallest network (the method
+    # the paper singles out as cheapest).
+    milan, _ = times["milan"]
+    benchmark.pedantic(
+        lambda: build_scheme("LD", milan, config), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in datasets.available():
+        network, row = times[name]
+        rows.append(
+            [
+                name,
+                network.num_nodes,
+                round(row["EB"], 3),
+                round(row["AF"], 3),
+                round(row["LD"], 3),
+            ]
+        )
+    table = report.format_table(
+        ["Network", "Nodes", "EB/NR (s)", "ArcFlag (s)", "Landmark (s)"],
+        rows,
+        title=f"Table 3: pre-computation time (scale={config.scale}, pure Python)",
+    )
+    write_report("table3_precomputation", table)
+
+    # Shape assertions: Landmark is always the cheapest; pre-computation on
+    # the largest network costs more than on the smallest (for the
+    # border-node based methods).
+    for name in datasets.available():
+        _, row = times[name]
+        assert row["LD"] < row["EB"]
+        assert row["LD"] < row["AF"]
+    assert times["san_francisco"][1]["EB"] > times["milan"][1]["EB"]

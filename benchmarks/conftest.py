@@ -1,0 +1,64 @@
+"""Shared fixtures and report plumbing for the table/figure benchmarks.
+
+Every benchmark module reproduces one table or figure of the paper: it builds
+the (scaled) evaluation network, runs the competing methods, prints the rows
+or series the paper reports, and stores the same text under
+``benchmarks/reports/`` so the output survives pytest's capture.
+
+The network scale defaults to ``REPRO_SCALE`` (see
+:mod:`repro.experiments.config`); absolute numbers therefore differ from the
+paper, but the relative behaviour -- which method wins and by roughly what
+factor -- is what the reports are meant to show.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig, scale_from_env
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/reports/``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Configuration shared by the benchmarks (smaller workloads than tests)."""
+    # Region and landmark counts follow the paper's fine-tuning (32/16/4 for
+    # full-size Germany) scaled down with the network: at REPRO_SCALE=0.05 a
+    # region keeps roughly the same node population as in the paper.
+    return ExperimentConfig(
+        network="germany",
+        scale=scale_from_env(0.05),
+        seed=13,
+        num_queries=int(os.environ.get("REPRO_BENCH_QUERIES", "16")),
+        eb_nr_regions=16,
+        arcflag_regions=16,
+        hiti_regions=16,
+        num_landmarks=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bench_config(bench_config) -> ExperimentConfig:
+    """Reduced-scale configuration for the multi-network experiments."""
+    return ExperimentConfig(
+        network=bench_config.network,
+        scale=min(bench_config.scale, 0.02),
+        seed=bench_config.seed,
+        num_queries=max(6, bench_config.num_queries // 2),
+        eb_nr_regions=16,
+        arcflag_regions=16,
+        hiti_regions=16,
+        num_landmarks=4,
+    )

@@ -1,0 +1,84 @@
+"""Routing over an unreliable broadcast channel during a commute.
+
+Wireless broadcast packets get lost to noise and bad reception (the paper
+cites loss rates of up to 10% in practice).  This example follows a single
+commuter who re-plans a route every few minutes while the channel's loss rate
+varies, and shows how the Next Region method's recovery strategy (Section
+6.2) keeps the answers exact while the extra cost stays small compared to the
+full-cycle Dijkstra adaptation.
+
+Run with::
+
+    python examples/lossy_commute.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import datasets
+from repro.air import DijkstraBroadcastScheme, NextRegionScheme
+from repro.broadcast.device import CHANNEL_384KBPS, J2ME_CLAMSHELL
+from repro.experiments import report
+from repro.network.algorithms import shortest_path
+
+LOSS_RATES = [0.0, 0.01, 0.05, 0.10]
+REPLANS_PER_RATE = 6
+
+
+def main() -> None:
+    network = datasets.load("germany", scale=0.02, seed=21)
+    print(
+        f"network: {network.name} ({network.num_nodes} nodes); "
+        f"{REPLANS_PER_RATE} route re-plans per loss rate"
+    )
+
+    nr = NextRegionScheme(network, num_regions=16)
+    dj = DijkstraBroadcastScheme(network)
+
+    rng = random.Random(8)
+    nodes = network.node_ids()
+    home, office = nodes[1], nodes[-2]
+    waypoints = [home] + [rng.choice(nodes) for _ in range(REPLANS_PER_RATE - 1)]
+
+    rows = []
+    for rate in LOSS_RATES:
+        for name, scheme in (("NR", nr), ("DJ", dj)):
+            channel = scheme.channel(loss_rate=rate, seed=int(rate * 1000) + 1)
+            client = scheme.client(J2ME_CLAMSHELL)
+            tuning = 0
+            latency_seconds = 0.0
+            exact = True
+            for waypoint in waypoints:
+                result = client.query(waypoint, office, channel=channel)
+                reference = shortest_path(network, waypoint, office).distance
+                exact &= abs(result.distance - reference) <= 1e-6 * max(1.0, reference)
+                tuning += result.metrics.tuning_time_packets
+                latency_seconds += result.metrics.access_latency_seconds(CHANNEL_384KBPS)
+            rows.append(
+                [
+                    f"{rate * 100:g}%",
+                    name,
+                    tuning,
+                    round(latency_seconds, 2),
+                    "yes" if exact else "NO",
+                ]
+            )
+
+    print()
+    print(
+        report.format_table(
+            ["Loss rate", "Method", "Total tuning (packets)", "Total latency (s)", "Exact routes"],
+            rows,
+            title="Commute re-planning under packet loss (384 Kbps channel)",
+        )
+    )
+    print()
+    print(
+        "Both methods stay exact -- lost packets are recovered from later "
+        "cycles -- but NR has far fewer packets at risk in the first place."
+    )
+
+
+if __name__ == "__main__":
+    main()

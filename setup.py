@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without PEP 517 build isolation.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (and plain ``python setup.py develop``)
+on machines where the ``wheel`` package or network access for build
+dependencies is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

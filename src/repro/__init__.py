@@ -1,0 +1,41 @@
+"""Reproduction of *Shortest Path Computation on Air Indexes* (VLDB 2010).
+
+The package implements the wireless-broadcast ("on air") shortest path
+framework of Kellaris & Mouratidis, including:
+
+* a road-network substrate (graphs, generators, shortest path algorithms),
+* graph partitioning (kd-tree and regular grid),
+* classical pre-computation indexes (ArcFlag, Landmark/ALT, HiTi, SPQ),
+* a wireless broadcast channel simulator with device models,
+* the paper's air-index methods -- Elliptic Boundary (EB) and Next Region
+  (NR) -- plus broadcast adaptations of the classical methods,
+* the Euclidean spatial air indexes of Appendix A (HCI, DSI, BGI), and
+* an experiment harness reproducing every table and figure of the paper.
+
+Quickstart::
+
+    from repro import datasets, air
+
+    network = datasets.load("germany", scale=0.1, seed=7)
+    scheme = air.NextRegionScheme(network, num_regions=32)
+    cycle = scheme.build_cycle()
+    client = scheme.client()
+    result = client.query(source=10, target=4242, cycle=cycle)
+    print(result.path, result.metrics.tuning_time_packets)
+"""
+
+from repro import air, broadcast, experiments, index, network, partitioning, spatial
+from repro.network import datasets
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "air",
+    "broadcast",
+    "datasets",
+    "experiments",
+    "index",
+    "network",
+    "partitioning",
+    "spatial",
+]

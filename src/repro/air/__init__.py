@@ -1,0 +1,51 @@
+"""Air-index schemes: the paper's core contribution.
+
+Every scheme pairs a server-side broadcast cycle builder with a client-side
+query processor that tunes into the simulated channel selectively:
+
+* :class:`DijkstraBroadcastScheme`, :class:`ArcFlagBroadcastScheme`,
+  :class:`LandmarkBroadcastScheme` -- the full-cycle adaptations of
+  Section 3.2,
+* :class:`HiTiBroadcastScheme`, :class:`SPQBroadcastScheme` -- the
+  pre-computation-heavy adaptations used to quantify oversized indexes,
+* :class:`EllipticBoundaryScheme` (EB, Section 4) and
+  :class:`NextRegionScheme` (NR, Section 5) -- the paper's novel methods.
+"""
+
+from repro.air.base import AirClient, AirIndexScheme, QueryResult
+from repro.air.records import RecordLayout, DEFAULT_LAYOUT
+from repro.air.border_paths import BorderPathPrecomputation
+from repro.air.dijkstra_air import DijkstraBroadcastScheme
+from repro.air.arcflag_air import ArcFlagBroadcastScheme
+from repro.air.landmark_air import LandmarkBroadcastScheme
+from repro.air.hiti_air import HiTiBroadcastScheme
+from repro.air.spq_air import SPQBroadcastScheme
+from repro.air.eb import EllipticBoundaryScheme
+from repro.air.nr import NextRegionScheme
+
+__all__ = [
+    "AirClient",
+    "AirIndexScheme",
+    "ArcFlagBroadcastScheme",
+    "BorderPathPrecomputation",
+    "DEFAULT_LAYOUT",
+    "DijkstraBroadcastScheme",
+    "EllipticBoundaryScheme",
+    "HiTiBroadcastScheme",
+    "LandmarkBroadcastScheme",
+    "NextRegionScheme",
+    "QueryResult",
+    "RecordLayout",
+    "SPQBroadcastScheme",
+]
+
+#: Registry of scheme constructors keyed by the short names the paper uses.
+SCHEME_REGISTRY = {
+    "DJ": DijkstraBroadcastScheme,
+    "AF": ArcFlagBroadcastScheme,
+    "LD": LandmarkBroadcastScheme,
+    "HiTi": HiTiBroadcastScheme,
+    "SPQ": SPQBroadcastScheme,
+    "EB": EllipticBoundaryScheme,
+    "NR": NextRegionScheme,
+}

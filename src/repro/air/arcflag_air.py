@@ -1,0 +1,66 @@
+"""Broadcast adaptation of ArcFlag (paper Section 3.2).
+
+The cycle carries, besides the adjacency lists, one flag vector per edge
+(one entry per region).  Selective tuning is impossible for the same reason
+as Dijkstra, so the client receives the whole cycle; the flags only speed up
+the local search.  When flag packets are lost, the affected flags are assumed
+to be all ones (Section 6.2), which keeps the search correct but less pruned.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.air.full_cycle import FullCycleScheme
+from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.packet import Segment, SegmentKind
+from repro.index.arcflag import ArcFlagIndex
+from repro.network.algorithms.paths import PathResult
+from repro.network.graph import RoadNetwork
+from repro.partitioning.kdtree import build_kdtree_partitioning
+from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+
+__all__ = ["ArcFlagBroadcastScheme"]
+
+
+class ArcFlagBroadcastScheme(FullCycleScheme):
+    """Adjacency plus per-edge region flags, received in full by the client."""
+
+    short_name = "AF"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_regions: int = 16,
+        layout: RecordLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        super().__init__(network, layout)
+        self.num_regions = num_regions
+        self.partitioning = build_kdtree_partitioning(network, num_regions)
+        self.index = ArcFlagIndex(network, self.partitioning)
+        self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _precomputed_segments(self) -> List[Segment]:
+        flag_bytes = self.network.num_edges * self.layout.arcflag_bytes_per_edge(
+            self.num_regions
+        )
+        return [
+            Segment(
+                name="arcflag-flags",
+                kind=SegmentKind.PRECOMPUTED,
+                size_bytes=flag_bytes,
+                payload={"num_regions": self.num_regions},
+            )
+        ]
+
+    def local_query(self, source: int, target: int, degraded: bool) -> PathResult:
+        if degraded:
+            # Lost flag packets: assume all bits set, i.e. fall back to an
+            # unpruned Dijkstra over the received network.
+            from repro.network.algorithms.dijkstra import shortest_path
+
+            return shortest_path(self.network, source, target)
+        return self.index.query(source, target)
+
+    def client(self, device: DeviceProfile = J2ME_CLAMSHELL):
+        return super().client(device)

@@ -1,0 +1,167 @@
+"""Common abstractions shared by every air-index scheme.
+
+A scheme has two halves:
+
+* the **server** half builds the broadcast cycle (``build_cycle``) and
+  reports one-off costs (``server_metrics``), and
+* the **client** half (``client()``) processes point-to-point queries by
+  tuning into a :class:`~repro.broadcast.channel.BroadcastChannel` and
+  returning a :class:`QueryResult` with the path and the per-query
+  performance factors of paper Section 3.1.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.broadcast.channel import BroadcastChannel, ClientSession
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.metrics import ClientMetrics, MemoryTracker, ServerMetrics
+from repro.broadcast.packet import SegmentKind
+from repro.network.graph import RoadNetwork
+from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+
+__all__ = ["QueryResult", "AirClient", "AirIndexScheme", "CpuTimer"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one on-air shortest path query."""
+
+    source: int
+    target: int
+    distance: float
+    path: List[int] = field(default_factory=list)
+    metrics: ClientMetrics = field(default_factory=ClientMetrics)
+    #: Regions the client received (empty for full-cycle methods).
+    received_regions: List[int] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a finite-distance path was computed."""
+        return self.distance != float("inf")
+
+
+class CpuTimer:
+    """Accumulates client-side CPU time, scaled to the device's processor."""
+
+    def __init__(self, device: DeviceProfile) -> None:
+        self.device = device
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "CpuTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._started is not None:
+            self.seconds += (time.perf_counter() - self._started) * self.device.cpu_slowdown
+            self._started = None
+
+
+class AirIndexScheme(abc.ABC):
+    """Server side of a broadcast scheme."""
+
+    #: Short name used in tables (the paper's abbreviations: DJ, EB, NR, ...).
+    short_name: str = "?"
+
+    def __init__(self, network: RoadNetwork, layout: RecordLayout = DEFAULT_LAYOUT) -> None:
+        self.network = network
+        self.layout = layout
+        self._cycle: Optional[BroadcastCycle] = None
+        self.precomputation_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_cycle(self) -> BroadcastCycle:
+        """Pre-compute whatever the scheme needs and lay out the cycle."""
+
+    @property
+    def cycle(self) -> BroadcastCycle:
+        """The broadcast cycle, building it on first access."""
+        if self._cycle is None:
+            self._cycle = self.build_cycle()
+        return self._cycle
+
+    def server_metrics(self) -> ServerMetrics:
+        """Cycle size and pre-computation cost (paper Tables 1 and 3)."""
+        cycle = self.cycle
+        composition = cycle.composition()
+        data_kinds = (
+            SegmentKind.NETWORK_DATA.value,
+            SegmentKind.REGION_CROSS_BORDER.value,
+            SegmentKind.REGION_LOCAL.value,
+        )
+        data_packets = sum(composition.get(kind, 0) for kind in data_kinds)
+        return ServerMetrics(
+            scheme=self.short_name,
+            cycle_packets=cycle.total_packets,
+            cycle_bytes=cycle.total_bytes,
+            precomputation_seconds=self.precomputation_seconds,
+            data_packets=data_packets,
+            index_packets=cycle.total_packets - data_packets,
+        )
+
+    def channel(self, loss_rate: float = 0.0, seed: int = 0) -> BroadcastChannel:
+        """A broadcast channel repeatedly transmitting this scheme's cycle."""
+        return BroadcastChannel(self.cycle, loss_rate=loss_rate, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def client(self, device: DeviceProfile = J2ME_CLAMSHELL) -> "AirClient":
+        """Create a query processor bound to this scheme's broadcast content."""
+
+
+class AirClient(abc.ABC):
+    """Client side of a broadcast scheme."""
+
+    def __init__(self, scheme: AirIndexScheme, device: DeviceProfile = J2ME_CLAMSHELL) -> None:
+        self.scheme = scheme
+        self.device = device
+
+    @abc.abstractmethod
+    def process(
+        self, source: int, target: int, session: ClientSession, memory: MemoryTracker
+    ) -> QueryResult:
+        """Scheme-specific query protocol over an open tuning session."""
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        channel: Optional[BroadcastChannel] = None,
+        tune_in_offset: Optional[int] = None,
+    ) -> QueryResult:
+        """Process one query end to end and fill in the client metrics.
+
+        Parameters
+        ----------
+        channel:
+            The broadcast channel to tune into.  Defaults to a loss-free
+            channel carrying this scheme's cycle.
+        tune_in_offset:
+            Cycle offset at which the client tunes in; random (but
+            deterministic per channel) when omitted -- queries are posed at
+            arbitrary moments, exactly as in the paper's evaluation.
+        """
+        if channel is None:
+            channel = self.scheme.channel()
+        session = channel.session(tune_in_offset)
+        memory = MemoryTracker()
+        result = self.process(source, target, session, memory)
+        result.metrics.tuning_time_packets = session.tuning_packets
+        result.metrics.access_latency_packets = session.elapsed_packets
+        result.metrics.peak_memory_bytes = max(
+            result.metrics.peak_memory_bytes, memory.peak_bytes
+        )
+        result.metrics.lost_packets = session.lost_packets
+        return result

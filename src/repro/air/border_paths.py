@@ -1,0 +1,169 @@
+"""Shared EB/NR server-side pre-computation over border nodes.
+
+Both EB and NR pre-compute the shortest paths between border nodes of the
+partitioned network (paper Sections 4.1 and 5; the paper notes their
+pre-computation cost is identical).  From those paths this module derives:
+
+* the minimum and maximum shortest path distance between every ordered pair
+  of regions (EB's array ``A``),
+* the set of *cross-border* nodes -- nodes appearing on at least one
+  pre-computed path -- used to split each region's data into a cross-border
+  and a local segment, and
+* for every ordered region pair, the set of regions traversed by any
+  pre-computed shortest path between their border nodes (NR's region sets).
+
+The paper defines the pre-computed set ``S`` over border-node pairs from
+*different* regions.  We additionally include pairs of border nodes of the
+*same* region so that queries whose source and destination fall in one region
+remain covered; this only grows the index conservatively (documented
+deviation, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set, Tuple
+
+from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms.paths import INFINITY
+from repro.network.graph import RoadNetwork
+from repro.partitioning.base import Partitioning
+
+__all__ = ["BorderPathPrecomputation"]
+
+
+class BorderPathPrecomputation:
+    """All border-to-border shortest path information EB and NR need."""
+
+    def __init__(self, network: RoadNetwork, partitioning: Partitioning) -> None:
+        self.network = network
+        self.partitioning = partitioning
+        num_regions = partitioning.num_regions
+        self.num_regions = num_regions
+
+        #: ``min_distance[i][j]`` / ``max_distance[i][j]``: extreme shortest
+        #: path distances from a border node of region i to one of region j.
+        self.min_distance: List[List[float]] = [
+            [INFINITY] * num_regions for _ in range(num_regions)
+        ]
+        self.max_distance: List[List[float]] = [
+            [INFINITY] * num_regions for _ in range(num_regions)
+        ]
+        #: Nodes appearing on at least one pre-computed border-to-border path.
+        self.cross_border_nodes: Set[int] = set()
+        #: ``traversed_regions[(i, j)]``: regions crossed by any pre-computed
+        #: shortest path from a border node of i to a border node of j.
+        self.traversed_regions: Dict[Tuple[int, int], Set[int]] = {}
+        self.num_border_pairs = 0
+        self.precomputation_seconds = 0.0
+
+        self._compute()
+
+    def _compute(self) -> None:
+        started = time.perf_counter()
+        partitioning = self.partitioning
+        region_of = partitioning.region_of
+        num_regions = self.num_regions
+
+        border_by_region: List[List[int]] = [
+            partitioning.border_nodes(region) for region in range(num_regions)
+        ]
+        all_border: List[Tuple[int, int]] = [
+            (node, region)
+            for region in range(num_regions)
+            for node in border_by_region[region]
+        ]
+        border_set = {node for node, _ in all_border}
+
+        max_seen: List[List[float]] = [[-1.0] * num_regions for _ in range(num_regions)]
+
+        for source, source_region in all_border:
+            result = dijkstra_distances(self.network, source)
+            distances = result.distances
+            predecessors = result.predecessors
+            # Nodes already marked on some path from this source; walking a
+            # predecessor chain can stop as soon as it hits a marked node.
+            marked_from_source: Set[int] = {source}
+            self.cross_border_nodes.add(source)
+
+            for target, target_region in all_border:
+                if target == source:
+                    continue
+                distance = distances.get(target, INFINITY)
+                pair = (source_region, target_region)
+                if distance == INFINITY:
+                    continue
+                self.num_border_pairs += 1
+                if distance < self.min_distance[source_region][target_region]:
+                    self.min_distance[source_region][target_region] = distance
+                if distance > max_seen[source_region][target_region]:
+                    max_seen[source_region][target_region] = distance
+
+                regions = self.traversed_regions.setdefault(pair, set())
+                # Walk the shortest path tree from target back toward source,
+                # marking cross-border nodes and collecting traversed regions.
+                node = target
+                while node is not None:
+                    regions.add(region_of(node))
+                    if node in marked_from_source:
+                        # Nodes from here to the source are already marked as
+                        # cross-border, but we still need their regions.
+                        node = predecessors.get(node)
+                        while node is not None:
+                            regions.add(region_of(node))
+                            node = predecessors.get(node)
+                        break
+                    marked_from_source.add(node)
+                    self.cross_border_nodes.add(node)
+                    node = predecessors.get(node)
+
+        for i in range(self.num_regions):
+            for j in range(self.num_regions):
+                if max_seen[i][j] >= 0.0:
+                    self.max_distance[i][j] = max_seen[i][j]
+        self._border_set = border_set
+        self.precomputation_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def upper_bound(self, source_region: int, target_region: int) -> float:
+        """EB's upper bound UB for a query between the two regions."""
+        return self.max_distance[source_region][target_region]
+
+    def needed_regions_eb(self, source_region: int, target_region: int) -> List[int]:
+        """Regions EB must receive: the "network ellipse" of Section 4.2."""
+        upper = self.upper_bound(source_region, target_region)
+        needed = {source_region, target_region}
+        if upper == INFINITY:
+            # No pruning possible; every region may be required.
+            return list(range(self.num_regions))
+        for region in range(self.num_regions):
+            min_to = self.min_distance[source_region][region]
+            min_from = self.min_distance[region][target_region]
+            if min_to + min_from <= upper:
+                needed.add(region)
+        return sorted(needed)
+
+    def needed_regions_nr(self, source_region: int, target_region: int) -> List[int]:
+        """Regions NR marks as needed: union of traversed regions plus endpoints."""
+        regions = set(self.traversed_regions.get((source_region, target_region), set()))
+        regions.add(source_region)
+        regions.add(target_region)
+        return sorted(regions)
+
+    def cross_border_in_region(self, region: int) -> List[int]:
+        """Cross-border nodes that belong to ``region``."""
+        return [
+            node
+            for node in self.partitioning.nodes_in_region(region)
+            if node in self.cross_border_nodes
+        ]
+
+    def local_in_region(self, region: int) -> List[int]:
+        """Local (non cross-border) nodes of ``region``."""
+        return [
+            node
+            for node in self.partitioning.nodes_in_region(region)
+            if node not in self.cross_border_nodes
+        ]

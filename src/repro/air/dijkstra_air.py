@@ -1,0 +1,26 @@
+"""Broadcast adaptation of Dijkstra's algorithm (paper Section 3.2).
+
+No pre-computation: the cycle contains only the adjacency lists, which is why
+it is the shortest possible cycle (Table 1).  The client listens to the whole
+cycle, stores the entire network, and runs Dijkstra locally -- minimal access
+latency, but maximal tuning time and memory.
+"""
+
+from __future__ import annotations
+
+from repro.air.full_cycle import FullCycleScheme
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.algorithms.paths import PathResult
+
+__all__ = ["DijkstraBroadcastScheme"]
+
+
+class DijkstraBroadcastScheme(FullCycleScheme):
+    """Adjacency-only broadcast cycle with local Dijkstra processing."""
+
+    short_name = "DJ"
+
+    def local_query(self, source: int, target: int, degraded: bool) -> PathResult:
+        # Dijkstra has no pre-computed information, so there is nothing to
+        # degrade: lost adjacency packets were already re-received.
+        return shortest_path(self.network, source, target)

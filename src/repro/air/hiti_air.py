@@ -1,0 +1,134 @@
+"""Broadcast adaptation of HiTi (paper Section 3.2).
+
+HiTi is the only competitor that can tune selectively: its hierarchical
+super-edge index tells the client in advance which regions matter.  The
+catch, which the paper quantifies, is that the client must first receive the
+*entire* index, and that index is several times larger than the network
+itself -- long cycle, long tuning time, and a working set that does not fit
+the 8 MB device heap for anything but the smallest networks (Tables 1 and 2).
+
+The client here receives the global index, determines the source/target
+regions, receives those two regions' adjacency data, and answers the query on
+the super-edge overlay.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.air.base import AirClient, AirIndexScheme, CpuTimer, QueryResult
+from repro.broadcast.channel import ClientSession
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.metrics import MemoryTracker
+from repro.broadcast.packet import Segment, SegmentKind
+from repro.index.hiti import HiTiIndex
+from repro.network.graph import RoadNetwork
+from repro.partitioning.kdtree import build_kdtree_partitioning
+from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+
+__all__ = ["HiTiBroadcastScheme"]
+
+
+class HiTiBroadcastScheme(AirIndexScheme):
+    """Hierarchical super-edge index broadcast ahead of per-region data."""
+
+    short_name = "HiTi"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_regions: int = 16,
+        layout: RecordLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        super().__init__(network, layout)
+        self.num_regions = num_regions
+        self.partitioning = build_kdtree_partitioning(network, num_regions)
+        self.index = HiTiIndex(network, self.partitioning)
+        self.precomputation_seconds = self.index.precomputation_seconds
+
+    def build_cycle(self) -> BroadcastCycle:
+        # Crossing (inter-region) edges are part of the index: the client
+        # needs them to stitch super-edges of different regions together.
+        crossing_edges = sum(
+            1
+            for edge in self.network.edges()
+            if self.partitioning.region_of(edge.source)
+            != self.partitioning.region_of(edge.target)
+        )
+        index_bytes = (
+            self.layout.kd_split_bytes(self.num_regions)
+            + self.index.num_super_edges() * self.layout.hiti_super_edge_bytes()
+            + crossing_edges * (2 * self.layout.node_id_bytes + self.layout.weight_bytes)
+        )
+        segments: List[Segment] = [
+            Segment(
+                name="hiti-index",
+                kind=SegmentKind.INDEX,
+                size_bytes=index_bytes,
+                payload={"index": self.index},
+            )
+        ]
+        for region in range(self.num_regions):
+            nodes = self.partitioning.nodes_in_region(region)
+            segments.append(
+                Segment(
+                    name=f"region-{region}",
+                    kind=SegmentKind.REGION_CROSS_BORDER,
+                    size_bytes=self.layout.adjacency_bytes(self.network, nodes),
+                    region=region,
+                    payload={"nodes": nodes},
+                )
+            )
+        return BroadcastCycle(segments, name="HiTi-cycle")
+
+    def client(self, device: DeviceProfile = J2ME_CLAMSHELL) -> "HiTiBroadcastClient":
+        return HiTiBroadcastClient(self, device)
+
+
+class HiTiBroadcastClient(AirClient):
+    """Receives the full index plus the source/target regions."""
+
+    scheme: HiTiBroadcastScheme
+
+    def process(
+        self, source: int, target: int, session: ClientSession, memory: MemoryTracker
+    ) -> QueryResult:
+        cycle = session.cycle
+        # Read the current packet to learn where the next index copy starts.
+        session.receive_one_packet()
+
+        reception = session.receive_segment("hiti-index")
+        while reception.lost_offsets:
+            reception = session.receive_segment_packets(
+                "hiti-index", reception.lost_offsets
+            )
+        memory.allocate(cycle.segment("hiti-index").size_bytes)
+
+        partitioning = self.scheme.partitioning
+        source_region = partitioning.region_of(source)
+        target_region = partitioning.region_of(target)
+
+        received_regions = sorted({source_region, target_region})
+        for region in received_regions:
+            name = f"region-{region}"
+            region_reception = session.receive_segment(name)
+            while region_reception.lost_offsets:
+                region_reception = session.receive_segment_packets(
+                    name, region_reception.lost_offsets
+                )
+            memory.allocate(cycle.segment(name).size_bytes)
+
+        with CpuTimer(self.device) as timer:
+            local = self.scheme.index.query(source, target)
+
+        result = QueryResult(
+            source=source,
+            target=target,
+            distance=local.distance,
+            path=local.path,
+            received_regions=received_regions,
+        )
+        result.metrics.cpu_seconds = timer.seconds
+        result.metrics.extra["settled_nodes"] = float(local.settled)
+        return result

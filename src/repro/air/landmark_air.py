@@ -1,0 +1,58 @@
+"""Broadcast adaptation of the Landmark (ALT) method (paper Section 3.2).
+
+The cycle carries a distance vector per node (distances to and from each
+landmark).  The client receives the whole cycle and runs A* with the landmark
+lower bound.  If vector packets are lost, the lower bound of the affected
+nodes is taken as 0 (Section 6.2), degrading A* toward Dijkstra but keeping
+it correct.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.air.full_cycle import FullCycleScheme
+from repro.broadcast.packet import Segment, SegmentKind
+from repro.index.landmark import LandmarkIndex
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.algorithms.paths import PathResult
+from repro.network.graph import RoadNetwork
+from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+
+__all__ = ["LandmarkBroadcastScheme"]
+
+
+class LandmarkBroadcastScheme(FullCycleScheme):
+    """Adjacency plus per-node landmark vectors, received in full."""
+
+    short_name = "LD"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_landmarks: int = 4,
+        layout: RecordLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        super().__init__(network, layout)
+        self.num_landmarks = num_landmarks
+        self.index = LandmarkIndex(network, num_landmarks=num_landmarks)
+        self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _precomputed_segments(self) -> List[Segment]:
+        vector_bytes = self.network.num_nodes * self.layout.landmark_vector_bytes(
+            self.num_landmarks
+        )
+        return [
+            Segment(
+                name="landmark-vectors",
+                kind=SegmentKind.PRECOMPUTED,
+                size_bytes=vector_bytes,
+                payload={"landmarks": self.index.landmarks},
+            )
+        ]
+
+    def local_query(self, source: int, target: int, degraded: bool) -> PathResult:
+        if degraded:
+            # Lost vectors: lower bounds fall back to 0, i.e. plain Dijkstra.
+            return shortest_path(self.network, source, target)
+        return self.index.query(source, target)

@@ -1,0 +1,116 @@
+"""Placement of EB's distance-array cells into packets (paper Section 6.2).
+
+For a query with source region ``i`` and target region ``j``, EB needs the
+``i``-th row and ``j``-th column of its n x n min/max array ``A``.  When a
+packet is lost, the client must wait a full extra cycle only if the packet
+contained one of those cells, so the server wants each packet to intersect
+as few rows and columns as possible.  Among all rectangles covering the same
+number of cells, a square intersects the fewest rows plus columns, hence the
+paper packs cells into ``w x w`` squares (Figure 9).
+
+This module provides both the square packing and the naive row-major packing
+(used as the ablation baseline) as explicit cell -> packet mappings, so both
+the server (sizing) and the client (which packet do I need?  which cells did
+a lost packet take with it?) agree on the layout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["CellPacking", "SquareCellPacking", "RowMajorCellPacking"]
+
+
+class CellPacking:
+    """Abstract mapping between cells of an n x n array and packet slots."""
+
+    def __init__(self, num_regions: int, cells_per_packet: int) -> None:
+        if num_regions < 1:
+            raise ValueError("num_regions must be positive")
+        if cells_per_packet < 1:
+            raise ValueError("cells_per_packet must be positive")
+        self.num_regions = num_regions
+        self.cells_per_packet = cells_per_packet
+
+    def packet_of(self, row: int, col: int) -> int:
+        """Packet index carrying cell ``(row, col)``."""
+        raise NotImplementedError
+
+    @property
+    def num_packets(self) -> int:
+        """Total number of packets used by the array."""
+        raise NotImplementedError
+
+    def packets_for_row_and_column(self, row: int, col: int) -> Set[int]:
+        """Packets that intersect the given row or the given column.
+
+        These are the packets whose loss would force the EB client to wait
+        for another index copy.
+        """
+        packets: Set[int] = set()
+        for k in range(self.num_regions):
+            packets.add(self.packet_of(row, k))
+            packets.add(self.packet_of(k, col))
+        return packets
+
+    def cells_in_packet(self, packet: int) -> List[Tuple[int, int]]:
+        """All cells carried by ``packet`` (inverse mapping, for diagnostics)."""
+        return [
+            (row, col)
+            for row in range(self.num_regions)
+            for col in range(self.num_regions)
+            if self.packet_of(row, col) == packet
+        ]
+
+
+class SquareCellPacking(CellPacking):
+    """Pack cells into w x w squares, w = floor(sqrt(cells_per_packet))."""
+
+    def __init__(self, num_regions: int, cells_per_packet: int) -> None:
+        super().__init__(num_regions, cells_per_packet)
+        self.window = max(1, int(math.isqrt(cells_per_packet)))
+        self.blocks_per_side = -(-num_regions // self.window)
+
+    def packet_of(self, row: int, col: int) -> int:
+        self._check(row, col)
+        block_row = row // self.window
+        block_col = col // self.window
+        return block_row * self.blocks_per_side + block_col
+
+    @property
+    def num_packets(self) -> int:
+        return self.blocks_per_side * self.blocks_per_side
+
+    def _check(self, row: int, col: int) -> None:
+        if not (0 <= row < self.num_regions and 0 <= col < self.num_regions):
+            raise IndexError(f"cell ({row}, {col}) outside {self.num_regions}x{self.num_regions}")
+
+
+class RowMajorCellPacking(CellPacking):
+    """Pack cells row by row (the naive layout, used for ablation)."""
+
+    def packet_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.num_regions and 0 <= col < self.num_regions):
+            raise IndexError(f"cell ({row}, {col}) outside {self.num_regions}x{self.num_regions}")
+        flat = row * self.num_regions + col
+        return flat // self.cells_per_packet
+
+    @property
+    def num_packets(self) -> int:
+        total_cells = self.num_regions * self.num_regions
+        return -(-total_cells // self.cells_per_packet)
+
+
+def expected_vulnerable_packets(packing: CellPacking) -> float:
+    """Average, over all (row, col) queries, of packets whose loss hurts EB.
+
+    This is the quantity the square packing minimizes; the ablation benchmark
+    compares it against the row-major layout.
+    """
+    total = 0
+    n = packing.num_regions
+    for row in range(n):
+        for col in range(n):
+            total += len(packing.packets_for_row_and_column(row, col))
+    return total / (n * n)

@@ -1,0 +1,150 @@
+"""Broadcast cycle: an ordered sequence of segments with packet positions.
+
+The server repeatedly transmits identical broadcast cycles (paper Section
+2.2).  :class:`BroadcastCycle` lays its segments out over consecutive packet
+positions and answers the positional queries clients need: where does a
+segment start, which segment is on the air at a given offset, and when is the
+next segment of a given kind broadcast after a given moment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.broadcast.packet import Segment, SegmentKind
+
+__all__ = ["BroadcastCycle"]
+
+
+class BroadcastCycle:
+    """An immutable layout of segments over packet positions ``[0, length)``."""
+
+    def __init__(self, segments: Sequence[Segment], name: str = "cycle") -> None:
+        if not segments:
+            raise ValueError("a broadcast cycle needs at least one segment")
+        self.name = name
+        self.segments: List[Segment] = list(segments)
+        self._starts: List[int] = []
+        self._by_name: Dict[str, int] = {}
+        offset = 0
+        for position, segment in enumerate(self.segments):
+            if segment.name in self._by_name:
+                raise ValueError(f"duplicate segment name {segment.name!r}")
+            self._by_name[segment.name] = position
+            self._starts.append(offset)
+            offset += segment.num_packets
+        self._total_packets = offset
+
+    # ------------------------------------------------------------------
+    # Global properties
+    # ------------------------------------------------------------------
+    @property
+    def total_packets(self) -> int:
+        """Length of one broadcast cycle in packets."""
+        return self._total_packets
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes in one cycle (before packetization)."""
+        return sum(segment.size_bytes for segment in self.segments)
+
+    def duration_seconds(self, bits_per_second: float) -> float:
+        """Time to broadcast one full cycle at the given channel rate."""
+        from repro.broadcast.packet import PACKET_SIZE_BYTES
+
+        return self._total_packets * PACKET_SIZE_BYTES * 8 / bits_per_second
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    # ------------------------------------------------------------------
+    # Positional queries
+    # ------------------------------------------------------------------
+    def segment(self, name: str) -> Segment:
+        """Segment with the given name."""
+        return self.segments[self._by_name[name]]
+
+    def has_segment(self, name: str) -> bool:
+        """Whether a segment with this name exists."""
+        return name in self._by_name
+
+    def segment_start(self, name: str) -> int:
+        """Packet offset (within the cycle) where the named segment starts."""
+        return self._starts[self._by_name[name]]
+
+    def segment_range(self, name: str) -> Tuple[int, int]:
+        """``(start_offset, num_packets)`` of the named segment."""
+        index = self._by_name[name]
+        return (self._starts[index], self.segments[index].num_packets)
+
+    def segment_at(self, offset: int) -> Segment:
+        """Segment on the air at cycle offset ``offset`` (0-based packet)."""
+        offset %= self._total_packets
+        # Binary search over the start offsets.
+        low, high = 0, len(self._starts) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._starts[mid] <= offset:
+                low = mid
+            else:
+                high = mid - 1
+        return self.segments[low]
+
+    def segments_of_kind(self, kind: SegmentKind) -> List[Segment]:
+        """All segments of the given kind, in broadcast order."""
+        return [segment for segment in self.segments if segment.kind == kind]
+
+    def segments_of_region(self, region: int) -> List[Segment]:
+        """All segments annotated with the given region, in broadcast order."""
+        return [segment for segment in self.segments if segment.region == region]
+
+    def next_segment_of_kind(self, kind: SegmentKind, after_offset: int) -> Tuple[Segment, int]:
+        """First segment of ``kind`` starting at or after ``after_offset``.
+
+        The returned offset is a *global* packet position (it may lie in the
+        next repetition of the cycle), so the caller can wait for it directly.
+        """
+        candidates = [
+            (start, segment)
+            for start, segment in zip(self._starts, self.segments)
+            if segment.kind == kind
+        ]
+        if not candidates:
+            raise LookupError(f"cycle has no segment of kind {kind}")
+        cycle_offset = after_offset % self._total_packets
+        base = after_offset - cycle_offset
+        for start, segment in candidates:
+            if start >= cycle_offset:
+                return segment, base + start
+        # Wrap to the next cycle repetition.
+        start, segment = candidates[0]
+        return segment, base + self._total_packets + start
+
+    def next_segment_named(self, name: str, after_offset: int) -> int:
+        """Global packet position of the next broadcast of the named segment."""
+        start = self.segment_start(name)
+        cycle_offset = after_offset % self._total_packets
+        base = after_offset - cycle_offset
+        if start >= cycle_offset:
+            return base + start
+        return base + self._total_packets + start
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def composition(self) -> Dict[str, int]:
+        """Packets per :class:`SegmentKind` (for cycle-length breakdowns)."""
+        breakdown: Dict[str, int] = {}
+        for segment in self.segments:
+            key = segment.kind.value
+            breakdown[key] = breakdown.get(key, 0) + segment.num_packets
+        return breakdown
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"BroadcastCycle(name={self.name!r}, segments={len(self.segments)}, "
+            f"packets={self._total_packets})"
+        )

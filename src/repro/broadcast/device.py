@@ -1,0 +1,112 @@
+"""Client device and channel models (paper Sections 3.1 and 7).
+
+The paper evaluates on a simulated generic GPS-enabled clamshell phone
+(J2ME, CLDC-1.1 / MIDP-2.1) with an 8 MB default heap, an ARM processor with
+a ~200 mW peak consumption, and an 802.11 WaveLAN radio consuming 1.65 W /
+1.4 W / 0.045 W in transmit / receive / sleep.  Channel rates considered are
+2 Mbps (static device) and 384 Kbps (moving device), typical of 3G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broadcast.packet import PACKET_SIZE_BYTES
+
+__all__ = [
+    "ChannelRate",
+    "DeviceProfile",
+    "J2ME_CLAMSHELL",
+    "MODERN_SMARTPHONE",
+    "CHANNEL_2MBPS",
+    "CHANNEL_384KBPS",
+]
+
+
+@dataclass(frozen=True)
+class ChannelRate:
+    """A broadcast channel rate."""
+
+    name: str
+    bits_per_second: float
+
+    @property
+    def packets_per_second(self) -> float:
+        """Packets broadcast per second at this rate."""
+        return self.bits_per_second / (PACKET_SIZE_BYTES * 8)
+
+    def packets_to_seconds(self, packets: float) -> float:
+        """Convert a packet count into seconds on the air."""
+        return packets / self.packets_per_second
+
+
+#: 3G rate for a static device (paper Table 1).
+CHANNEL_2MBPS = ChannelRate("2Mbps", 2_000_000.0)
+#: 3G rate for a moving device (paper Table 1; the text says 384 Kbps).
+CHANNEL_384KBPS = ChannelRate("384Kbps", 384_000.0)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Energy and memory constants of a client device.
+
+    Attributes
+    ----------
+    heap_bytes:
+        Application heap limit; methods whose working set exceeds it are
+        inapplicable (paper Table 2).
+    receive_watts / sleep_watts:
+        Radio power in the receive and sleep (doze) states.
+    cpu_watts:
+        Peak processor power while computing.
+    cpu_slowdown:
+        Multiplier applied to host CPU time to approximate the device's
+        processor (a 3 GHz host vs a ~200 MHz-class ARM).
+    """
+
+    name: str
+    heap_bytes: int
+    receive_watts: float = 1.4
+    sleep_watts: float = 0.045
+    cpu_watts: float = 0.2
+    cpu_slowdown: float = 15.0
+
+    def fits_in_heap(self, bytes_needed: int) -> bool:
+        """Whether a working set of ``bytes_needed`` fits the device heap."""
+        return bytes_needed <= self.heap_bytes
+
+    def energy_joules(
+        self,
+        tuning_packets: int,
+        latency_packets: int,
+        cpu_seconds: float,
+        rate: ChannelRate,
+    ) -> float:
+        """Total energy for a query.
+
+        Receiving ``tuning_packets`` costs receive power; the remainder of
+        the access latency is spent sleeping; computation adds CPU energy.
+        """
+        receive_seconds = rate.packets_to_seconds(tuning_packets)
+        sleep_seconds = max(
+            0.0, rate.packets_to_seconds(latency_packets) - receive_seconds
+        )
+        return (
+            receive_seconds * self.receive_watts
+            + sleep_seconds * self.sleep_watts
+            + cpu_seconds * self.cpu_watts
+        )
+
+
+#: The paper's evaluation device: generic J2ME clamshell phone, 8 MB heap.
+J2ME_CLAMSHELL = DeviceProfile(name="j2me-clamshell", heap_bytes=8 * 1024 * 1024)
+
+#: A present-day comparison point used by the examples.
+MODERN_SMARTPHONE = DeviceProfile(
+    name="modern-smartphone",
+    heap_bytes=512 * 1024 * 1024,
+    receive_watts=0.8,
+    sleep_watts=0.01,
+    cpu_watts=2.0,
+    cpu_slowdown=1.0,
+)

@@ -1,0 +1,96 @@
+"""(1, m) index interleaving (paper Section 2.2, [Imielinski et al. 1997]).
+
+In the (1, m) scheme the data are placed into ``m`` equi-sized segments
+interleaved with ``m`` copies of the index.  The optimal balance between the
+wait for the index and the wait for the data is achieved for
+
+    m = sqrt(data_packets / index_packets).
+
+EB follows this scheme but forces index copies to fall *between* regions so
+that a region's adjacency data are never cut in two by index packets
+(Section 4.1).  :func:`interleave_one_m` implements exactly that placement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.broadcast.packet import Segment
+
+__all__ = ["optimal_m", "interleave_one_m"]
+
+
+def optimal_m(data_packets: int, index_packets: int) -> int:
+    """The optimal number of index copies, ``sqrt(data/index)``, at least 1."""
+    if data_packets < 0 or index_packets < 0:
+        raise ValueError("packet counts must be non-negative")
+    if index_packets == 0:
+        return 1
+    return max(1, int(round(math.sqrt(data_packets / index_packets))))
+
+
+def interleave_one_m(
+    data_segments: Sequence[Segment],
+    index_segments: Sequence[Segment],
+    m: int,
+) -> List[Segment]:
+    """Interleave ``m`` copies of the index between data segments.
+
+    The data segments are split into ``m`` groups of consecutive segments
+    with approximately equal packet counts; a copy of the index precedes each
+    group.  Index copies are cloned with distinct names
+    (``"<name>#copy<k>"``) so the resulting cycle has unique segment names.
+
+    Because copies are placed only at data-segment boundaries, a region's
+    data are never interrupted by index packets -- the EB requirement.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if not data_segments:
+        raise ValueError("need at least one data segment")
+    data_segments = list(data_segments)
+    index_segments = list(index_segments)
+    m = min(m, len(data_segments))
+
+    total_packets = sum(segment.num_packets for segment in data_segments)
+    target_per_group = total_packets / m
+
+    cycle: List[Segment] = []
+    group_index = 0
+    group_packets = 0.0
+    cycle.extend(_clone_index(index_segments, 0))
+    for position, segment in enumerate(data_segments):
+        remaining_segments = len(data_segments) - position
+        remaining_groups = m - group_index
+        # Start a new group (and emit an index copy) when the current group
+        # has reached its share, while keeping enough segments for the
+        # remaining groups.
+        if (
+            group_index < m - 1
+            and group_packets >= target_per_group
+            and remaining_segments >= remaining_groups
+        ):
+            group_index += 1
+            group_packets = 0.0
+            cycle.extend(_clone_index(index_segments, group_index))
+        cycle.append(segment)
+        group_packets += segment.num_packets
+    return cycle
+
+
+def _clone_index(index_segments: Sequence[Segment], copy: int) -> List[Segment]:
+    """Clone the index segments with per-copy unique names."""
+    clones: List[Segment] = []
+    for segment in index_segments:
+        clones.append(
+            Segment(
+                name=f"{segment.name}#copy{copy}",
+                kind=segment.kind,
+                size_bytes=segment.size_bytes,
+                region=segment.region,
+                payload=segment.payload,
+                metadata={**segment.metadata, "index_copy": copy},
+            )
+        )
+    return clones

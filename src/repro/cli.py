@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Three sub-commands cover the common ways of poking at the system without
+writing code::
+
+    python -m repro cycle    --network germany --scale 0.02 --method NR
+    python -m repro query    --network germany --scale 0.02 --method NR --queries 5
+    python -m repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
+
+* ``cycle``   -- build one scheme and print its broadcast-cycle statistics
+  (Table 1 style row).
+* ``query``   -- run a few random on-air queries through one scheme's client
+  and print the per-query performance factors.
+* ``compare`` -- run the same workload through several methods and print the
+  averaged comparison (Figure 10 style row per method).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS, J2ME_CLAMSHELL
+from repro.experiments import (
+    ExperimentConfig,
+    QueryWorkload,
+    build_scheme,
+    compare_methods,
+    report,
+)
+from repro.network import datasets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shortest path computation on air indexes (VLDB 2010) -- reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--network",
+            default="germany",
+            choices=datasets.available(),
+            help="paper network to instantiate (synthetic stand-in)",
+        )
+        sub.add_argument(
+            "--scale", type=float, default=0.02, help="fraction of the paper's network size"
+        )
+        sub.add_argument("--seed", type=int, default=7, help="generator / workload seed")
+        sub.add_argument(
+            "--regions", type=int, default=16, help="regions for EB/NR/ArcFlag/HiTi"
+        )
+        sub.add_argument("--landmarks", type=int, default=4, help="landmarks for LD")
+
+    cycle = subparsers.add_parser("cycle", help="print broadcast cycle statistics")
+    add_common(cycle)
+    cycle.add_argument("--method", default="NR", help="scheme (DJ, NR, EB, LD, AF, SPQ, HiTi)")
+
+    query = subparsers.add_parser("query", help="run on-air queries through one scheme")
+    add_common(query)
+    query.add_argument("--method", default="NR", help="scheme (DJ, NR, EB, LD, AF, SPQ, HiTi)")
+    query.add_argument("--queries", type=int, default=3, help="number of random queries")
+    query.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
+    query.add_argument(
+        "--memory-bound",
+        action="store_true",
+        help="use the Section 6.1 super-edge client (EB/NR only)",
+    )
+
+    compare = subparsers.add_parser("compare", help="compare several methods on one workload")
+    add_common(compare)
+    compare.add_argument(
+        "--methods", default="NR,EB,DJ", help="comma-separated method list"
+    )
+    compare.add_argument("--queries", type=int, default=8, help="number of random queries")
+    compare.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        network=args.network,
+        scale=args.scale,
+        seed=args.seed,
+        eb_nr_regions=args.regions,
+        arcflag_regions=args.regions,
+        hiti_regions=args.regions,
+        num_landmarks=args.landmarks,
+    )
+
+
+def _command_cycle(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    scheme = build_scheme(args.method, network, config)
+    metrics = scheme.server_metrics()
+    rows = [
+        ["network", f"{network.name} ({network.num_nodes} nodes, {network.num_edges} edges)"],
+        ["method", scheme.short_name],
+        ["cycle packets", metrics.cycle_packets],
+        ["cycle bytes", metrics.cycle_bytes],
+        ["index packets", metrics.index_packets],
+        ["data packets", metrics.data_packets],
+        ["cycle seconds @2Mbps", round(metrics.cycle_seconds(CHANNEL_2MBPS), 3)],
+        ["cycle seconds @384Kbps", round(metrics.cycle_seconds(CHANNEL_384KBPS), 3)],
+        ["pre-computation seconds", round(metrics.precomputation_seconds, 3)],
+    ]
+    print(report.format_table(["Quantity", "Value"], rows, title="Broadcast cycle"), file=out)
+    return 0
+
+
+def _command_query(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    scheme = build_scheme(args.method, network, config)
+    channel = scheme.channel(loss_rate=args.loss_rate, seed=args.seed)
+    if args.memory_bound and scheme.short_name in ("EB", "NR"):
+        client = scheme.client(J2ME_CLAMSHELL, memory_bound=True)  # type: ignore[call-arg]
+    else:
+        client = scheme.client(J2ME_CLAMSHELL)
+
+    rng = random.Random(args.seed)
+    nodes = network.node_ids()
+    rows = []
+    for _ in range(max(1, args.queries)):
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        result = client.query(source, target, channel=channel)
+        metrics = result.metrics
+        rows.append(
+            [
+                f"{source}->{target}",
+                round(result.distance, 1) if result.found else "unreachable",
+                metrics.tuning_time_packets,
+                metrics.access_latency_packets,
+                round(metrics.peak_memory_bytes / 1024.0, 1),
+                round(metrics.cpu_seconds * 1000.0, 1),
+                round(metrics.energy_joules(J2ME_CLAMSHELL, CHANNEL_2MBPS), 4),
+            ]
+        )
+    print(
+        report.format_table(
+            ["Query", "Distance", "Tuning (pkt)", "Latency (pkt)", "Memory (KB)", "CPU (ms)", "Energy (J)"],
+            rows,
+            title=f"{scheme.short_name} on-air queries ({network.name}, loss={args.loss_rate:g})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace, out) -> int:
+    config = _config(args)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    workload = QueryWorkload(network, args.queries, seed=args.seed)
+    runs = compare_methods(methods, network, workload, config, loss_rate=args.loss_rate)
+    rows = []
+    for method in methods:
+        run = runs[method]
+        mean = run.mean
+        rows.append(
+            [
+                method,
+                run.server.cycle_packets,
+                mean.tuning_time_packets,
+                mean.access_latency_packets,
+                round(mean.peak_memory_bytes / 1024.0, 1),
+                round(mean.cpu_seconds * 1000.0, 1),
+                run.mismatches,
+            ]
+        )
+    print(
+        report.format_table(
+            ["Method", "Cycle (pkt)", "Tuning (pkt)", "Latency (pkt)", "Memory (KB)", "CPU (ms)", "Mismatches"],
+            rows,
+            title=(
+                f"Method comparison on {network.name} "
+                f"({len(workload)} queries, loss={args.loss_rate:g})"
+            ),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "cycle": _command_cycle,
+        "query": _command_query,
+        "compare": _command_compare,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+The benchmarks under ``benchmarks/`` are thin wrappers around this package:
+each table/figure has a function here that builds the (scaled) network,
+generates the query workload, runs the competing methods, and returns the
+rows/series the paper reports.
+"""
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, scale_from_env
+from repro.experiments.workloads import Query, QueryWorkload
+from repro.experiments.runner import (
+    ALL_METHODS,
+    COMPARISON_METHODS,
+    MethodRun,
+    build_network,
+    build_scheme,
+    compare_methods,
+    run_workload,
+)
+from repro.experiments.applicability import (
+    ApplicabilityResult,
+    method_applicability,
+    scaled_device,
+)
+from repro.experiments.finetune import FinetunePoint, finetune_sweep
+from repro.experiments import report
+
+__all__ = [
+    "ALL_METHODS",
+    "ApplicabilityResult",
+    "COMPARISON_METHODS",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "FinetunePoint",
+    "MethodRun",
+    "Query",
+    "QueryWorkload",
+    "build_network",
+    "build_scheme",
+    "compare_methods",
+    "finetune_sweep",
+    "method_applicability",
+    "report",
+    "run_workload",
+    "scale_from_env",
+    "scaled_device",
+]

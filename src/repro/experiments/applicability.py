@@ -1,0 +1,85 @@
+"""Method applicability per network (paper Table 2).
+
+A method is *applicable* on a network when the client-side working set of a
+query fits the device heap (8 MB on the paper's phone).  For the full-cycle
+methods the working set is essentially the whole broadcast cycle; for EB, NR
+and HiTi it is the measured peak memory over a small probe workload.
+
+The paper's Table 2 result -- only NR survives on the largest networks, with
+EB next and the full-cycle methods dropping out one by one -- depends only on
+those working-set sizes relative to each other and to the heap, so the shape
+is reproduced at any network scale by scaling the heap alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.broadcast.device import DeviceProfile
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_scheme, run_workload
+from repro.experiments.workloads import QueryWorkload
+from repro.network import datasets
+from repro.network.graph import RoadNetwork
+
+__all__ = ["ApplicabilityResult", "scaled_device", "method_applicability"]
+
+
+@dataclass
+class ApplicabilityResult:
+    """Outcome of the applicability check for one method on one network."""
+
+    network: str
+    method: str
+    peak_memory_bytes: int
+    heap_bytes: int
+
+    @property
+    def applicable(self) -> bool:
+        """Whether the working set fits the heap (a check mark in Table 2)."""
+        return self.peak_memory_bytes <= self.heap_bytes
+
+
+def scaled_device(device: DeviceProfile, scale: float) -> DeviceProfile:
+    """Scale the device heap along with the network size.
+
+    Running the paper's networks at a fraction of their size shrinks every
+    method's working set proportionally; scaling the 8 MB heap by the same
+    factor preserves which methods fit and which do not.
+    """
+    return DeviceProfile(
+        name=f"{device.name}-x{scale:g}",
+        heap_bytes=max(1, int(device.heap_bytes * scale)),
+        receive_watts=device.receive_watts,
+        sleep_watts=device.sleep_watts,
+        cpu_watts=device.cpu_watts,
+        cpu_slowdown=device.cpu_slowdown,
+    )
+
+
+def method_applicability(
+    methods: Sequence[str],
+    network_names: Sequence[str],
+    config: ExperimentConfig,
+    probe_queries: int = 5,
+    device: Optional[DeviceProfile] = None,
+) -> List[ApplicabilityResult]:
+    """Evaluate Table 2: per network, which methods fit the client heap."""
+    device = device or scaled_device(config.device, config.scale)
+    results: List[ApplicabilityResult] = []
+    for name in network_names:
+        network = datasets.load(name, scale=config.scale, seed=config.seed)
+        workload = QueryWorkload(network, probe_queries, seed=config.seed)
+        for method in methods:
+            scheme = build_scheme(method, network, config)
+            run = run_workload(scheme, workload, config)
+            results.append(
+                ApplicabilityResult(
+                    network=name,
+                    method=method,
+                    peak_memory_bytes=run.peak_memory_bytes,
+                    heap_bytes=device.heap_bytes,
+                )
+            )
+    return results

@@ -1,0 +1,71 @@
+"""Experiment configuration defaults (paper Section 7).
+
+The paper's evaluation uses the Germany network by default, 400 random
+shortest path queries, 128-byte packets, 32 regions for EB and NR, 16 for
+ArcFlag, and 4 landmarks.  Because this reproduction runs the whole stack --
+server pre-computation included -- in pure Python, the default
+:data:`DEFAULT_SCALE` shrinks the networks proportionally; every benchmark
+records the scale it used, and the scale can be raised via the
+``REPRO_SCALE`` environment variable when more runtime is acceptable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+
+__all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "DEFAULT_SCALE", "scale_from_env"]
+
+#: Fraction of the paper's network sizes used by default in benchmarks.
+DEFAULT_SCALE = 0.05
+
+
+def scale_from_env(default: float = DEFAULT_SCALE) -> float:
+    """Network scale factor, overridable through ``REPRO_SCALE``."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by the table/figure reproductions."""
+
+    #: Default evaluation network (the paper uses Germany).
+    network: str = "germany"
+    #: Proportional down-scaling of the paper's network sizes.
+    scale: float = field(default_factory=scale_from_env)
+    #: Seed for network generation and query sampling.
+    seed: int = 7
+    #: Number of shortest path queries per experiment (the paper uses 400).
+    num_queries: int = 40
+    #: Regions used by EB and NR (paper fine-tuning: 32).
+    eb_nr_regions: int = 32
+    #: Regions used by ArcFlag (paper fine-tuning: 16).
+    arcflag_regions: int = 16
+    #: Regions used by HiTi.
+    hiti_regions: int = 16
+    #: Landmarks used by the Landmark method (paper fine-tuning: 4).
+    num_landmarks: int = 4
+    #: Packet loss rates for Figure 14.
+    loss_rates: List[float] = field(default_factory=lambda: [0.001, 0.005, 0.01, 0.05, 0.10])
+    #: Fine-tuning sweep: (regions, landmarks) pairs for Figure 11.
+    finetune_settings: List[int] = field(default_factory=lambda: [16, 32, 64, 128])
+    #: The client device (Table 2's 8 MB heap phone).
+    device: DeviceProfile = J2ME_CLAMSHELL
+
+    def landmarks_for_regions(self, regions: int) -> int:
+        """The paper pairs 16/32/64/128 regions with 2/4/8/16 landmarks."""
+        mapping: Dict[int, int] = {16: 2, 32: 4, 64: 8, 128: 16}
+        return mapping.get(regions, max(2, regions // 8))
+
+
+#: Shared default configuration.
+DEFAULT_CONFIG = ExperimentConfig()

@@ -1,0 +1,74 @@
+"""Method fine-tuning sweep (paper Appendix C.1, Figure 11).
+
+EB, NR and ArcFlag are swept over the number of regions and Landmark over
+the number of landmarks (the paper pairs 16/32/64/128 regions with
+2/4/8/16 landmarks on its x axis).  Dijkstra is included unchanged as the
+flat reference line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.air import (
+    ArcFlagBroadcastScheme,
+    DijkstraBroadcastScheme,
+    EllipticBoundaryScheme,
+    LandmarkBroadcastScheme,
+    NextRegionScheme,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import MethodRun, run_workload
+from repro.experiments.workloads import QueryWorkload
+from repro.network.graph import RoadNetwork
+
+__all__ = ["FinetunePoint", "finetune_sweep"]
+
+
+@dataclass
+class FinetunePoint:
+    """One x-axis setting of Figure 11: a regions/landmarks pair."""
+
+    regions: int
+    landmarks: int
+    runs: Dict[str, MethodRun] = field(default_factory=dict)
+
+
+def finetune_sweep(
+    network: RoadNetwork,
+    workload: QueryWorkload,
+    config: ExperimentConfig,
+    settings: Sequence[int] = (),
+    methods: Sequence[str] = ("NR", "EB", "DJ", "LD", "AF"),
+    max_arcflag_regions: int = 16,
+) -> List[FinetunePoint]:
+    """Run the Figure 11 sweep and return one point per setting.
+
+    ArcFlag is only evaluated up to ``max_arcflag_regions`` regions; beyond
+    that its flags exceed the client heap in the paper, and its
+    pre-computation cost grows quadratically here.
+    """
+    settings = list(settings) or config.finetune_settings
+    points: List[FinetunePoint] = []
+    for regions in settings:
+        landmarks = config.landmarks_for_regions(regions)
+        point = FinetunePoint(regions=regions, landmarks=landmarks)
+        for method in methods:
+            if method == "NR":
+                scheme = NextRegionScheme(network, num_regions=regions)
+            elif method == "EB":
+                scheme = EllipticBoundaryScheme(network, num_regions=regions)
+            elif method == "DJ":
+                scheme = DijkstraBroadcastScheme(network)
+            elif method == "LD":
+                scheme = LandmarkBroadcastScheme(network, num_landmarks=landmarks)
+            elif method == "AF":
+                if regions > max_arcflag_regions:
+                    continue
+                scheme = ArcFlagBroadcastScheme(network, num_regions=regions)
+            else:
+                raise ValueError(f"unknown method {method!r}")
+            point.runs[method] = run_workload(scheme, workload, config)
+        points.append(point)
+    return points

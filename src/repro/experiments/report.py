@@ -1,0 +1,51 @@
+"""Plain-text table formatting for the experiment reproductions.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module holds the small formatting helpers they share so the
+output stays aligned and diff-able across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "bytes_to_mb", "packets_to_thousands"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Dict[str, float], unit: str = "") -> str:
+    """Render one figure series (``label -> value``) as a single line."""
+    parts = [f"{label}={value:,.3f}{unit}" for label, value in points.items()]
+    return f"{name}: " + ", ".join(parts)
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Bytes to megabytes (the unit of the paper's memory plots)."""
+    return num_bytes / (1024.0 * 1024.0)
+
+
+def packets_to_thousands(packets: float) -> float:
+    """Packets to thousands of packets (the unit of the paper's plots)."""
+    return packets / 1000.0
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    return str(value)

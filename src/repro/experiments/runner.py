@@ -1,0 +1,134 @@
+"""Per-method experiment runner.
+
+Glue between the air-index schemes and the table/figure reproductions: build
+a scheme under the configured parameters, push a query workload through its
+client, and aggregate the per-query metrics the way the paper reports them
+(averages per method, per bucket, or per network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.air import (
+    ArcFlagBroadcastScheme,
+    DijkstraBroadcastScheme,
+    EllipticBoundaryScheme,
+    HiTiBroadcastScheme,
+    LandmarkBroadcastScheme,
+    NextRegionScheme,
+    SPQBroadcastScheme,
+)
+from repro.air.base import AirIndexScheme, QueryResult
+from repro.broadcast.metrics import ClientMetrics, ServerMetrics, average_metrics
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import Query, QueryWorkload
+from repro.network import datasets
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "MethodRun",
+    "build_network",
+    "build_scheme",
+    "run_workload",
+    "compare_methods",
+    "COMPARISON_METHODS",
+    "ALL_METHODS",
+]
+
+#: Methods included in the paper's device experiments (Figures 10-14).
+COMPARISON_METHODS = ["NR", "EB", "DJ", "LD", "AF"]
+#: All methods, including the two that only appear in Table 1.
+ALL_METHODS = ["DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"]
+
+
+@dataclass
+class MethodRun:
+    """Aggregated outcome of one method over one workload."""
+
+    method: str
+    server: ServerMetrics
+    per_query: List[ClientMetrics] = field(default_factory=list)
+    mismatches: int = 0
+
+    @property
+    def mean(self) -> ClientMetrics:
+        """Average client metrics over the workload."""
+        return average_metrics(self.per_query)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Worst-case client memory over the workload (Table 2's criterion)."""
+        if not self.per_query:
+            return 0
+        return max(metrics.peak_memory_bytes for metrics in self.per_query)
+
+
+def build_network(config: ExperimentConfig, name: Optional[str] = None) -> RoadNetwork:
+    """Instantiate the configured (scaled) evaluation network."""
+    return datasets.load(name or config.network, scale=config.scale, seed=config.seed)
+
+
+def build_scheme(
+    method: str, network: RoadNetwork, config: ExperimentConfig
+) -> AirIndexScheme:
+    """Construct the scheme for the paper's method abbreviation."""
+    method = method.upper() if method.lower() != "hiti" else "HiTi"
+    if method == "DJ":
+        return DijkstraBroadcastScheme(network)
+    if method == "NR":
+        return NextRegionScheme(network, num_regions=config.eb_nr_regions)
+    if method == "EB":
+        return EllipticBoundaryScheme(network, num_regions=config.eb_nr_regions)
+    if method == "LD":
+        return LandmarkBroadcastScheme(network, num_landmarks=config.num_landmarks)
+    if method == "AF":
+        return ArcFlagBroadcastScheme(network, num_regions=config.arcflag_regions)
+    if method == "SPQ":
+        return SPQBroadcastScheme(network)
+    if method == "HiTi":
+        return HiTiBroadcastScheme(network, num_regions=config.hiti_regions)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def run_workload(
+    scheme: AirIndexScheme,
+    queries: Iterable[Query],
+    config: ExperimentConfig,
+    loss_rate: float = 0.0,
+    memory_bound: bool = False,
+    loss_seed: int = 0,
+) -> MethodRun:
+    """Run every query through the scheme's client and collect metrics.
+
+    ``mismatches`` counts queries whose returned distance differs from the
+    ground truth -- it should always be zero and is asserted on by the tests.
+    """
+    channel = scheme.channel(loss_rate=loss_rate, seed=loss_seed)
+    if memory_bound:
+        client = scheme.client(config.device, memory_bound=True)  # type: ignore[call-arg]
+    else:
+        client = scheme.client(config.device)
+    run = MethodRun(method=scheme.short_name, server=scheme.server_metrics())
+    for query in queries:
+        result: QueryResult = client.query(query.source, query.target, channel=channel)
+        run.per_query.append(result.metrics)
+        if abs(result.distance - query.true_distance) > 1e-6 * max(1.0, query.true_distance):
+            run.mismatches += 1
+    return run
+
+
+def compare_methods(
+    methods: Sequence[str],
+    network: RoadNetwork,
+    workload: QueryWorkload,
+    config: ExperimentConfig,
+    loss_rate: float = 0.0,
+) -> Dict[str, MethodRun]:
+    """Build each method once and run the same workload through all of them."""
+    runs: Dict[str, MethodRun] = {}
+    for method in methods:
+        scheme = build_scheme(method, network, config)
+        runs[method] = run_workload(scheme, workload, config, loss_rate=loss_rate)
+    return runs

@@ -1,0 +1,106 @@
+"""Query workload generation (paper Section 7).
+
+The paper processes 400 shortest path queries between randomly selected
+source and destination nodes, then classifies them into four shortest-path
+length buckets (Figure 10).  :class:`QueryWorkload` reproduces that: it draws
+random connected source/target pairs deterministically and can bucket them by
+their true shortest path length.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.algorithms.dijkstra import dijkstra_distances, shortest_path
+from repro.network.algorithms.paths import INFINITY
+from repro.network.graph import RoadNetwork
+
+__all__ = ["Query", "QueryWorkload"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One shortest path query with its ground-truth distance."""
+
+    source: int
+    target: int
+    true_distance: float
+
+
+class QueryWorkload:
+    """A reproducible set of random point-to-point queries."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_queries: int,
+        seed: int = 0,
+        distinct_endpoints: bool = True,
+    ) -> None:
+        self.network = network
+        self.seed = seed
+        rng = random.Random(seed)
+        node_ids = network.node_ids()
+        queries: List[Query] = []
+        attempts = 0
+        while len(queries) < num_queries and attempts < 50 * num_queries:
+            attempts += 1
+            source = rng.choice(node_ids)
+            target = rng.choice(node_ids)
+            if distinct_endpoints and source == target:
+                continue
+            distance = shortest_path(network, source, target).distance
+            if distance == INFINITY:
+                continue
+            queries.append(Query(source, target, distance))
+        self.queries: List[Query] = queries
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    # ------------------------------------------------------------------
+    # Figure 10 bucketing
+    # ------------------------------------------------------------------
+    def network_diameter_estimate(self, samples: int = 8) -> float:
+        """Estimate the network diameter by a few single-source sweeps."""
+        rng = random.Random(self.seed + 1)
+        node_ids = self.network.node_ids()
+        best = 0.0
+        for _ in range(max(1, samples)):
+            source = rng.choice(node_ids)
+            distances = dijkstra_distances(self.network, source).distances
+            finite = [d for d in distances.values() if d != INFINITY]
+            if finite:
+                best = max(best, max(finite))
+        return best
+
+    def bucket_by_length(self, num_buckets: int = 4) -> Dict[str, List[Query]]:
+        """Group queries into equal-width shortest-path-length buckets.
+
+        Mirrors Figure 10's x axis: the bucket edges split the observed
+        distance range (0 to the maximum query distance) evenly.
+        """
+        if not self.queries:
+            return {}
+        upper = max(query.true_distance for query in self.queries)
+        width = upper / num_buckets if upper > 0 else 1.0
+        buckets: Dict[str, List[Query]] = {}
+        for index in range(num_buckets):
+            low = index * width
+            high = (index + 1) * width
+            label = f"{low:.0f}-{high:.0f}"
+            buckets[label] = []
+        labels = list(buckets)
+        for query in self.queries:
+            index = min(num_buckets - 1, int(query.true_distance / width))
+            buckets[labels[index]].append(query)
+        return buckets
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The raw (source, target) pairs."""
+        return [(query.source, query.target) for query in self.queries]

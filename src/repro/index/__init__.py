@@ -1,0 +1,18 @@
+"""Classical shortest-path pre-computation indexes (paper Section 2.1).
+
+These are the "with pre-computation" competitors the paper adapts to the
+broadcast model: ArcFlag, Landmark (ALT), HiTi, and the shortest path
+quad-tree (SPQ).
+"""
+
+from repro.index.arcflag import ArcFlagIndex
+from repro.index.landmark import LandmarkIndex
+from repro.index.hiti import HiTiIndex
+from repro.index.spq import ShortestPathQuadTreeIndex
+
+__all__ = [
+    "ArcFlagIndex",
+    "HiTiIndex",
+    "LandmarkIndex",
+    "ShortestPathQuadTreeIndex",
+]

@@ -1,0 +1,101 @@
+"""ArcFlag index (paper Section 2.1, [Koehler et al. 2007]).
+
+The network is partitioned into regions; every edge carries a bit vector
+(*flag*) with one bit per region.  The bit for region ``r`` in the flag of
+edge ``(u, v)`` is 1 when some shortest path from ``u`` to a node of ``r``
+traverses ``(u, v)``.  A point-to-point search then considers only edges
+whose bit for the target's region is set.
+
+Construction uses the standard backward shortest-path-tree method: for each
+border node ``b`` of a region ``r``, a reverse Dijkstra from ``b`` marks every
+tree edge with bit ``r``; additionally, every edge whose head lies inside
+``r`` gets bit ``r`` so that paths ending deep inside the region remain
+coverable.  This is the conservative (correct, possibly non-minimal)
+construction used by practical ArcFlag implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.network.algorithms.astar import astar_search
+from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms.paths import PathResult
+from repro.network.graph import RoadNetwork
+from repro.partitioning.base import Partitioning
+
+__all__ = ["ArcFlagIndex"]
+
+
+class ArcFlagIndex:
+    """Per-edge region flags plus the pruned point-to-point search."""
+
+    def __init__(self, network: RoadNetwork, partitioning: Partitioning) -> None:
+        self.network = network
+        self.partitioning = partitioning
+        self.num_regions = partitioning.num_regions
+        #: flag bitmask per directed edge (source, target) -> int bitmask
+        self.flags: Dict[Tuple[int, int], int] = {}
+        self.precomputation_seconds = 0.0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        started = time.perf_counter()
+        flags: Dict[Tuple[int, int], int] = {
+            (edge.source, edge.target): 0 for edge in self.network.edges()
+        }
+        region_of = self.partitioning.region_of
+
+        # Intra-region coverage: an edge whose head is in region r may be
+        # needed by a path that terminates inside r.
+        for (source, target) in flags:
+            flags[(source, target)] |= 1 << region_of(target)
+
+        # Inter-region coverage via backward shortest path trees rooted at
+        # border nodes.
+        for region in range(self.num_regions):
+            bit = 1 << region
+            for border in self.partitioning.border_nodes(region):
+                result = dijkstra_distances(self.network, border, reverse=True)
+                distances = result.distances
+                for (source, target), _ in flags.items():
+                    source_dist = distances.get(source)
+                    target_dist = distances.get(target)
+                    if source_dist is None or target_dist is None:
+                        continue
+                    weight = self.network.edge_weight(source, target)
+                    if abs(target_dist + weight - source_dist) <= 1e-9 * max(1.0, source_dist):
+                        flags[(source, target)] |= bit
+        self.flags = flags
+        self.precomputation_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> PathResult:
+        """Shortest path using only edges flagged for the target's region."""
+        target_bit = 1 << self.partitioning.region_of(target)
+
+        def allowed(u: int, v: int) -> bool:
+            return bool(self.flags.get((u, v), 0) & target_bit)
+
+        return astar_search(self.network, source, target, edge_filter=allowed)
+
+    # ------------------------------------------------------------------
+    # Sizing (for broadcast cycle construction)
+    # ------------------------------------------------------------------
+    def flag_bytes_per_edge(self) -> int:
+        """Bytes needed to transmit one edge flag (one bit per region)."""
+        return (self.num_regions + 7) // 8
+
+    def size_bytes(self) -> int:
+        """Total bytes of pre-computed flag information."""
+        return len(self.flags) * self.flag_bytes_per_edge()
+
+    def flag_of(self, source: int, target: int) -> int:
+        """Raw bitmask of the flag of edge ``(source, target)``."""
+        return self.flags[(source, target)]

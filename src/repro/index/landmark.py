@@ -1,0 +1,148 @@
+"""Landmark index (ALT; paper Section 2.1, [Goldberg & Harrelson 2005]).
+
+A small set of anchor nodes ("landmarks") is chosen; for every node the
+graph distances to and from each landmark are pre-computed and stored as a
+*distance vector*.  The triangle inequality then yields a lower bound on the
+graph distance between any two nodes, which A* uses to guide the search:
+
+``LB(v, t) = max over landmarks l of max(d(l, t) - d(l, v), d(v, l) - d(t, l))``
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.network.algorithms.astar import astar_search
+from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms.paths import INFINITY, PathResult
+from repro.network.graph import RoadNetwork
+
+__all__ = ["LandmarkIndex", "select_landmarks_farthest", "select_landmarks_random"]
+
+#: Bytes per stored distance value (32-bit float, matching the paper's
+#: packet-size accounting granularity).
+BYTES_PER_DISTANCE = 4
+
+
+def select_landmarks_farthest(network: RoadNetwork, count: int, seed_node: Optional[int] = None) -> List[int]:
+    """Greedy farthest-point landmark selection.
+
+    Starting from an arbitrary node, repeatedly add the node whose minimum
+    graph distance to the already-chosen landmarks is largest.  This is the
+    standard ALT heuristic and gives well-spread anchors on road networks.
+    """
+    if count < 1:
+        raise ValueError("need at least one landmark")
+    node_ids = network.node_ids()
+    if not node_ids:
+        raise ValueError("cannot select landmarks on an empty network")
+    start = seed_node if seed_node is not None else node_ids[0]
+
+    landmarks = [start]
+    min_distance: Dict[int, float] = dijkstra_distances(network, start).distances
+    while len(landmarks) < count:
+        farthest = None
+        farthest_distance = -1.0
+        for node_id in node_ids:
+            distance = min_distance.get(node_id, INFINITY)
+            if distance != INFINITY and distance > farthest_distance:
+                farthest_distance = distance
+                farthest = node_id
+        if farthest is None:
+            break
+        landmarks.append(farthest)
+        new_distances = dijkstra_distances(network, farthest).distances
+        for node_id, distance in new_distances.items():
+            if distance < min_distance.get(node_id, INFINITY):
+                min_distance[node_id] = distance
+    return landmarks
+
+
+def select_landmarks_random(network: RoadNetwork, count: int, seed: int = 0) -> List[int]:
+    """Uniform random landmark selection (cheaper, weaker bounds)."""
+    import random
+
+    node_ids = network.node_ids()
+    rng = random.Random(seed)
+    if count >= len(node_ids):
+        return list(node_ids)
+    return rng.sample(node_ids, count)
+
+
+class LandmarkIndex:
+    """Per-node landmark distance vectors plus the guided A* search."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_landmarks: int = 4,
+        landmarks: Optional[Sequence[int]] = None,
+        selection: str = "farthest",
+    ) -> None:
+        self.network = network
+        started = time.perf_counter()
+        if landmarks is not None:
+            self.landmarks = list(landmarks)
+        elif selection == "farthest":
+            self.landmarks = select_landmarks_farthest(network, num_landmarks)
+        elif selection == "random":
+            self.landmarks = select_landmarks_random(network, num_landmarks)
+        else:
+            raise ValueError(f"unknown landmark selection strategy {selection!r}")
+
+        #: distance from landmark l to every node: ``forward[l][v]``
+        self.forward: Dict[int, Dict[int, float]] = {}
+        #: distance from every node to landmark l: ``backward[l][v]``
+        self.backward: Dict[int, Dict[int, float]] = {}
+        for landmark in self.landmarks:
+            self.forward[landmark] = dijkstra_distances(network, landmark).distances
+            self.backward[landmark] = dijkstra_distances(network, landmark, reverse=True).distances
+        self.precomputation_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Lower bound and query
+    # ------------------------------------------------------------------
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmarks in the index."""
+        return len(self.landmarks)
+
+    def lower_bound(self, node: int, target: int) -> float:
+        """ALT lower bound on the graph distance from ``node`` to ``target``."""
+        best = 0.0
+        for landmark in self.landmarks:
+            from_landmark = self.forward[landmark]
+            to_landmark = self.backward[landmark]
+            d_l_t = from_landmark.get(target, INFINITY)
+            d_l_v = from_landmark.get(node, INFINITY)
+            d_v_l = to_landmark.get(node, INFINITY)
+            d_t_l = to_landmark.get(target, INFINITY)
+            if d_l_t != INFINITY and d_l_v != INFINITY:
+                best = max(best, d_l_t - d_l_v)
+            if d_v_l != INFINITY and d_t_l != INFINITY:
+                best = max(best, d_v_l - d_t_l)
+        return max(best, 0.0)
+
+    def query(self, source: int, target: int) -> PathResult:
+        """Shortest path via A* guided by the landmark lower bound."""
+        return astar_search(self.network, source, target, lower_bound=self.lower_bound)
+
+    def distance_vector(self, node: int) -> List[float]:
+        """The per-node vector transmitted on the air (2 values per landmark)."""
+        vector: List[float] = []
+        for landmark in self.landmarks:
+            vector.append(self.forward[landmark].get(node, INFINITY))
+            vector.append(self.backward[landmark].get(node, INFINITY))
+        return vector
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def vector_bytes_per_node(self) -> int:
+        """Bytes of pre-computed information broadcast per node."""
+        return 2 * self.num_landmarks * BYTES_PER_DISTANCE
+
+    def size_bytes(self) -> int:
+        """Total bytes of all distance vectors."""
+        return self.network.num_nodes * self.vector_bytes_per_node()

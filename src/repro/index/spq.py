@@ -1,0 +1,217 @@
+"""Shortest path quad-tree index (SPQ; paper Section 2.1, [Samet et al. 2008]).
+
+For every node ``v`` the index stores a *colored quad-tree* built on the
+Euclidean coordinates of all other nodes.  Nodes ``v'`` whose shortest path
+from ``v`` leaves through the same incident edge of ``v`` share a color, so
+the quad-tree collapses large spatially contiguous areas of equal color into
+single blocks.  A query repeatedly looks up the target's color in the current
+node's quad-tree, follows the corresponding first edge, and recurses from the
+reached node until the target is met.
+
+Construction requires one full single-source Dijkstra per node, which is why
+the paper reports SPQ's pre-computed information being several times larger
+than the network itself (Table 1) and excludes it from the device experiments
+(its quad-trees do not fit the client heap).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms.paths import INFINITY, PathResult, path_cost
+from repro.network.graph import RoadNetwork
+
+__all__ = ["ColoredQuadTree", "ShortestPathQuadTreeIndex"]
+
+#: Bytes per quad-tree block: block descriptor (2 bytes) plus color (2 bytes).
+BYTES_PER_BLOCK = 4
+#: Safety bound on query hops (a correct index never needs more than one hop
+#: per path node).
+_MAX_HOPS_FACTOR = 4
+
+
+@dataclass
+class _QuadNode:
+    """Internal quad-tree node covering ``bounds``; leaves carry a color."""
+
+    bounds: Tuple[float, float, float, float]
+    color: Optional[int] = None
+    children: Optional[List["_QuadNode"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class ColoredQuadTree:
+    """Quad-tree over colored points supporting point color lookup."""
+
+    def __init__(
+        self,
+        points: List[Tuple[float, float, int]],
+        bounds: Tuple[float, float, float, float],
+        max_depth: int = 16,
+    ) -> None:
+        self.root = self._build(points, bounds, max_depth)
+        self.num_blocks = self._count_leaves(self.root)
+
+    @classmethod
+    def _build(
+        cls,
+        points: List[Tuple[float, float, int]],
+        bounds: Tuple[float, float, float, float],
+        depth: int,
+    ) -> _QuadNode:
+        node = _QuadNode(bounds=bounds)
+        colors = {color for _, _, color in points}
+        if not points:
+            node.color = -1
+            return node
+        if len(colors) == 1 or depth == 0:
+            # Uniform block (or depth limit reached: majority color).
+            node.color = cls._majority_color(points)
+            return node
+        min_x, min_y, max_x, max_y = bounds
+        mid_x = (min_x + max_x) / 2.0
+        mid_y = (min_y + max_y) / 2.0
+        quadrants = [
+            (min_x, min_y, mid_x, mid_y),
+            (mid_x, min_y, max_x, mid_y),
+            (min_x, mid_y, mid_x, max_y),
+            (mid_x, mid_y, max_x, max_y),
+        ]
+        buckets: List[List[Tuple[float, float, int]]] = [[] for _ in range(4)]
+        for x, y, color in points:
+            buckets[cls._quadrant_of(x, y, mid_x, mid_y)].append((x, y, color))
+        node.children = [
+            cls._build(bucket, quad, depth - 1)
+            for bucket, quad in zip(buckets, quadrants)
+        ]
+        return node
+
+    @staticmethod
+    def _quadrant_of(x: float, y: float, mid_x: float, mid_y: float) -> int:
+        index = 0
+        if x > mid_x:
+            index += 1
+        if y > mid_y:
+            index += 2
+        return index
+
+    @staticmethod
+    def _majority_color(points: List[Tuple[float, float, int]]) -> int:
+        counts: Dict[int, int] = {}
+        for _, _, color in points:
+            counts[color] = counts.get(color, 0) + 1
+        return max(counts, key=counts.get)
+
+    @classmethod
+    def _count_leaves(cls, node: _QuadNode) -> int:
+        if node.is_leaf:
+            return 1
+        return sum(cls._count_leaves(child) for child in node.children)
+
+    def color_at(self, x: float, y: float) -> int:
+        """Color of the leaf block containing point ``(x, y)``."""
+        node = self.root
+        while not node.is_leaf:
+            min_x, min_y, max_x, max_y = node.bounds
+            mid_x = (min_x + max_x) / 2.0
+            mid_y = (min_y + max_y) / 2.0
+            node = node.children[self._quadrant_of(x, y, mid_x, mid_y)]
+        return node.color if node.color is not None else -1
+
+
+class ShortestPathQuadTreeIndex:
+    """Per-node colored quad-trees plus the hop-by-hop routing query."""
+
+    def __init__(self, network: RoadNetwork, max_depth: int = 16) -> None:
+        self.network = network
+        self.max_depth = max_depth
+        self.quadtrees: Dict[int, ColoredQuadTree] = {}
+        #: For node v, color c maps to the first-hop neighbor of v.
+        self.first_hop: Dict[int, Dict[int, int]] = {}
+        self.precomputation_seconds = 0.0
+        self._build()
+
+    def _build(self) -> None:
+        started = time.perf_counter()
+        bounds = self.network.bounding_box()
+        for source in self.network.node_ids():
+            result = dijkstra_distances(self.network, source)
+            neighbor_color = {
+                neighbor: color
+                for color, (neighbor, _) in enumerate(self.network.neighbors(source))
+            }
+            colors: Dict[int, int] = {}
+            for node_id in result.distances:
+                if node_id == source:
+                    continue
+                first = self._first_hop_on_path(result.predecessors, source, node_id)
+                if first is not None and first in neighbor_color:
+                    colors[node_id] = neighbor_color[first]
+            points = [
+                (self.network.node(node_id).x, self.network.node(node_id).y, color)
+                for node_id, color in colors.items()
+            ]
+            self.quadtrees[source] = ColoredQuadTree(points, bounds, self.max_depth)
+            self.first_hop[source] = {
+                color: neighbor for neighbor, color in neighbor_color.items()
+            }
+        self.precomputation_seconds = time.perf_counter() - started
+
+    @staticmethod
+    def _first_hop_on_path(
+        predecessors: Dict[int, Optional[int]], source: int, target: int
+    ) -> Optional[int]:
+        """First node after ``source`` on the shortest path to ``target``."""
+        current = target
+        previous = predecessors.get(current)
+        while previous is not None and previous != source:
+            current = previous
+            previous = predecessors.get(current)
+        return current if previous == source else None
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> PathResult:
+        """Route hop-by-hop from ``source`` following quad-tree colors."""
+        if source == target:
+            return PathResult(source=source, target=target, distance=0.0, path=[source])
+        target_node = self.network.node(target)
+        path = [source]
+        current = source
+        hops = 0
+        limit = _MAX_HOPS_FACTOR * max(self.network.num_nodes, 1)
+        while current != target and hops < limit:
+            color = self.quadtrees[current].color_at(target_node.x, target_node.y)
+            next_node = self.first_hop.get(current, {}).get(color)
+            if next_node is None:
+                return PathResult(source=source, target=target, distance=INFINITY, settled=hops)
+            path.append(next_node)
+            current = next_node
+            hops += 1
+        if current != target:
+            return PathResult(source=source, target=target, distance=INFINITY, settled=hops)
+        return PathResult(
+            source=source,
+            target=target,
+            distance=path_cost(self.network, path),
+            path=path,
+            settled=hops,
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def total_blocks(self) -> int:
+        """Total quad-tree blocks over all per-node quad-trees."""
+        return sum(tree.num_blocks for tree in self.quadtrees.values())
+
+    def size_bytes(self) -> int:
+        """Total bytes of pre-computed quad-tree information."""
+        return self.total_blocks() * BYTES_PER_BLOCK

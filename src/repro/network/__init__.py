@@ -1,0 +1,21 @@
+"""Road-network substrate: graphs, generators, datasets, and algorithms."""
+
+from repro.network.graph import Edge, Node, RoadNetwork
+from repro.network.generators import (
+    GeneratorConfig,
+    generate_grid_network,
+    generate_road_network,
+)
+from repro.network import algorithms, datasets, io
+
+__all__ = [
+    "Edge",
+    "Node",
+    "RoadNetwork",
+    "GeneratorConfig",
+    "generate_grid_network",
+    "generate_road_network",
+    "algorithms",
+    "datasets",
+    "io",
+]

@@ -1,0 +1,33 @@
+"""Shortest path algorithms on :class:`~repro.network.graph.RoadNetwork`."""
+
+from repro.network.algorithms.dijkstra import (
+    DijkstraResult,
+    dijkstra_distances,
+    dijkstra_multi_target,
+    dijkstra_search,
+    shortest_path,
+    shortest_path_distance,
+)
+from repro.network.algorithms.astar import astar_search
+from repro.network.algorithms.bidirectional import bidirectional_dijkstra
+from repro.network.algorithms.paths import (
+    PathResult,
+    path_cost,
+    reconstruct_path,
+    validate_path,
+)
+
+__all__ = [
+    "DijkstraResult",
+    "PathResult",
+    "astar_search",
+    "bidirectional_dijkstra",
+    "dijkstra_distances",
+    "dijkstra_multi_target",
+    "dijkstra_search",
+    "path_cost",
+    "reconstruct_path",
+    "shortest_path",
+    "shortest_path_distance",
+    "validate_path",
+]

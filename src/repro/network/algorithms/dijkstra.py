@@ -1,0 +1,142 @@
+"""Dijkstra's algorithm (paper Section 2.1, "without pre-computation").
+
+Three entry points cover the needs of the broadcast schemes:
+
+* :func:`shortest_path` -- point-to-point query with early termination,
+  used by every air-index client after it has received its regions.
+* :func:`dijkstra_distances` -- single-source distances (optionally with
+  predecessors), used by Landmark pre-computation and by tests as ground
+  truth.
+* :func:`dijkstra_multi_target` -- single-source search that stops once a
+  given set of targets is settled, used when pre-computing border-to-border
+  shortest paths for EB/NR/HiTi.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.network.graph import RoadNetwork
+from repro.network.algorithms.paths import INFINITY, PathResult, reconstruct_path
+
+__all__ = [
+    "DijkstraResult",
+    "dijkstra_distances",
+    "dijkstra_multi_target",
+    "dijkstra_search",
+    "shortest_path",
+    "shortest_path_distance",
+]
+
+
+@dataclass
+class DijkstraResult:
+    """Distances and predecessors produced by a single-source search."""
+
+    source: int
+    distances: Dict[int, float] = field(default_factory=dict)
+    predecessors: Dict[int, Optional[int]] = field(default_factory=dict)
+    settled: int = 0
+
+    def distance_to(self, target: int) -> float:
+        """Distance to ``target`` or ``inf`` when unreached."""
+        return self.distances.get(target, INFINITY)
+
+    def path_to(self, target: int) -> list:
+        """Shortest path node sequence to ``target`` (empty if unreached)."""
+        return reconstruct_path(self.predecessors, self.source, target)
+
+
+def dijkstra_search(
+    network: RoadNetwork,
+    source: int,
+    target: Optional[int] = None,
+    targets: Optional[Set[int]] = None,
+    reverse: bool = False,
+) -> DijkstraResult:
+    """Run Dijkstra from ``source``.
+
+    Parameters
+    ----------
+    target:
+        Stop as soon as this node is settled (point-to-point query).
+    targets:
+        Stop as soon as *all* of these nodes are settled (multi-target
+        pre-computation).  Unreachable targets simply remain at ``inf``.
+    reverse:
+        Search over incoming instead of outgoing edges (distances *to*
+        ``source``), needed by Landmark pre-computation on directed graphs.
+    """
+    if source not in network:
+        raise KeyError(f"unknown source node {source}")
+    adjacency = network.reverse_adjacency() if reverse else network.adjacency()
+
+    distances: Dict[int, float] = {source: 0.0}
+    predecessors: Dict[int, Optional[int]] = {source: None}
+    settled: Set[int] = set()
+    remaining = set(targets) if targets is not None else None
+    heap = [(0.0, source)]
+    settled_count = 0
+
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        settled_count += 1
+        if target is not None and node == target:
+            break
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for neighbor, weight in adjacency[node]:
+            candidate = dist + weight
+            if candidate < distances.get(neighbor, INFINITY):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+
+    return DijkstraResult(
+        source=source,
+        distances=distances,
+        predecessors=predecessors,
+        settled=settled_count,
+    )
+
+
+def dijkstra_distances(
+    network: RoadNetwork, source: int, reverse: bool = False
+) -> DijkstraResult:
+    """Full single-source Dijkstra (no early termination)."""
+    return dijkstra_search(network, source, reverse=reverse)
+
+
+def dijkstra_multi_target(
+    network: RoadNetwork, source: int, targets: Iterable[int], reverse: bool = False
+) -> DijkstraResult:
+    """Dijkstra from ``source`` that stops once every target is settled."""
+    return dijkstra_search(network, source, targets=set(targets), reverse=reverse)
+
+
+def shortest_path(network: RoadNetwork, source: int, target: int) -> PathResult:
+    """Point-to-point shortest path with early termination."""
+    if target not in network:
+        raise KeyError(f"unknown target node {target}")
+    result = dijkstra_search(network, source, target=target)
+    distance = result.distance_to(target)
+    path = result.path_to(target) if distance != INFINITY else []
+    return PathResult(
+        source=source,
+        target=target,
+        distance=distance,
+        path=path,
+        settled=result.settled,
+    )
+
+
+def shortest_path_distance(network: RoadNetwork, source: int, target: int) -> float:
+    """Shortest path distance only (``inf`` when unreachable)."""
+    return shortest_path(network, source, target).distance

@@ -1,0 +1,79 @@
+"""Path reconstruction and validation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.graph import RoadNetwork
+
+__all__ = ["PathResult", "reconstruct_path", "path_cost", "validate_path"]
+
+#: Sentinel distance for unreachable targets.
+INFINITY = float("inf")
+
+
+@dataclass
+class PathResult:
+    """The outcome of a point-to-point shortest path computation.
+
+    Attributes
+    ----------
+    source, target:
+        Query endpoints.
+    distance:
+        Shortest path distance, or ``inf`` when the target is unreachable.
+    path:
+        Node sequence from source to target (empty when unreachable).
+    settled:
+        Number of nodes settled (popped) by the search; a proxy for the
+        client-side CPU effort the paper reports.
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: List[int] = field(default_factory=list)
+    settled: int = 0
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a finite-distance path was found."""
+        return self.distance != INFINITY
+
+    def __len__(self) -> int:
+        return len(self.path)
+
+
+def reconstruct_path(predecessors: Dict[int, Optional[int]], source: int, target: int) -> List[int]:
+    """Trace ``predecessors`` backwards from ``target`` to ``source``.
+
+    Returns an empty list when no predecessor chain connects the two.
+    """
+    if target not in predecessors:
+        return []
+    path = [target]
+    current = target
+    while current != source:
+        previous = predecessors.get(current)
+        if previous is None:
+            return []
+        path.append(previous)
+        current = previous
+        if len(path) > len(predecessors) + 1:
+            raise ValueError("predecessor map contains a cycle")
+    path.reverse()
+    return path
+
+
+def path_cost(network: RoadNetwork, path: List[int]) -> float:
+    """Sum of edge weights along ``path`` (0 for empty / single-node paths)."""
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        total += network.edge_weight(a, b)
+    return total
+
+
+def validate_path(network: RoadNetwork, path: List[int]) -> bool:
+    """Return ``True`` if every consecutive pair of ``path`` is an edge."""
+    return all(network.has_edge(a, b) for a, b in zip(path, path[1:]))

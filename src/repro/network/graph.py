@@ -1,0 +1,324 @@
+"""Directed, weighted, spatially embedded road-network graph.
+
+The paper (Section 2.1) models a road network as a directed weighted graph
+``G = (V, E)`` where every node carries an identifier and Euclidean
+coordinates ``<id, x, y>`` and every edge is a triplet ``<id_i, id_j, w_ij>``.
+:class:`RoadNetwork` is that model, with the adjacency-list layout the
+broadcast schemes serialize on the air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Node", "Edge", "RoadNetwork"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network node ``<id, x, y>`` (paper Section 2.1)."""
+
+    node_id: int
+    x: float
+    y: float
+
+    def coordinates(self) -> Tuple[float, float]:
+        """Return the ``(x, y)`` coordinate pair."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``<id_i, id_j, w_ij>`` (paper Section 2.1)."""
+
+    source: int
+    target: int
+    weight: float
+
+    def reversed(self) -> "Edge":
+        """Return the edge with source and target swapped."""
+        return Edge(self.target, self.source, self.weight)
+
+
+class RoadNetwork:
+    """A directed weighted graph with node coordinates.
+
+    The class keeps both forward and reverse adjacency lists so that
+    forward and backward Dijkstra searches (needed by the pre-computation
+    indexes) are equally cheap.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (e.g. ``"germany"``) used by the
+        experiment harness when reporting results.
+    """
+
+    def __init__(self, name: str = "road-network") -> None:
+        self.name = name
+        self._nodes: Dict[int, Node] = {}
+        self._adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        self._reverse_adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, x: float, y: float) -> Node:
+        """Add (or replace) a node and return it."""
+        node = Node(node_id, float(x), float(y))
+        if node_id not in self._nodes:
+            self._adjacency[node_id] = []
+            self._reverse_adjacency[node_id] = []
+        self._nodes[node_id] = node
+        return node
+
+    def add_edge(self, source: int, target: int, weight: float) -> Edge:
+        """Add a directed edge; both endpoints must already exist."""
+        if source not in self._nodes:
+            raise KeyError(f"unknown source node {source}")
+        if target not in self._nodes:
+            raise KeyError(f"unknown target node {target}")
+        if weight < 0:
+            raise ValueError(f"edge weight must be non-negative, got {weight}")
+        self._adjacency[source].append((target, float(weight)))
+        self._reverse_adjacency[target].append((source, float(weight)))
+        self._num_edges += 1
+        return Edge(source, target, float(weight))
+
+    def add_bidirectional_edge(self, a: int, b: int, weight: float) -> None:
+        """Add the pair of directed edges ``a -> b`` and ``b -> a``."""
+        self.add_edge(a, b, weight)
+        self.add_edge(b, a, weight)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the network."""
+        return self._num_edges
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Return the :class:`Node` for ``node_id``."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        """Return ``True`` if ``node_id`` is a node of the network."""
+        return node_id in self._nodes
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` if the directed edge ``source -> target`` exists."""
+        return any(t == target for t, _ in self._adjacency.get(source, ()))
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Return the weight of ``source -> target``.
+
+        If parallel edges exist, the minimum weight is returned (the one any
+        shortest path would use).
+        """
+        weights = [w for t, w in self._adjacency.get(source, ()) if t == target]
+        if not weights:
+            raise KeyError(f"no edge {source} -> {target}")
+        return min(weights)
+
+    def node_ids(self) -> List[int]:
+        """Return all node identifiers (insertion order)."""
+        return list(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all :class:`Node` objects."""
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all directed :class:`Edge` objects."""
+        for source, neighbors in self._adjacency.items():
+            for target, weight in neighbors:
+                yield Edge(source, target, weight)
+
+    def neighbors(self, node_id: int) -> List[Tuple[int, float]]:
+        """Return the out-neighbors of ``node_id`` as ``(target, weight)``."""
+        return list(self._adjacency[node_id])
+
+    def in_neighbors(self, node_id: int) -> List[Tuple[int, float]]:
+        """Return the in-neighbors of ``node_id`` as ``(source, weight)``."""
+        return list(self._reverse_adjacency[node_id])
+
+    def out_degree(self, node_id: int) -> int:
+        """Number of outgoing edges of ``node_id``."""
+        return len(self._adjacency[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        """Number of incoming edges of ``node_id``."""
+        return len(self._reverse_adjacency[node_id])
+
+    def adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Return the forward adjacency mapping (shared, do not mutate)."""
+        return self._adjacency
+
+    def reverse_adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
+        """Return the reverse adjacency mapping (shared, do not mutate)."""
+        return self._reverse_adjacency
+
+    def coordinates(self, node_id: int) -> Tuple[float, float]:
+        """Return the ``(x, y)`` coordinates of ``node_id``."""
+        node = self._nodes[node_id]
+        return (node.x, node.y)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        if not self._nodes:
+            raise ValueError("bounding box of an empty network is undefined")
+        xs = [node.x for node in self._nodes.values()]
+        ys = [node.y for node in self._nodes.values()]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def euclidean_distance(self, a: int, b: int) -> float:
+        """Euclidean distance between the coordinates of nodes ``a`` and ``b``."""
+        node_a = self._nodes[a]
+        node_b = self._nodes[b]
+        return ((node_a.x - node_b.x) ** 2 + (node_a.y - node_b.y) ** 2) ** 0.5
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights (used for sanity statistics)."""
+        return sum(w for neighbors in self._adjacency.values() for _, w in neighbors)
+
+    # ------------------------------------------------------------------
+    # Derived networks
+    # ------------------------------------------------------------------
+    def subgraph(self, node_ids: Iterable[int], name: Optional[str] = None) -> "RoadNetwork":
+        """Return the induced subgraph over ``node_ids``.
+
+        Edges are kept only when both endpoints are inside the node set.
+        The air-index clients use this to run Dijkstra in the union of the
+        received regions.
+        """
+        keep = set(node_ids)
+        sub = RoadNetwork(name=name or f"{self.name}-subgraph")
+        for node_id in keep:
+            node = self._nodes[node_id]
+            sub.add_node(node.node_id, node.x, node.y)
+        for node_id in keep:
+            for target, weight in self._adjacency[node_id]:
+                if target in keep:
+                    sub.add_edge(node_id, target, weight)
+        return sub
+
+    def reversed(self) -> "RoadNetwork":
+        """Return a copy of the network with every edge direction flipped."""
+        rev = RoadNetwork(name=f"{self.name}-reversed")
+        for node in self._nodes.values():
+            rev.add_node(node.node_id, node.x, node.y)
+        for source, neighbors in self._adjacency.items():
+            for target, weight in neighbors:
+                rev.add_edge(target, source, weight)
+        return rev
+
+    def copy(self) -> "RoadNetwork":
+        """Return a deep copy of the network."""
+        dup = RoadNetwork(name=self.name)
+        for node in self._nodes.values():
+            dup.add_node(node.node_id, node.x, node.y)
+        for source, neighbors in self._adjacency.items():
+            for target, weight in neighbors:
+                dup.add_edge(source, target, weight)
+        return dup
+
+    # ------------------------------------------------------------------
+    # Connectivity helpers
+    # ------------------------------------------------------------------
+    def weakly_connected_components(self) -> List[List[int]]:
+        """Return the weakly connected components (lists of node ids)."""
+        seen: Dict[int, bool] = {}
+        components: List[List[int]] = []
+        for start in self._nodes:
+            if start in seen:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                current = stack.pop()
+                component.append(current)
+                for neighbor, _ in self._adjacency[current]:
+                    if neighbor not in seen:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+                for neighbor, _ in self._reverse_adjacency[current]:
+                    if neighbor not in seen:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def largest_component(self) -> "RoadNetwork":
+        """Return the induced subgraph of the largest weakly connected component."""
+        components = self.weakly_connected_components()
+        if not components:
+            return RoadNetwork(name=self.name)
+        largest = max(components, key=len)
+        return self.subgraph(largest, name=self.name)
+
+    def is_weakly_connected(self) -> bool:
+        """Return ``True`` if the network forms a single weak component."""
+        if not self._nodes:
+            return True
+        return len(self.weakly_connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # Representation
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"RoadNetwork(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if internal invariants are violated.
+
+        Checked invariants: adjacency endpoints exist, weights are
+        non-negative, and the forward/reverse adjacency lists agree.
+        """
+        forward_count = 0
+        for source, neighbors in self._adjacency.items():
+            if source not in self._nodes:
+                raise ValueError(f"adjacency references unknown node {source}")
+            for target, weight in neighbors:
+                forward_count += 1
+                if target not in self._nodes:
+                    raise ValueError(f"edge {source}->{target} targets unknown node")
+                if weight < 0:
+                    raise ValueError(f"edge {source}->{target} has negative weight")
+        reverse_count = sum(len(v) for v in self._reverse_adjacency.values())
+        if forward_count != reverse_count or forward_count != self._num_edges:
+            raise ValueError(
+                "forward/reverse adjacency disagree: "
+                f"{forward_count} vs {reverse_count} vs {self._num_edges}"
+            )
+
+
+def build_network(
+    nodes: Sequence[Tuple[int, float, float]],
+    edges: Sequence[Tuple[int, int, float]],
+    name: str = "road-network",
+) -> RoadNetwork:
+    """Convenience constructor from plain node and edge tuples."""
+    network = RoadNetwork(name=name)
+    for node_id, x, y in nodes:
+        network.add_node(node_id, x, y)
+    for source, target, weight in edges:
+        network.add_edge(source, target, weight)
+    return network

@@ -1,0 +1,52 @@
+"""Plain-text persistence for road networks.
+
+The format is the common node-list / edge-list pair used by road-network
+benchmarks::
+
+    # nodes
+    n <id> <x> <y>
+    ...
+    # edges
+    e <source> <target> <weight>
+    ...
+
+Both sections live in a single file; lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.network.graph import RoadNetwork
+
+__all__ = ["save_network", "load_network"]
+
+
+def save_network(network: RoadNetwork, path: Union[str, os.PathLike]) -> None:
+    """Write ``network`` to ``path`` in the node/edge list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# road network: {network.name}\n")
+        handle.write(f"# nodes: {network.num_nodes} edges: {network.num_edges}\n")
+        for node in network.nodes():
+            handle.write(f"n {node.node_id} {node.x!r} {node.y!r}\n")
+        for edge in network.edges():
+            handle.write(f"e {edge.source} {edge.target} {edge.weight!r}\n")
+
+
+def load_network(path: Union[str, os.PathLike], name: str = "") -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    network = RoadNetwork(name=name or os.path.basename(str(path)))
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if fields[0] == "n" and len(fields) == 4:
+                network.add_node(int(fields[1]), float(fields[2]), float(fields[3]))
+            elif fields[0] == "e" and len(fields) == 4:
+                network.add_edge(int(fields[1]), int(fields[2]), float(fields[3]))
+            else:
+                raise ValueError(f"{path}:{line_number}: unrecognized line {line!r}")
+    return network

@@ -1,0 +1,14 @@
+"""Network partitioning: kd-tree and regular-grid region schemes."""
+
+from repro.partitioning.base import Partitioning, RegionLocator
+from repro.partitioning.kdtree import KDTreePartitioner, build_kdtree_partitioning
+from repro.partitioning.grid import GridPartitioner, build_grid_partitioning
+
+__all__ = [
+    "GridPartitioner",
+    "KDTreePartitioner",
+    "Partitioning",
+    "RegionLocator",
+    "build_grid_partitioning",
+    "build_kdtree_partitioning",
+]

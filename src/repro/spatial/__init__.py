@@ -1,0 +1,25 @@
+"""Euclidean spatial air indexes (paper Appendix A).
+
+These are the prior-art air indexes for *point* data in Euclidean space --
+the Hilbert curve index (HCI), the distributed spatial index (DSI), and the
+broadcast grid index (BGI).  None of them applies to road networks (which is
+the gap the paper fills), but they share the broadcast substrate and are
+implemented here both as documented related work and because the examples use
+them for on-air points-of-interest retrieval.
+"""
+
+from repro.spatial.points import PointObject, generate_points
+from repro.spatial.hilbert import hilbert_index, hilbert_order_for
+from repro.spatial.hci import HilbertCurveIndexScheme
+from repro.spatial.dsi import DistributedSpatialIndexScheme
+from repro.spatial.bgi import BroadcastGridIndexScheme
+
+__all__ = [
+    "BroadcastGridIndexScheme",
+    "DistributedSpatialIndexScheme",
+    "HilbertCurveIndexScheme",
+    "PointObject",
+    "generate_points",
+    "hilbert_index",
+    "hilbert_order_for",
+]

@@ -1,0 +1,146 @@
+"""Shared plumbing for the Appendix A spatial air indexes.
+
+The spatial schemes reuse the broadcast substrate (segments, cycles, client
+sessions) of :mod:`repro.broadcast`.  Queries are *range* (all objects inside
+an axis-aligned window) and *k nearest neighbors* of a query location; their
+results carry the same tuning time / access latency / memory metrics as the
+shortest path schemes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.broadcast.channel import BroadcastChannel, ClientSession
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.metrics import ClientMetrics, MemoryTracker
+from repro.spatial.points import PointObject, bounding_box
+
+__all__ = ["SpatialQueryResult", "SpatialAirScheme", "POINT_RECORD_BYTES"]
+
+#: Bytes of one broadcast point record: identifier plus two coordinates.
+POINT_RECORD_BYTES = 12
+
+#: An axis-aligned query window ``(min_x, min_y, max_x, max_y)``.
+Window = Tuple[float, float, float, float]
+
+
+@dataclass
+class SpatialQueryResult:
+    """Result of an on-air spatial query."""
+
+    object_ids: List[int] = field(default_factory=list)
+    metrics: ClientMetrics = field(default_factory=ClientMetrics)
+
+    def __len__(self) -> int:
+        return len(self.object_ids)
+
+
+class SpatialAirScheme(abc.ABC):
+    """Base class: holds the point set and the broadcast bookkeeping."""
+
+    short_name = "?"
+
+    def __init__(self, points: Sequence[PointObject]) -> None:
+        if not points:
+            raise ValueError("spatial schemes need at least one data object")
+        self.points: List[PointObject] = list(points)
+        self.bounds = bounding_box(self.points)
+        self._cycle: Optional[BroadcastCycle] = None
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_cycle(self) -> BroadcastCycle:
+        """Lay out the broadcast cycle."""
+
+    @property
+    def cycle(self) -> BroadcastCycle:
+        """The broadcast cycle, building it on first access."""
+        if self._cycle is None:
+            self._cycle = self.build_cycle()
+        return self._cycle
+
+    def channel(self, loss_rate: float = 0.0, seed: int = 0) -> BroadcastChannel:
+        """A broadcast channel carrying this scheme's cycle."""
+        return BroadcastChannel(self.cycle, loss_rate=loss_rate, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def range_query_on_session(
+        self, window: Window, session: ClientSession, memory: MemoryTracker
+    ) -> List[int]:
+        """Scheme-specific range query protocol."""
+
+    @abc.abstractmethod
+    def knn_query_on_session(
+        self, x: float, y: float, k: int, session: ClientSession, memory: MemoryTracker
+    ) -> List[int]:
+        """Scheme-specific kNN query protocol."""
+
+    def range_query(
+        self,
+        window: Window,
+        channel: Optional[BroadcastChannel] = None,
+        tune_in_offset: Optional[int] = None,
+    ) -> SpatialQueryResult:
+        """Run a range query end to end, filling in client metrics."""
+        session, memory = self._open(channel, tune_in_offset)
+        ids = self.range_query_on_session(window, session, memory)
+        return self._finish(sorted(ids), session, memory)
+
+    def knn_query(
+        self,
+        x: float,
+        y: float,
+        k: int,
+        channel: Optional[BroadcastChannel] = None,
+        tune_in_offset: Optional[int] = None,
+    ) -> SpatialQueryResult:
+        """Run a k-nearest-neighbor query end to end."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        session, memory = self._open(channel, tune_in_offset)
+        ids = self.knn_query_on_session(x, y, k, session, memory)
+        return self._finish(ids, session, memory)
+
+    # ------------------------------------------------------------------
+    # Ground truth (used by tests and the examples)
+    # ------------------------------------------------------------------
+    def true_range(self, window: Window) -> List[int]:
+        """Exact range query result, computed directly over the point set."""
+        min_x, min_y, max_x, max_y = window
+        return sorted(
+            p.object_id
+            for p in self.points
+            if min_x <= p.x <= max_x and min_y <= p.y <= max_y
+        )
+
+    def true_knn(self, x: float, y: float, k: int) -> List[int]:
+        """Exact kNN result (ties broken by object id)."""
+        ranked = sorted(self.points, key=lambda p: (p.distance_to(x, y), p.object_id))
+        return [p.object_id for p in ranked[:k]]
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _open(self, channel, tune_in_offset):
+        if channel is None:
+            channel = self.channel()
+        return channel.session(tune_in_offset), MemoryTracker()
+
+    @staticmethod
+    def _finish(
+        ids: List[int], session: ClientSession, memory: MemoryTracker
+    ) -> SpatialQueryResult:
+        result = SpatialQueryResult(object_ids=ids)
+        result.metrics.tuning_time_packets = session.tuning_packets
+        result.metrics.access_latency_packets = session.elapsed_packets
+        result.metrics.peak_memory_bytes = memory.peak_bytes
+        result.metrics.lost_packets = session.lost_packets
+        return result

@@ -1,0 +1,60 @@
+"""Point objects for the Euclidean spatial air indexes."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["PointObject", "generate_points", "bounding_box"]
+
+
+@dataclass(frozen=True)
+class PointObject:
+    """A data object with an identifier and Euclidean coordinates."""
+
+    object_id: int
+    x: float
+    y: float
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from this object to point ``(x, y)``."""
+        return ((self.x - x) ** 2 + (self.y - y) ** 2) ** 0.5
+
+
+def generate_points(
+    count: int,
+    extent: float = 10_000.0,
+    seed: int = 0,
+    clusters: int = 0,
+) -> List[PointObject]:
+    """Generate ``count`` points, uniformly or around ``clusters`` hot spots.
+
+    Clustered generation mimics points of interest concentrating in city
+    centres, the workload the examples use.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    points: List[PointObject] = []
+    if clusters <= 0:
+        for object_id in range(count):
+            points.append(PointObject(object_id, rng.uniform(0, extent), rng.uniform(0, extent)))
+        return points
+    centres = [(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(clusters)]
+    spread = extent / (4 * clusters)
+    for object_id in range(count):
+        cx, cy = centres[object_id % clusters]
+        x = min(extent, max(0.0, rng.gauss(cx, spread)))
+        y = min(extent, max(0.0, rng.gauss(cy, spread)))
+        points.append(PointObject(object_id, x, y))
+    return points
+
+
+def bounding_box(points: Sequence[PointObject]) -> Tuple[float, float, float, float]:
+    """``(min_x, min_y, max_x, max_y)`` over a point collection."""
+    if not points:
+        raise ValueError("bounding box of an empty point set is undefined")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return (min(xs), min(ys), max(xs), max(ys))

@@ -1,0 +1,90 @@
+"""Shared fixtures.
+
+Expensive artifacts (synthetic networks, pre-computed schemes) are session
+scoped so the suite builds each of them exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.air import (
+    ArcFlagBroadcastScheme,
+    DijkstraBroadcastScheme,
+    EllipticBoundaryScheme,
+    LandmarkBroadcastScheme,
+    NextRegionScheme,
+)
+from repro.network.generators import GeneratorConfig, generate_grid_network, generate_road_network
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+
+@pytest.fixture(scope="session")
+def grid_network():
+    """A 6x6 bidirectional grid with unit-ish weights (easy to reason about)."""
+    return generate_grid_network(rows=6, cols=6, extent=500.0, seed=1, name="grid-6x6")
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A ~200-node synthetic road network used by most unit tests."""
+    config = GeneratorConfig(num_nodes=200, num_edges=460, seed=11)
+    return generate_road_network(config, name="small-synthetic")
+
+
+@pytest.fixture(scope="session")
+def medium_network():
+    """A ~420-node synthetic road network used by the integration tests."""
+    config = GeneratorConfig(num_nodes=420, num_edges=980, seed=23)
+    return generate_road_network(config, name="medium-synthetic")
+
+
+@pytest.fixture(scope="session")
+def small_partitioning(small_network):
+    """16-region kd partitioning of the small network."""
+    return build_kdtree_partitioning(small_network, 16)
+
+
+@pytest.fixture(scope="session")
+def eb_scheme(medium_network):
+    """An Elliptic Boundary scheme over the medium network (16 regions)."""
+    return EllipticBoundaryScheme(medium_network, num_regions=16)
+
+
+@pytest.fixture(scope="session")
+def nr_scheme(medium_network):
+    """A Next Region scheme over the medium network (16 regions)."""
+    return NextRegionScheme(medium_network, num_regions=16)
+
+
+@pytest.fixture(scope="session")
+def dj_scheme(medium_network):
+    """The Dijkstra full-cycle adaptation over the medium network."""
+    return DijkstraBroadcastScheme(medium_network)
+
+
+@pytest.fixture(scope="session")
+def ld_scheme(medium_network):
+    """The Landmark full-cycle adaptation over the medium network."""
+    return LandmarkBroadcastScheme(medium_network, num_landmarks=4)
+
+
+@pytest.fixture(scope="session")
+def af_scheme(medium_network):
+    """The ArcFlag full-cycle adaptation over the medium network."""
+    return ArcFlagBroadcastScheme(medium_network, num_regions=8)
+
+
+@pytest.fixture(scope="session")
+def query_pairs(medium_network):
+    """A deterministic set of 15 random connected query pairs."""
+    rng = random.Random(5)
+    nodes = medium_network.node_ids()
+    pairs = []
+    while len(pairs) < 15:
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        if source != target:
+            pairs.append((source, target))
+    return pairs

@@ -1,0 +1,93 @@
+"""Unit tests for the shared EB/NR border-path pre-computation."""
+
+import random
+
+import pytest
+
+from repro.air.border_paths import BorderPathPrecomputation
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.algorithms.paths import INFINITY
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+
+@pytest.fixture(scope="module")
+def precomputation(small_network, small_partitioning):
+    return BorderPathPrecomputation(small_network, small_partitioning)
+
+
+class TestDistanceMatrix:
+    def test_min_never_exceeds_max(self, precomputation):
+        n = precomputation.num_regions
+        for i in range(n):
+            for j in range(n):
+                minimum = precomputation.min_distance[i][j]
+                maximum = precomputation.max_distance[i][j]
+                if maximum != INFINITY:
+                    assert minimum <= maximum + 1e-9
+
+    def test_min_distance_matches_direct_computation(self, small_network, small_partitioning, precomputation):
+        """Spot-check a few region pairs against brute-force Dijkstra."""
+        rng = random.Random(3)
+        regions = [r for r in range(small_partitioning.num_regions) if small_partitioning.border_nodes(r)]
+        for _ in range(4):
+            i, j = rng.choice(regions), rng.choice(regions)
+            if i == j:
+                continue
+            expected = min(
+                (
+                    shortest_path(small_network, a, b).distance
+                    for a in small_partitioning.border_nodes(i)
+                    for b in small_partitioning.border_nodes(j)
+                ),
+                default=INFINITY,
+            )
+            assert precomputation.min_distance[i][j] == pytest.approx(expected)
+
+    def test_upper_bound_uses_max_entry(self, precomputation):
+        assert precomputation.upper_bound(0, 1) == precomputation.max_distance[0][1]
+
+
+class TestCrossBorderNodes:
+    def test_border_nodes_are_cross_border(self, small_partitioning, precomputation):
+        for region in range(small_partitioning.num_regions):
+            for border in small_partitioning.border_nodes(region):
+                assert border in precomputation.cross_border_nodes
+
+    def test_cross_border_plus_local_partitions_each_region(self, small_partitioning, precomputation):
+        for region in range(small_partitioning.num_regions):
+            cross = set(precomputation.cross_border_in_region(region))
+            local = set(precomputation.local_in_region(region))
+            assert cross.isdisjoint(local)
+            assert cross | local == set(small_partitioning.nodes_in_region(region))
+
+
+class TestNeededRegions:
+    def test_eb_needed_regions_include_endpoints(self, precomputation):
+        for i in range(precomputation.num_regions):
+            for j in range(precomputation.num_regions):
+                needed = precomputation.needed_regions_eb(i, j)
+                assert i in needed and j in needed
+
+    def test_nr_needed_regions_subset_of_eb(self, precomputation):
+        """NR's traversed-region sets are at least as selective as EB's ellipse."""
+        total_nr = 0
+        total_eb = 0
+        n = precomputation.num_regions
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                total_nr += len(precomputation.needed_regions_nr(i, j))
+                total_eb += len(precomputation.needed_regions_eb(i, j))
+        assert total_nr <= total_eb
+
+    def test_nr_needed_regions_include_endpoints(self, precomputation):
+        for i in range(precomputation.num_regions):
+            for j in range(precomputation.num_regions):
+                needed = precomputation.needed_regions_nr(i, j)
+                assert i in needed and j in needed
+
+    def test_traversed_regions_contain_endpoint_regions_when_reachable(self, precomputation):
+        for (i, j), regions in precomputation.traversed_regions.items():
+            assert i in regions
+            assert j in regions

@@ -1,0 +1,102 @@
+"""Tests for the Elliptic Boundary (EB) scheme (paper Section 4)."""
+
+import pytest
+
+from repro.broadcast.packet import SegmentKind
+from repro.network.algorithms.dijkstra import shortest_path
+
+
+class TestCycleLayout:
+    def test_index_copies_interleaved(self, eb_scheme):
+        copies = eb_scheme.cycle.segments_of_kind(SegmentKind.INDEX)
+        assert len(copies) >= 1
+        assert all(segment.name.startswith("eb-index#copy") for segment in copies)
+
+    def test_every_region_has_cross_and_local_segments(self, eb_scheme):
+        for region in range(eb_scheme.num_regions):
+            assert eb_scheme.cycle.has_segment(f"region-{region}-cross")
+            assert eb_scheme.cycle.has_segment(f"region-{region}-local")
+
+    def test_region_data_never_interrupted_by_index(self, eb_scheme):
+        """Index copies must fall between regions, not inside one (Section 4.1)."""
+        segments = list(eb_scheme.cycle)
+        for position, segment in enumerate(segments):
+            if segment.name.endswith("-cross"):
+                neighbor = segments[position + 1]
+                assert neighbor.name == f"region-{segment.region}-local"
+
+    def test_cross_border_plus_local_covers_network(self, eb_scheme, medium_network):
+        covered = set()
+        for segment in eb_scheme.cycle:
+            if segment.kind in (SegmentKind.REGION_CROSS_BORDER, SegmentKind.REGION_LOCAL):
+                covered.update(segment.payload["nodes"])
+        assert covered == set(medium_network.node_ids())
+
+    def test_needed_index_packets_within_index_segment(self, eb_scheme):
+        needed = eb_scheme.needed_index_packets(0, eb_scheme.num_regions - 1)
+        index_segment = eb_scheme.cycle.segments_of_kind(SegmentKind.INDEX)[0]
+        assert max(needed) < index_segment.num_packets
+
+    def test_splitting_values_count(self, eb_scheme):
+        assert len(eb_scheme.splitting_values()) == eb_scheme.num_regions - 1
+
+
+class TestQueries:
+    def test_distances_match_ground_truth(self, eb_scheme, medium_network, query_pairs):
+        client = eb_scheme.client()
+        for source, target in query_pairs:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target)
+            assert result.distance == pytest.approx(expected), (source, target)
+
+    def test_received_regions_include_endpoints(self, eb_scheme, query_pairs):
+        client = eb_scheme.client()
+        source, target = query_pairs[0]
+        result = client.query(source, target)
+        partitioning = eb_scheme.partitioning
+        assert partitioning.region_of(source) in result.received_regions
+        assert partitioning.region_of(target) in result.received_regions
+
+    def test_received_regions_match_ellipse_rule(self, eb_scheme, query_pairs):
+        client = eb_scheme.client()
+        source, target = query_pairs[1]
+        result = client.query(source, target)
+        expected = eb_scheme.precomputation.needed_regions_eb(
+            eb_scheme.partitioning.region_of(source),
+            eb_scheme.partitioning.region_of(target),
+        )
+        assert result.received_regions == expected
+
+    def test_tuning_time_below_full_cycle_for_nearby_queries(self, eb_scheme, medium_network):
+        """Pruning must pay off for queries whose endpoints are close."""
+        partitioning = eb_scheme.partitioning
+        region_nodes = partitioning.nodes_in_region(0)
+        neighbors = partitioning.region_adjacency()[0]
+        other_region = next(iter(neighbors)) if neighbors else 1
+        other_nodes = partitioning.nodes_in_region(other_region)
+        if not region_nodes or not other_nodes:
+            pytest.skip("degenerate partitioning for this seed")
+        result = eb_scheme.client().query(region_nodes[0], other_nodes[0])
+        assert result.metrics.tuning_time_packets < eb_scheme.cycle.total_packets
+
+    def test_same_region_query_correct(self, eb_scheme, medium_network):
+        nodes = eb_scheme.partitioning.nodes_in_region(2)
+        if len(nodes) < 2:
+            pytest.skip("region too small")
+        expected = shortest_path(medium_network, nodes[0], nodes[1]).distance
+        result = eb_scheme.client().query(nodes[0], nodes[1])
+        assert result.distance == pytest.approx(expected)
+
+    def test_memory_bound_client_matches_distances(self, eb_scheme, medium_network, query_pairs):
+        client = eb_scheme.client(memory_bound=True)
+        for source, target in query_pairs[:8]:
+            expected = shortest_path(medium_network, source, target).distance
+            assert client.query(source, target).distance == pytest.approx(expected)
+
+    def test_metrics_populated(self, eb_scheme, query_pairs):
+        result = eb_scheme.client().query(*query_pairs[2])
+        metrics = result.metrics
+        assert metrics.tuning_time_packets > 0
+        assert metrics.access_latency_packets >= metrics.tuning_time_packets
+        assert metrics.peak_memory_bytes > 0
+        assert metrics.extra["needed_regions"] >= 2

@@ -1,0 +1,74 @@
+"""Tests for the full-cycle broadcast adaptations (DJ, AF, LD; Section 3.2)."""
+
+import pytest
+
+from repro.broadcast.packet import SegmentKind
+from repro.network.algorithms.dijkstra import shortest_path
+
+
+class TestCycleContents:
+    def test_dijkstra_cycle_contains_only_network_data(self, dj_scheme):
+        kinds = {segment.kind for segment in dj_scheme.cycle}
+        assert kinds == {SegmentKind.NETWORK_DATA}
+
+    def test_dijkstra_has_shortest_cycle(self, dj_scheme, ld_scheme, af_scheme, eb_scheme, nr_scheme):
+        """Table 1's headline ordering: DJ has the shortest possible cycle."""
+        dj = dj_scheme.cycle.total_packets
+        assert dj <= nr_scheme.cycle.total_packets
+        assert dj <= eb_scheme.cycle.total_packets
+        assert dj <= ld_scheme.cycle.total_packets
+        assert dj <= af_scheme.cycle.total_packets
+
+    def test_landmark_cycle_adds_vector_bytes(self, dj_scheme, ld_scheme, medium_network):
+        extra = ld_scheme.cycle.total_bytes - dj_scheme.cycle.total_bytes
+        assert extra == medium_network.num_nodes * 32
+
+    def test_arcflag_cycle_adds_flag_bytes(self, dj_scheme, af_scheme, medium_network):
+        extra = af_scheme.cycle.total_bytes - dj_scheme.cycle.total_bytes
+        assert extra == medium_network.num_edges * 16  # 8 regions, 2 bytes per region
+
+    def test_server_metrics_report_cycle_and_precomputation(self, ld_scheme):
+        metrics = ld_scheme.server_metrics()
+        assert metrics.cycle_packets == ld_scheme.cycle.total_packets
+        assert metrics.precomputation_seconds > 0.0
+        assert metrics.scheme == "LD"
+
+
+class TestQueries:
+    @pytest.mark.parametrize("fixture_name", ["dj_scheme", "ld_scheme", "af_scheme"])
+    def test_distances_match_ground_truth(self, request, fixture_name, medium_network, query_pairs):
+        scheme = request.getfixturevalue(fixture_name)
+        client = scheme.client()
+        for source, target in query_pairs[:8]:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target)
+            assert result.distance == pytest.approx(expected)
+
+    def test_tuning_time_equals_full_cycle(self, dj_scheme, query_pairs):
+        client = dj_scheme.client()
+        source, target = query_pairs[0]
+        result = client.query(source, target)
+        assert result.metrics.tuning_time_packets == dj_scheme.cycle.total_packets
+
+    def test_memory_covers_entire_cycle(self, dj_scheme, query_pairs):
+        client = dj_scheme.client()
+        source, target = query_pairs[1]
+        result = client.query(source, target)
+        assert result.metrics.peak_memory_bytes >= dj_scheme.cycle.total_bytes
+
+    def test_access_latency_about_one_cycle(self, dj_scheme, query_pairs):
+        client = dj_scheme.client()
+        source, target = query_pairs[2]
+        result = client.query(source, target)
+        total = dj_scheme.cycle.total_packets
+        assert total <= result.metrics.access_latency_packets <= 2 * total
+
+    def test_cpu_time_positive(self, ld_scheme, query_pairs):
+        result = ld_scheme.client().query(*query_pairs[3])
+        assert result.metrics.cpu_seconds > 0.0
+
+    def test_path_endpoints(self, dj_scheme, query_pairs):
+        source, target = query_pairs[4]
+        result = dj_scheme.client().query(source, target)
+        assert result.path[0] == source
+        assert result.path[-1] == target

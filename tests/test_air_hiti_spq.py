@@ -1,0 +1,88 @@
+"""Tests for the HiTi and SPQ broadcast adaptations (Table 1 competitors)."""
+
+import pytest
+
+from repro.air import HiTiBroadcastScheme, SPQBroadcastScheme
+from repro.broadcast.packet import SegmentKind
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.generators import GeneratorConfig, generate_road_network
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    """SPQ needs one Dijkstra per node, so these schemes get a tiny network."""
+    return generate_road_network(GeneratorConfig(num_nodes=150, num_edges=340, seed=31))
+
+
+@pytest.fixture(scope="module")
+def hiti_scheme(tiny_network):
+    return HiTiBroadcastScheme(tiny_network, num_regions=8)
+
+
+@pytest.fixture(scope="module")
+def spq_scheme(tiny_network):
+    return SPQBroadcastScheme(tiny_network)
+
+
+class TestCycleSizes:
+    def test_hiti_index_is_a_substantial_share_of_the_cycle(self, hiti_scheme):
+        """Table 1 / Section 3.2: HiTi broadcasts voluminous pre-computed
+        distances on top of the network data.  (At the tiny scale used in the
+        unit tests the index is "only" comparable to the data; the full-scale
+        benchmark shows it dwarfing the network, as in the paper.)"""
+        composition = hiti_scheme.cycle.composition()
+        index_packets = composition.get(SegmentKind.INDEX.value, 0)
+        data_packets = sum(
+            packets
+            for kind, packets in composition.items()
+            if kind != SegmentKind.INDEX.value
+        )
+        assert index_packets > 0.5 * data_packets
+
+    def test_spq_precomputed_larger_than_network_data(self, spq_scheme):
+        composition = spq_scheme.cycle.composition()
+        assert composition[SegmentKind.PRECOMPUTED.value] > composition[SegmentKind.NETWORK_DATA.value]
+
+    def test_hiti_and_spq_have_longest_cycles(self, tiny_network, hiti_scheme, spq_scheme):
+        from repro.air import DijkstraBroadcastScheme, NextRegionScheme
+
+        dj = DijkstraBroadcastScheme(tiny_network)
+        nr = NextRegionScheme(tiny_network, num_regions=8)
+        assert hiti_scheme.cycle.total_packets > nr.cycle.total_packets
+        assert spq_scheme.cycle.total_packets > dj.cycle.total_packets
+
+
+class TestQueries:
+    def test_hiti_distances_match_ground_truth(self, hiti_scheme, tiny_network):
+        nodes = tiny_network.node_ids()
+        pairs = [(nodes[0], nodes[-1]), (nodes[3], nodes[20]), (nodes[7], nodes[50])]
+        client = hiti_scheme.client()
+        for source, target in pairs:
+            expected = shortest_path(tiny_network, source, target).distance
+            assert client.query(source, target).distance == pytest.approx(expected)
+
+    def test_spq_distances_match_ground_truth(self, spq_scheme, tiny_network):
+        nodes = tiny_network.node_ids()
+        pairs = [(nodes[1], nodes[-2]), (nodes[5], nodes[30])]
+        client = spq_scheme.client()
+        for source, target in pairs:
+            expected = shortest_path(tiny_network, source, target).distance
+            assert client.query(source, target).distance == pytest.approx(expected)
+
+    def test_hiti_receives_only_endpoint_regions(self, hiti_scheme, tiny_network):
+        nodes = tiny_network.node_ids()
+        result = hiti_scheme.client().query(nodes[0], nodes[-1])
+        partitioning = hiti_scheme.partitioning
+        expected = sorted({partitioning.region_of(nodes[0]), partitioning.region_of(nodes[-1])})
+        assert result.received_regions == expected
+
+    def test_hiti_memory_includes_whole_index(self, hiti_scheme, tiny_network):
+        nodes = tiny_network.node_ids()
+        result = hiti_scheme.client().query(nodes[2], nodes[-3])
+        index_bytes = hiti_scheme.cycle.segment("hiti-index").size_bytes
+        assert result.metrics.peak_memory_bytes >= index_bytes
+
+    def test_spq_tuning_is_full_cycle(self, spq_scheme, tiny_network):
+        nodes = tiny_network.node_ids()
+        result = spq_scheme.client().query(nodes[0], nodes[-1])
+        assert result.metrics.tuning_time_packets == spq_scheme.cycle.total_packets

@@ -1,0 +1,88 @@
+"""Packet loss behaviour across schemes (paper Section 6.2, Figure 14)."""
+
+import pytest
+
+from repro.network.algorithms.dijkstra import shortest_path
+
+
+LOSS_RATES = [0.01, 0.05, 0.10]
+
+
+class TestCorrectnessUnderLoss:
+    @pytest.mark.parametrize("loss_rate", LOSS_RATES)
+    def test_nr_results_unaffected_by_loss(self, nr_scheme, medium_network, query_pairs, loss_rate):
+        channel = nr_scheme.channel(loss_rate=loss_rate, seed=41)
+        client = nr_scheme.client()
+        for source, target in query_pairs[:6]:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target, channel=channel)
+            assert result.distance == pytest.approx(expected)
+
+    @pytest.mark.parametrize("loss_rate", LOSS_RATES)
+    def test_eb_results_unaffected_by_loss(self, eb_scheme, medium_network, query_pairs, loss_rate):
+        channel = eb_scheme.channel(loss_rate=loss_rate, seed=42)
+        client = eb_scheme.client()
+        for source, target in query_pairs[:6]:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target, channel=channel)
+            assert result.distance == pytest.approx(expected)
+
+    def test_dijkstra_results_unaffected_by_loss(self, dj_scheme, medium_network, query_pairs):
+        channel = dj_scheme.channel(loss_rate=0.05, seed=43)
+        client = dj_scheme.client()
+        for source, target in query_pairs[:4]:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target, channel=channel)
+            assert result.distance == pytest.approx(expected)
+
+    def test_landmark_results_unaffected_by_loss(self, ld_scheme, medium_network, query_pairs):
+        """Lost vectors only degrade the lower bound, never correctness."""
+        channel = ld_scheme.channel(loss_rate=0.05, seed=44)
+        client = ld_scheme.client()
+        for source, target in query_pairs[:4]:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target, channel=channel)
+            assert result.distance == pytest.approx(expected)
+
+
+class TestDegradation:
+    def test_loss_increases_tuning_time_for_full_cycle_methods(self, dj_scheme, query_pairs):
+        source, target = query_pairs[0]
+        clean = dj_scheme.client().query(
+            source, target, channel=dj_scheme.channel(loss_rate=0.0, seed=1)
+        )
+        lossy = dj_scheme.client().query(
+            source, target, channel=dj_scheme.channel(loss_rate=0.10, seed=1)
+        )
+        assert lossy.metrics.tuning_time_packets > clean.metrics.tuning_time_packets
+        assert lossy.metrics.lost_packets > 0
+
+    def test_loss_reported_in_metrics(self, nr_scheme, query_pairs):
+        channel = nr_scheme.channel(loss_rate=0.3, seed=7)
+        result = nr_scheme.client().query(*query_pairs[0], channel=channel)
+        assert result.metrics.lost_packets > 0
+
+    def test_nr_degrades_less_than_dijkstra(self, nr_scheme, dj_scheme, query_pairs):
+        """Figure 14's conclusion: the lower the tuning time, the smaller the
+        absolute degradation under loss."""
+        loss = 0.05
+
+        def total_tuning(scheme, seed):
+            channel = scheme.channel(loss_rate=loss, seed=seed)
+            client = scheme.client()
+            return sum(
+                client.query(s, t, channel=channel).metrics.tuning_time_packets
+                for s, t in query_pairs[:6]
+            )
+
+        def clean_tuning(scheme):
+            channel = scheme.channel(loss_rate=0.0, seed=0)
+            client = scheme.client()
+            return sum(
+                client.query(s, t, channel=channel).metrics.tuning_time_packets
+                for s, t in query_pairs[:6]
+            )
+
+        nr_increase = total_tuning(nr_scheme, 3) - clean_tuning(nr_scheme)
+        dj_increase = total_tuning(dj_scheme, 3) - clean_tuning(dj_scheme)
+        assert nr_increase <= dj_increase

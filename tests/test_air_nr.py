@@ -1,0 +1,109 @@
+"""Tests for the Next Region (NR) scheme (paper Section 5)."""
+
+import pytest
+
+from repro.broadcast.packet import SegmentKind
+from repro.network.algorithms.dijkstra import shortest_path
+
+
+class TestIndexSemantics:
+    def test_local_index_before_every_region(self, nr_scheme):
+        segments = list(nr_scheme.cycle)
+        for position, segment in enumerate(segments):
+            if segment.kind == SegmentKind.LOCAL_INDEX:
+                following = segments[position + 1]
+                assert following.kind == SegmentKind.REGION_CROSS_BORDER
+                assert following.region == segment.region
+
+    def test_next_region_pointer_is_needed_and_not_behind(self, nr_scheme):
+        n = nr_scheme.num_regions
+        for index_region in range(0, n, 3):
+            for i in range(0, n, 5):
+                for j in range(0, n, 5):
+                    pointer = nr_scheme.next_region_after(index_region, i, j)
+                    needed = nr_scheme.needed_regions(i, j)
+                    assert pointer in needed
+                    # No needed region lies strictly between the index region
+                    # and the pointer in cyclic order.
+                    gap = (pointer - index_region) % n
+                    for other in needed:
+                        assert (other - index_region) % n >= 0
+                        assert not ((other - index_region) % n < gap)
+
+    def test_pointer_can_be_the_index_region_itself(self, nr_scheme):
+        """Rnxt could be Rm itself (paper Section 5.1)."""
+        found = False
+        n = nr_scheme.num_regions
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                if nr_scheme.next_region_after(i, i, j) == i:
+                    found = True
+                    break
+            if found:
+                break
+        assert found
+
+    def test_cell_packet_offset_within_segment(self, nr_scheme):
+        max_offset = max(
+            nr_scheme.cell_packet_offset(i, j)
+            for i in range(nr_scheme.num_regions)
+            for j in range(nr_scheme.num_regions)
+        )
+        assert max_offset < nr_scheme.local_index_packets
+
+    def test_no_global_index_in_cycle(self, nr_scheme):
+        assert nr_scheme.cycle.segments_of_kind(SegmentKind.INDEX) == []
+
+
+class TestQueries:
+    def test_distances_match_ground_truth(self, nr_scheme, medium_network, query_pairs):
+        client = nr_scheme.client()
+        for source, target in query_pairs:
+            expected = shortest_path(medium_network, source, target).distance
+            result = client.query(source, target)
+            assert result.distance == pytest.approx(expected), (source, target)
+
+    def test_received_regions_subset_of_needed(self, nr_scheme, query_pairs):
+        client = nr_scheme.client()
+        for source, target in query_pairs[:6]:
+            result = client.query(source, target)
+            needed = set(
+                nr_scheme.needed_regions(
+                    nr_scheme.partitioning.region_of(source),
+                    nr_scheme.partitioning.region_of(target),
+                )
+            )
+            assert set(result.received_regions) == needed
+
+    def test_nr_receives_no_more_regions_than_eb(self, nr_scheme, eb_scheme, query_pairs):
+        """Figure 10's explanation: NR's needed set is a subset of EB's."""
+        nr_client = nr_scheme.client()
+        eb_client = eb_scheme.client()
+        for source, target in query_pairs[:6]:
+            nr_regions = len(nr_client.query(source, target).received_regions)
+            eb_regions = len(eb_client.query(source, target).received_regions)
+            assert nr_regions <= eb_regions
+
+    def test_memory_bound_client_matches_distances(self, nr_scheme, medium_network, query_pairs):
+        client = nr_scheme.client(memory_bound=True)
+        for source, target in query_pairs[:8]:
+            expected = shortest_path(medium_network, source, target).distance
+            assert client.query(source, target).distance == pytest.approx(expected)
+
+    def test_same_region_query_correct(self, nr_scheme, medium_network):
+        nodes = nr_scheme.partitioning.nodes_in_region(5)
+        if len(nodes) < 2:
+            pytest.skip("region too small")
+        expected = shortest_path(medium_network, nodes[0], nodes[-1]).distance
+        result = nr_scheme.client().query(nodes[0], nodes[-1])
+        assert result.distance == pytest.approx(expected)
+
+    def test_metrics_populated(self, nr_scheme, query_pairs):
+        result = nr_scheme.client().query(*query_pairs[3])
+        metrics = result.metrics
+        assert metrics.tuning_time_packets > 0
+        assert metrics.access_latency_packets >= metrics.tuning_time_packets
+        assert metrics.peak_memory_bytes > 0
+        assert metrics.cpu_seconds >= 0.0

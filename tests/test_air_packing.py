@@ -1,0 +1,69 @@
+"""Unit tests for EB's index cell packing (paper Section 6.2, Figure 9)."""
+
+import pytest
+
+from repro.air.packing import (
+    RowMajorCellPacking,
+    SquareCellPacking,
+    expected_vulnerable_packets,
+)
+
+
+class TestSquarePacking:
+    def test_cells_of_same_block_share_a_packet(self):
+        packing = SquareCellPacking(num_regions=8, cells_per_packet=16)  # 4x4 squares
+        assert packing.window == 4
+        assert packing.packet_of(0, 0) == packing.packet_of(3, 3)
+        assert packing.packet_of(0, 0) != packing.packet_of(0, 4)
+
+    def test_every_cell_maps_to_valid_packet(self):
+        packing = SquareCellPacking(num_regions=10, cells_per_packet=9)
+        for row in range(10):
+            for col in range(10):
+                assert 0 <= packing.packet_of(row, col) < packing.num_packets
+
+    def test_out_of_range_cell_rejected(self):
+        packing = SquareCellPacking(num_regions=4, cells_per_packet=4)
+        with pytest.raises(IndexError):
+            packing.packet_of(4, 0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SquareCellPacking(0, 4)
+        with pytest.raises(ValueError):
+            SquareCellPacking(4, 0)
+
+    def test_cells_in_packet_inverse_mapping(self):
+        packing = SquareCellPacking(num_regions=6, cells_per_packet=9)
+        cells = packing.cells_in_packet(packing.packet_of(1, 1))
+        assert (1, 1) in cells
+        assert all(packing.packet_of(r, c) == packing.packet_of(1, 1) for r, c in cells)
+
+
+class TestRowMajorPacking:
+    def test_row_major_order(self):
+        packing = RowMajorCellPacking(num_regions=4, cells_per_packet=4)
+        assert packing.packet_of(0, 0) == 0
+        assert packing.packet_of(0, 3) == 0
+        assert packing.packet_of(1, 0) == 1
+        assert packing.num_packets == 4
+
+    def test_out_of_range_cell_rejected(self):
+        packing = RowMajorCellPacking(num_regions=4, cells_per_packet=4)
+        with pytest.raises(IndexError):
+            packing.packet_of(0, 7)
+
+
+class TestVulnerability:
+    def test_square_packing_reduces_vulnerable_packets(self):
+        """The paper's rationale: squares intersect fewer rows + columns."""
+        square = SquareCellPacking(num_regions=32, cells_per_packet=15)
+        row_major = RowMajorCellPacking(num_regions=32, cells_per_packet=15)
+        assert expected_vulnerable_packets(square) < expected_vulnerable_packets(row_major)
+
+    def test_packets_for_row_and_column_cover_needed_cells(self):
+        packing = SquareCellPacking(num_regions=12, cells_per_packet=9)
+        packets = packing.packets_for_row_and_column(3, 7)
+        for k in range(12):
+            assert packing.packet_of(3, k) in packets
+            assert packing.packet_of(k, 7) in packets

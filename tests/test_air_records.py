@@ -1,0 +1,62 @@
+"""Unit tests for on-air record sizing."""
+
+import pytest
+
+from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+
+
+class TestAdjacencySizing:
+    def test_node_record_bytes_grows_with_degree(self):
+        assert DEFAULT_LAYOUT.node_record_bytes(3) > DEFAULT_LAYOUT.node_record_bytes(1)
+
+    def test_node_record_formula(self):
+        layout = RecordLayout()
+        # id + 2 coords + degree byte + 2 * (id + weight)
+        assert layout.node_record_bytes(2) == 4 + 8 + 1 + 2 * 8
+
+    def test_adjacency_bytes_sums_over_nodes(self, small_network):
+        total = DEFAULT_LAYOUT.adjacency_bytes(small_network)
+        partial = DEFAULT_LAYOUT.adjacency_bytes(small_network, small_network.node_ids()[:10])
+        assert 0 < partial < total
+
+    def test_adjacency_bytes_matches_manual_sum(self, small_network):
+        nodes = small_network.node_ids()[:5]
+        expected = sum(
+            DEFAULT_LAYOUT.node_record_bytes(small_network.out_degree(n)) for n in nodes
+        )
+        assert DEFAULT_LAYOUT.adjacency_bytes(small_network, nodes) == expected
+
+
+class TestIndexSizing:
+    def test_landmark_vector_bytes(self):
+        assert DEFAULT_LAYOUT.landmark_vector_bytes(4) == 32
+
+    def test_arcflag_bytes_per_edge(self):
+        assert DEFAULT_LAYOUT.arcflag_bytes_per_edge(16) == 32
+
+    def test_kd_split_bytes(self):
+        assert DEFAULT_LAYOUT.kd_split_bytes(32) == 31 * 4
+        assert DEFAULT_LAYOUT.kd_split_bytes(1) == 0
+
+    def test_eb_index_bytes(self):
+        # splits + n*n*(min,max) + offsets
+        expected = 31 * 4 + 32 * 32 * 8 + 32 * 4
+        assert DEFAULT_LAYOUT.eb_index_bytes(32) == expected
+
+    def test_nr_local_index_bytes(self):
+        expected = 31 * 4 + 32 * 32 * 1
+        assert DEFAULT_LAYOUT.nr_local_index_bytes(32) == expected
+
+    def test_nr_index_much_smaller_than_eb_index(self):
+        """The design reason NR does not need (1, m) replication."""
+        assert DEFAULT_LAYOUT.nr_local_index_bytes(32) < DEFAULT_LAYOUT.eb_index_bytes(32) / 5
+
+    def test_cells_per_packet_positive(self):
+        assert DEFAULT_LAYOUT.eb_cells_per_packet() >= 1
+        assert DEFAULT_LAYOUT.nr_cells_per_packet() >= DEFAULT_LAYOUT.eb_cells_per_packet()
+
+    def test_hiti_super_edge_bytes(self):
+        assert DEFAULT_LAYOUT.hiti_super_edge_bytes() == 12
+
+    def test_spq_bytes(self):
+        assert DEFAULT_LAYOUT.spq_bytes(100) == 400

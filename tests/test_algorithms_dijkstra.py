@@ -1,0 +1,137 @@
+"""Unit tests for Dijkstra's algorithm and path helpers."""
+
+import random
+
+import pytest
+
+from repro.network.algorithms.dijkstra import (
+    dijkstra_distances,
+    dijkstra_multi_target,
+    shortest_path,
+    shortest_path_distance,
+)
+from repro.network.algorithms.paths import (
+    INFINITY,
+    path_cost,
+    reconstruct_path,
+    validate_path,
+)
+from repro.network.graph import RoadNetwork
+
+
+def diamond_network() -> RoadNetwork:
+    """A small diamond with a long direct edge and a shorter two-hop route."""
+    network = RoadNetwork()
+    for node_id, x, y in [(1, 0, 0), (2, 1, 1), (3, 1, -1), (4, 2, 0)]:
+        network.add_node(node_id, x, y)
+    network.add_edge(1, 4, 10.0)
+    network.add_edge(1, 2, 3.0)
+    network.add_edge(2, 4, 3.0)
+    network.add_edge(1, 3, 2.0)
+    network.add_edge(3, 4, 5.0)
+    return network
+
+
+class TestPointToPoint:
+    def test_prefers_cheaper_multi_hop_path(self):
+        result = shortest_path(diamond_network(), 1, 4)
+        assert result.distance == pytest.approx(6.0)
+        assert result.path == [1, 2, 4]
+
+    def test_source_equals_target(self):
+        result = shortest_path(diamond_network(), 2, 2)
+        assert result.distance == 0.0
+        assert result.path == [2]
+
+    def test_unreachable_target(self):
+        network = diamond_network()
+        network.add_node(99, 5, 5)
+        result = shortest_path(network, 1, 99)
+        assert result.distance == INFINITY
+        assert result.path == []
+        assert not result.found
+
+    def test_unknown_nodes_raise(self):
+        network = diamond_network()
+        with pytest.raises(KeyError):
+            shortest_path(network, 123, 1)
+        with pytest.raises(KeyError):
+            shortest_path(network, 1, 123)
+
+    def test_distance_helper_matches_full_result(self):
+        network = diamond_network()
+        assert shortest_path_distance(network, 1, 4) == shortest_path(network, 1, 4).distance
+
+    def test_path_is_valid_edge_sequence(self):
+        network = diamond_network()
+        result = shortest_path(network, 1, 4)
+        assert validate_path(network, result.path)
+        assert path_cost(network, result.path) == pytest.approx(result.distance)
+
+    def test_respects_edge_direction(self):
+        network = diamond_network()
+        # 4 has no outgoing edges, so nothing is reachable from it.
+        assert shortest_path(network, 4, 1).distance == INFINITY
+
+
+class TestSingleSource:
+    def test_distances_match_point_queries(self, small_network):
+        rng = random.Random(2)
+        nodes = small_network.node_ids()
+        source = nodes[0]
+        sssp = dijkstra_distances(small_network, source)
+        for target in rng.sample(nodes, 10):
+            assert sssp.distance_to(target) == pytest.approx(
+                shortest_path(small_network, source, target).distance
+            )
+
+    def test_reverse_search_matches_forward_on_reversed_graph(self, small_network):
+        nodes = small_network.node_ids()
+        source = nodes[3]
+        reverse = dijkstra_distances(small_network, source, reverse=True)
+        forward_on_reversed = dijkstra_distances(small_network.reversed(), source)
+        for node in nodes[:25]:
+            assert reverse.distance_to(node) == pytest.approx(
+                forward_on_reversed.distance_to(node)
+            )
+
+    def test_path_to_reconstructs_valid_paths(self, small_network):
+        source = small_network.node_ids()[0]
+        result = dijkstra_distances(small_network, source)
+        for target in small_network.node_ids()[:20]:
+            path = result.path_to(target)
+            if result.distance_to(target) != INFINITY and target != source:
+                assert path[0] == source and path[-1] == target
+                assert validate_path(small_network, path)
+
+    def test_multi_target_settles_all_targets(self, small_network):
+        nodes = small_network.node_ids()
+        source, targets = nodes[0], set(nodes[5:15])
+        result = dijkstra_multi_target(small_network, source, targets)
+        full = dijkstra_distances(small_network, source)
+        for target in targets:
+            assert result.distance_to(target) == pytest.approx(full.distance_to(target))
+
+    def test_multi_target_early_stop_settles_fewer_nodes(self, small_network):
+        nodes = small_network.node_ids()
+        source = nodes[0]
+        nearby_target = min(
+            (n for n in nodes if n != source),
+            key=lambda n: small_network.euclidean_distance(source, n),
+        )
+        limited = dijkstra_multi_target(small_network, source, {nearby_target})
+        full = dijkstra_distances(small_network, source)
+        assert limited.settled < full.settled
+
+
+class TestPathHelpers:
+    def test_reconstruct_path_missing_target(self):
+        assert reconstruct_path({1: None}, 1, 2) == []
+
+    def test_reconstruct_path_detects_cycles(self):
+        with pytest.raises(ValueError):
+            reconstruct_path({1: 2, 2: 1}, 3, 1)
+
+    def test_path_cost_of_trivial_paths(self, small_network):
+        assert path_cost(small_network, []) == 0.0
+        assert path_cost(small_network, [small_network.node_ids()[0]]) == 0.0

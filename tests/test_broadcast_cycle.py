@@ -1,0 +1,106 @@
+"""Unit tests for broadcast cycle layout and positional queries."""
+
+import pytest
+
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.packet import PACKET_PAYLOAD_BYTES, Segment, SegmentKind
+
+
+def make_cycle():
+    segments = [
+        Segment("index", SegmentKind.INDEX, size_bytes=2 * PACKET_PAYLOAD_BYTES),
+        Segment("data-0", SegmentKind.NETWORK_DATA, size_bytes=3 * PACKET_PAYLOAD_BYTES),
+        Segment("data-1", SegmentKind.NETWORK_DATA, size_bytes=PACKET_PAYLOAD_BYTES),
+        Segment("index2", SegmentKind.INDEX, size_bytes=2 * PACKET_PAYLOAD_BYTES),
+        Segment("data-2", SegmentKind.NETWORK_DATA, size_bytes=2 * PACKET_PAYLOAD_BYTES),
+    ]
+    return BroadcastCycle(segments, name="test")
+
+
+class TestLayout:
+    def test_total_packets(self):
+        assert make_cycle().total_packets == 10
+
+    def test_segment_starts(self):
+        cycle = make_cycle()
+        assert cycle.segment_start("index") == 0
+        assert cycle.segment_start("data-0") == 2
+        assert cycle.segment_start("data-1") == 5
+        assert cycle.segment_start("index2") == 6
+        assert cycle.segment_start("data-2") == 8
+
+    def test_segment_range(self):
+        assert make_cycle().segment_range("data-0") == (2, 3)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastCycle(
+                [
+                    Segment("a", SegmentKind.INDEX, 10),
+                    Segment("a", SegmentKind.INDEX, 10),
+                ]
+            )
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastCycle([])
+
+    def test_total_bytes_and_duration(self):
+        cycle = make_cycle()
+        assert cycle.total_bytes == 10 * PACKET_PAYLOAD_BYTES
+        # 10 packets of 128 bytes at 1280 bytes/s -> 8 bits/byte * 1280/1280 = 8s... keep it simple:
+        assert cycle.duration_seconds(128 * 8) == pytest.approx(10.0)
+
+
+class TestPositionalQueries:
+    def test_segment_at_every_offset(self):
+        cycle = make_cycle()
+        expected = ["index"] * 2 + ["data-0"] * 3 + ["data-1"] + ["index2"] * 2 + ["data-2"] * 2
+        for offset, name in enumerate(expected):
+            assert cycle.segment_at(offset).name == name
+
+    def test_segment_at_wraps_around(self):
+        cycle = make_cycle()
+        assert cycle.segment_at(10).name == "index"
+        assert cycle.segment_at(25).name == "data-1"
+
+    def test_next_segment_of_kind_same_cycle(self):
+        cycle = make_cycle()
+        segment, position = cycle.next_segment_of_kind(SegmentKind.INDEX, 3)
+        assert segment.name == "index2"
+        assert position == 6
+
+    def test_next_segment_of_kind_wraps_to_next_cycle(self):
+        cycle = make_cycle()
+        segment, position = cycle.next_segment_of_kind(SegmentKind.INDEX, 9)
+        assert segment.name == "index"
+        assert position == 10
+
+    def test_next_segment_of_kind_with_global_positions(self):
+        cycle = make_cycle()
+        # Offset 23 is cycle offset 3 in the third repetition; the next index
+        # copy is "index2" at cycle offset 6, i.e. global position 26.
+        segment, position = cycle.next_segment_of_kind(SegmentKind.INDEX, 23)
+        assert segment.name == "index2"
+        assert position == 26
+
+    def test_next_segment_of_kind_missing_kind(self):
+        cycle = make_cycle()
+        with pytest.raises(LookupError):
+            cycle.next_segment_of_kind(SegmentKind.LOCAL_INDEX, 0)
+
+    def test_next_segment_named(self):
+        cycle = make_cycle()
+        assert cycle.next_segment_named("data-1", 0) == 5
+        assert cycle.next_segment_named("data-1", 5) == 5
+        assert cycle.next_segment_named("data-1", 6) == 15
+
+    def test_segments_of_kind_and_region(self):
+        cycle = make_cycle()
+        assert [s.name for s in cycle.segments_of_kind(SegmentKind.INDEX)] == ["index", "index2"]
+        assert cycle.segments_of_region(3) == []
+
+    def test_composition(self):
+        composition = make_cycle().composition()
+        assert composition["index"] == 4
+        assert composition["network_data"] == 6

@@ -1,0 +1,50 @@
+"""Unit tests for device profiles and channel rates."""
+
+import pytest
+
+from repro.broadcast.device import (
+    CHANNEL_2MBPS,
+    CHANNEL_384KBPS,
+    ChannelRate,
+    DeviceProfile,
+    J2ME_CLAMSHELL,
+)
+
+
+class TestChannelRate:
+    def test_packets_per_second_2mbps(self):
+        # 2 Mbps / (128 bytes * 8 bits) = 1953.125 packets per second.
+        assert CHANNEL_2MBPS.packets_per_second == pytest.approx(1953.125)
+
+    def test_packets_to_seconds(self):
+        assert CHANNEL_384KBPS.packets_to_seconds(375) == pytest.approx(1.0)
+
+    def test_paper_table1_dijkstra_cycle_duration(self):
+        """Table 1: 14019 packets take ~6.8 s at 2 Mbps and ~40 s at 384 Kbps."""
+        assert CHANNEL_2MBPS.packets_to_seconds(14_019) == pytest.approx(7.18, rel=0.1)
+        assert CHANNEL_384KBPS.packets_to_seconds(14_019) == pytest.approx(37.4, rel=0.1)
+
+
+class TestDeviceProfile:
+    def test_paper_heap_size(self):
+        assert J2ME_CLAMSHELL.heap_bytes == 8 * 1024 * 1024
+
+    def test_fits_in_heap(self):
+        assert J2ME_CLAMSHELL.fits_in_heap(1024)
+        assert not J2ME_CLAMSHELL.fits_in_heap(9 * 1024 * 1024)
+
+    def test_energy_increases_with_tuning(self):
+        low = J2ME_CLAMSHELL.energy_joules(100, 1000, 0.01, CHANNEL_2MBPS)
+        high = J2ME_CLAMSHELL.energy_joules(900, 1000, 0.01, CHANNEL_2MBPS)
+        assert high > low
+
+    def test_receive_power_dominates_sleep(self):
+        """Receiving n packets must cost much more than sleeping through them."""
+        receiving = J2ME_CLAMSHELL.energy_joules(1000, 1000, 0.0, CHANNEL_2MBPS)
+        sleeping = J2ME_CLAMSHELL.energy_joules(0, 1000, 0.0, CHANNEL_2MBPS)
+        assert receiving > 10 * sleeping
+
+    def test_custom_profile(self):
+        device = DeviceProfile(name="test", heap_bytes=100)
+        assert device.fits_in_heap(100)
+        assert not device.fits_in_heap(101)

@@ -1,0 +1,77 @@
+"""Unit tests for (1, m) interleaving."""
+
+import pytest
+
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.interleave import interleave_one_m, optimal_m
+from repro.broadcast.packet import PACKET_PAYLOAD_BYTES, Segment, SegmentKind
+
+
+def data_segments(count, packets_each=2):
+    return [
+        Segment(f"data-{i}", SegmentKind.NETWORK_DATA, packets_each * PACKET_PAYLOAD_BYTES)
+        for i in range(count)
+    ]
+
+
+def index_segment(packets=1):
+    return Segment("idx", SegmentKind.INDEX, packets * PACKET_PAYLOAD_BYTES)
+
+
+class TestOptimalM:
+    def test_paper_formula(self):
+        # m = sqrt(data/index)
+        assert optimal_m(100, 4) == 5
+        assert optimal_m(81, 1) == 9
+
+    def test_at_least_one(self):
+        assert optimal_m(1, 100) == 1
+        assert optimal_m(0, 10) == 1
+
+    def test_zero_index_packets(self):
+        assert optimal_m(50, 0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_m(-1, 1)
+
+
+class TestInterleave:
+    def test_single_copy_prepends_index(self):
+        segments = interleave_one_m(data_segments(3), [index_segment()], 1)
+        assert [s.name for s in segments] == ["idx#copy0", "data-0", "data-1", "data-2"]
+
+    def test_m_copies_emitted(self):
+        segments = interleave_one_m(data_segments(8), [index_segment()], 4)
+        index_copies = [s for s in segments if s.kind == SegmentKind.INDEX]
+        assert len(index_copies) == 4
+
+    def test_copies_have_unique_names(self):
+        segments = interleave_one_m(data_segments(6), [index_segment()], 3)
+        cycle = BroadcastCycle(segments)  # would raise on duplicates
+        assert cycle.total_packets > 0
+
+    def test_data_order_preserved(self):
+        segments = interleave_one_m(data_segments(6), [index_segment()], 3)
+        data_names = [s.name for s in segments if s.kind == SegmentKind.NETWORK_DATA]
+        assert data_names == [f"data-{i}" for i in range(6)]
+
+    def test_m_capped_by_number_of_data_segments(self):
+        segments = interleave_one_m(data_segments(2), [index_segment()], 10)
+        index_copies = [s for s in segments if s.kind == SegmentKind.INDEX]
+        assert len(index_copies) <= 2
+
+    def test_copies_spread_between_groups(self):
+        segments = interleave_one_m(data_segments(9), [index_segment()], 3)
+        # Between two consecutive index copies there should be roughly 3 data segments.
+        positions = [i for i, s in enumerate(segments) if s.kind == SegmentKind.INDEX]
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert all(2 <= gap <= 6 for gap in gaps)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_one_m(data_segments(2), [index_segment()], 0)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_one_m([], [index_segment()], 1)

@@ -1,0 +1,81 @@
+"""Unit tests for metric accounting."""
+
+import pytest
+
+from repro.broadcast.device import CHANNEL_2MBPS, J2ME_CLAMSHELL
+from repro.broadcast.metrics import (
+    ClientMetrics,
+    MemoryTracker,
+    ServerMetrics,
+    average_metrics,
+)
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_high_water_mark(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        tracker.allocate(50)
+        tracker.release(120)
+        tracker.allocate(10)
+        assert tracker.current_bytes == 40
+        assert tracker.peak_bytes == 150
+
+    def test_release_never_goes_negative(self):
+        tracker = MemoryTracker()
+        tracker.allocate(10)
+        tracker.release(100)
+        assert tracker.current_bytes == 0
+
+    def test_negative_amounts_rejected(self):
+        tracker = MemoryTracker()
+        with pytest.raises(ValueError):
+            tracker.allocate(-1)
+        with pytest.raises(ValueError):
+            tracker.release(-1)
+
+
+class TestClientMetrics:
+    def test_seconds_conversions(self):
+        metrics = ClientMetrics(tuning_time_packets=1953, access_latency_packets=3906)
+        assert metrics.tuning_time_seconds(CHANNEL_2MBPS) == pytest.approx(1.0, rel=0.01)
+        assert metrics.access_latency_seconds(CHANNEL_2MBPS) == pytest.approx(2.0, rel=0.01)
+
+    def test_energy_uses_device_model(self):
+        metrics = ClientMetrics(tuning_time_packets=100, access_latency_packets=1000, cpu_seconds=0.5)
+        energy = metrics.energy_joules(J2ME_CLAMSHELL, CHANNEL_2MBPS)
+        assert energy > 0
+        # CPU contribution alone is 0.5 s * 0.2 W = 0.1 J.
+        assert energy > 0.1
+
+    def test_fits_device(self):
+        assert ClientMetrics(peak_memory_bytes=1000).fits_device(J2ME_CLAMSHELL)
+        assert not ClientMetrics(peak_memory_bytes=10**9).fits_device(J2ME_CLAMSHELL)
+
+    def test_merge_max(self):
+        a = ClientMetrics(tuning_time_packets=10, peak_memory_bytes=500)
+        b = ClientMetrics(tuning_time_packets=5, peak_memory_bytes=900)
+        merged = a.merge_max(b)
+        assert merged.tuning_time_packets == 10
+        assert merged.peak_memory_bytes == 900
+
+    def test_average_metrics(self):
+        metrics = [
+            ClientMetrics(tuning_time_packets=10, access_latency_packets=20, cpu_seconds=1.0),
+            ClientMetrics(tuning_time_packets=20, access_latency_packets=40, cpu_seconds=3.0),
+        ]
+        mean = average_metrics(metrics)
+        assert mean.tuning_time_packets == 15
+        assert mean.access_latency_packets == 30
+        assert mean.cpu_seconds == pytest.approx(2.0)
+
+    def test_average_of_empty_list(self):
+        assert average_metrics([]).tuning_time_packets == 0
+
+
+class TestServerMetrics:
+    def test_cycle_seconds(self):
+        server = ServerMetrics(
+            scheme="DJ", cycle_packets=1953, cycle_bytes=0, precomputation_seconds=0.0
+        )
+        assert server.cycle_seconds(CHANNEL_2MBPS) == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,48 @@
+"""Unit tests for packets and segments."""
+
+import pytest
+
+from repro.broadcast.packet import (
+    PACKET_HEADER_BYTES,
+    PACKET_PAYLOAD_BYTES,
+    PACKET_SIZE_BYTES,
+    Segment,
+    SegmentKind,
+    packets_for_bytes,
+)
+
+
+class TestPacketConstants:
+    def test_paper_packet_size(self):
+        assert PACKET_SIZE_BYTES == 128
+
+    def test_payload_is_size_minus_header(self):
+        assert PACKET_PAYLOAD_BYTES == PACKET_SIZE_BYTES - PACKET_HEADER_BYTES
+        assert PACKET_PAYLOAD_BYTES > 0
+
+
+class TestPacketsForBytes:
+    def test_zero_bytes_still_occupies_one_packet(self):
+        assert packets_for_bytes(0) == 1
+
+    def test_exact_fit(self):
+        assert packets_for_bytes(PACKET_PAYLOAD_BYTES) == 1
+        assert packets_for_bytes(2 * PACKET_PAYLOAD_BYTES) == 2
+
+    def test_ceiling_division(self):
+        assert packets_for_bytes(PACKET_PAYLOAD_BYTES + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            packets_for_bytes(-1)
+
+
+class TestSegment:
+    def test_num_packets_derived_from_size(self):
+        segment = Segment("s", SegmentKind.NETWORK_DATA, size_bytes=5 * PACKET_PAYLOAD_BYTES + 3)
+        assert segment.num_packets == 6
+
+    def test_metadata_defaults_empty(self):
+        segment = Segment("s", SegmentKind.INDEX, size_bytes=10)
+        assert segment.metadata == {}
+        assert segment.region is None

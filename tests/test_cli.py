@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    code = main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+COMMON = ["--network", "milan", "--scale", "0.01", "--seed", "3", "--regions", "8"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cycle", "--network", "atlantis"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["cycle"])
+        assert args.network == "germany"
+        assert args.method == "NR"
+
+
+class TestCycleCommand:
+    def test_prints_cycle_statistics(self):
+        code, output = run_cli(["cycle", "--method", "NR"] + COMMON)
+        assert code == 0
+        assert "cycle packets" in output
+        assert "pre-computation seconds" in output
+
+    def test_dijkstra_cycle_has_no_index_packets(self):
+        code, output = run_cli(["cycle", "--method", "DJ"] + COMMON)
+        assert code == 0
+        index_row = next(line for line in output.splitlines() if "index packets" in line)
+        assert index_row.split()[-1] == "0"
+
+
+class TestQueryCommand:
+    def test_runs_requested_number_of_queries(self):
+        code, output = run_cli(["query", "--method", "NR", "--queries", "4"] + COMMON)
+        assert code == 0
+        data_lines = [line for line in output.splitlines() if "->" in line]
+        assert len(data_lines) == 4
+
+    def test_memory_bound_flag_accepted(self):
+        code, output = run_cli(
+            ["query", "--method", "EB", "--queries", "2", "--memory-bound"] + COMMON
+        )
+        assert code == 0
+        assert "EB on-air queries" in output
+
+    def test_lossy_channel(self):
+        code, output = run_cli(
+            ["query", "--method", "NR", "--queries", "2", "--loss-rate", "0.05"] + COMMON
+        )
+        assert code == 0
+        assert "loss=0.05" in output
+
+
+class TestCompareCommand:
+    def test_compares_methods_with_zero_mismatches(self):
+        code, output = run_cli(
+            ["compare", "--methods", "NR,DJ", "--queries", "4"] + COMMON
+        )
+        assert code == 0
+        lines = [line for line in output.splitlines() if line.startswith(("NR", "DJ"))]
+        assert len(lines) == 2
+        # Last column is the mismatch count; it must be zero for both.
+        assert all(line.split()[-1] == "0" for line in lines)

@@ -1,0 +1,60 @@
+"""Unit tests for the ArcFlag index."""
+
+import random
+
+import pytest
+
+from repro.index.arcflag import ArcFlagIndex
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+
+@pytest.fixture(scope="module")
+def arcflag(small_network):
+    partitioning = build_kdtree_partitioning(small_network, 8)
+    return ArcFlagIndex(small_network, partitioning)
+
+
+class TestConstruction:
+    def test_every_edge_has_a_flag(self, small_network, arcflag):
+        assert len(arcflag.flags) == small_network.num_edges
+
+    def test_intra_region_bit_always_set(self, small_network, arcflag):
+        for (source, target), flag in arcflag.flags.items():
+            target_region = arcflag.partitioning.region_of(target)
+            assert flag & (1 << target_region)
+
+    def test_flag_bytes_per_edge(self, arcflag):
+        assert arcflag.flag_bytes_per_edge() == 1  # 8 regions -> 1 byte
+
+    def test_size_bytes(self, small_network, arcflag):
+        assert arcflag.size_bytes() == small_network.num_edges * 1
+
+    def test_precomputation_time_recorded(self, arcflag):
+        assert arcflag.precomputation_seconds > 0.0
+
+
+class TestQuery:
+    def test_matches_dijkstra_on_random_queries(self, small_network, arcflag):
+        rng = random.Random(8)
+        nodes = small_network.node_ids()
+        for _ in range(25):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            expected = shortest_path(small_network, source, target).distance
+            assert arcflag.query(source, target).distance == pytest.approx(expected)
+
+    def test_search_prunes_edges(self, small_network, arcflag):
+        """ArcFlag should settle no more nodes than plain Dijkstra on average."""
+        rng = random.Random(9)
+        nodes = small_network.node_ids()
+        plain_total = 0
+        pruned_total = 0
+        for _ in range(15):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            plain_total += shortest_path(small_network, source, target).settled
+            pruned_total += arcflag.query(source, target).settled
+        assert pruned_total <= plain_total
+
+    def test_flag_of_returns_bitmask(self, small_network, arcflag):
+        edge = next(iter(small_network.edges()))
+        assert arcflag.flag_of(edge.source, edge.target) > 0

@@ -1,0 +1,71 @@
+"""Unit tests for the HiTi hierarchical index."""
+
+import random
+
+import pytest
+
+from repro.index.hiti import HiTiIndex
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+
+@pytest.fixture(scope="module")
+def hiti(small_network):
+    partitioning = build_kdtree_partitioning(small_network, 8)
+    return HiTiIndex(small_network, partitioning)
+
+
+class TestHierarchy:
+    def test_number_of_levels(self, hiti):
+        # 8 leaf regions -> levels of block size 1, 2, 4, 8.
+        assert len(hiti.levels) == 4
+
+    def test_leaf_level_has_one_subgraph_per_region(self, hiti):
+        assert len(hiti.levels[0]) == 8
+
+    def test_top_level_covers_all_regions(self, hiti):
+        top = list(hiti.levels[-1].values())[0]
+        assert set(top.regions) == set(range(8))
+
+    def test_top_level_has_no_border_nodes(self, hiti):
+        top = list(hiti.levels[-1].values())[0]
+        assert top.border_nodes == []
+
+    def test_border_nodes_shrink_up_the_hierarchy(self, hiti):
+        total_per_level = [
+            sum(len(s.border_nodes) for s in level.values()) for level in hiti.levels
+        ]
+        assert total_per_level == sorted(total_per_level, reverse=True)
+
+    def test_super_edges_present(self, hiti):
+        assert hiti.num_super_edges() > 0
+        assert hiti.size_bytes() == hiti.num_super_edges() * 12
+
+
+class TestSuperEdgeWeights:
+    def test_leaf_super_edges_are_within_region_shortest_paths(self, small_network, hiti):
+        """A super-edge never underestimates the full-graph distance."""
+        for region, subgraph in hiti.levels[0].items():
+            for (u, v), weight in list(subgraph.super_edges.items())[:10]:
+                true_distance = shortest_path(small_network, u, v).distance
+                assert weight >= true_distance - 1e-9
+
+    def test_precomputation_time_recorded(self, hiti):
+        assert hiti.precomputation_seconds > 0.0
+
+
+class TestQuery:
+    def test_matches_dijkstra_distances(self, small_network, hiti):
+        rng = random.Random(14)
+        nodes = small_network.node_ids()
+        for _ in range(25):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            expected = shortest_path(small_network, source, target).distance
+            assert hiti.query(source, target).distance == pytest.approx(expected)
+
+    def test_same_region_query(self, small_network, hiti):
+        region_nodes = hiti.partitioning.nodes_in_region(0)
+        if len(region_nodes) >= 2:
+            source, target = region_nodes[0], region_nodes[1]
+            expected = shortest_path(small_network, source, target).distance
+            assert hiti.query(source, target).distance == pytest.approx(expected)

@@ -1,0 +1,93 @@
+"""Unit tests for the Landmark (ALT) index."""
+
+import random
+
+import pytest
+
+from repro.index.landmark import (
+    LandmarkIndex,
+    select_landmarks_farthest,
+    select_landmarks_random,
+)
+from repro.network.algorithms.dijkstra import shortest_path
+
+
+@pytest.fixture(scope="module")
+def landmark_index(small_network):
+    return LandmarkIndex(small_network, num_landmarks=4)
+
+
+class TestLandmarkSelection:
+    def test_farthest_selection_returns_requested_count(self, small_network):
+        assert len(select_landmarks_farthest(small_network, 5)) == 5
+
+    def test_farthest_selection_is_spread_out(self, small_network):
+        landmarks = select_landmarks_farthest(small_network, 3)
+        assert len(set(landmarks)) == 3
+
+    def test_random_selection_deterministic_per_seed(self, small_network):
+        assert select_landmarks_random(small_network, 4, seed=1) == select_landmarks_random(
+            small_network, 4, seed=1
+        )
+
+    def test_random_selection_caps_at_network_size(self, grid_network):
+        landmarks = select_landmarks_random(grid_network, 10_000, seed=0)
+        assert len(landmarks) == grid_network.num_nodes
+
+    def test_invalid_count_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            select_landmarks_farthest(small_network, 0)
+
+
+class TestLowerBound:
+    def test_lower_bound_is_admissible(self, small_network, landmark_index):
+        rng = random.Random(10)
+        nodes = small_network.node_ids()
+        for _ in range(30):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            true_distance = shortest_path(small_network, a, b).distance
+            assert landmark_index.lower_bound(a, b) <= true_distance + 1e-9
+
+    def test_lower_bound_non_negative(self, small_network, landmark_index):
+        rng = random.Random(11)
+        nodes = small_network.node_ids()
+        for _ in range(20):
+            a, b = rng.choice(nodes), rng.choice(nodes)
+            assert landmark_index.lower_bound(a, b) >= 0.0
+
+    def test_lower_bound_to_self_is_zero(self, small_network, landmark_index):
+        for node in small_network.node_ids()[:10]:
+            assert landmark_index.lower_bound(node, node) == pytest.approx(0.0)
+
+
+class TestQuery:
+    def test_matches_dijkstra(self, small_network, landmark_index):
+        rng = random.Random(12)
+        nodes = small_network.node_ids()
+        for _ in range(25):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            expected = shortest_path(small_network, source, target).distance
+            assert landmark_index.query(source, target).distance == pytest.approx(expected)
+
+    def test_guided_search_settles_no_more_than_dijkstra(self, small_network, landmark_index):
+        rng = random.Random(13)
+        nodes = small_network.node_ids()
+        plain_total = 0
+        guided_total = 0
+        for _ in range(15):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            plain_total += shortest_path(small_network, source, target).settled
+            guided_total += landmark_index.query(source, target).settled
+        assert guided_total <= plain_total
+
+
+class TestSizing:
+    def test_distance_vector_length(self, landmark_index, small_network):
+        node = small_network.node_ids()[0]
+        assert len(landmark_index.distance_vector(node)) == 2 * landmark_index.num_landmarks
+
+    def test_vector_bytes_per_node(self, landmark_index):
+        assert landmark_index.vector_bytes_per_node() == 2 * 4 * 4
+
+    def test_total_size(self, landmark_index, small_network):
+        assert landmark_index.size_bytes() == small_network.num_nodes * 32

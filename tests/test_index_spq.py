@@ -1,0 +1,79 @@
+"""Unit tests for the shortest path quad-tree (SPQ) index."""
+
+import random
+
+import pytest
+
+from repro.index.spq import ColoredQuadTree, ShortestPathQuadTreeIndex
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.generators import GeneratorConfig, generate_road_network
+
+
+@pytest.fixture(scope="module")
+def spq_network():
+    """A dedicated (tiny) network: SPQ needs one Dijkstra per node."""
+    return generate_road_network(GeneratorConfig(num_nodes=120, num_edges=280, seed=17))
+
+
+@pytest.fixture(scope="module")
+def spq(spq_network):
+    return ShortestPathQuadTreeIndex(spq_network)
+
+
+class TestColoredQuadTree:
+    def test_uniform_points_collapse_to_one_block(self):
+        points = [(float(i), float(i), 3) for i in range(20)]
+        tree = ColoredQuadTree(points, (0, 0, 20, 20))
+        assert tree.num_blocks == 1
+        assert tree.color_at(5, 5) == 3
+
+    def test_mixed_colors_split(self):
+        points = [(1.0, 1.0, 0), (9.0, 9.0, 1)]
+        tree = ColoredQuadTree(points, (0, 0, 10, 10))
+        assert tree.num_blocks > 1
+        assert tree.color_at(1.0, 1.0) == 0
+        assert tree.color_at(9.0, 9.0) == 1
+
+    def test_empty_tree_returns_sentinel(self):
+        tree = ColoredQuadTree([], (0, 0, 10, 10))
+        assert tree.color_at(5, 5) == -1
+
+    def test_lookup_returns_stored_color_for_every_point(self):
+        rng = random.Random(0)
+        points = [
+            (rng.uniform(0, 100), rng.uniform(0, 100), rng.randint(0, 3))
+            for _ in range(150)
+        ]
+        tree = ColoredQuadTree(points, (0, 0, 100, 100))
+        for x, y, color in points[:50]:
+            assert tree.color_at(x, y) == color
+
+
+class TestIndex:
+    def test_quadtree_built_for_every_node(self, spq_network, spq):
+        assert len(spq.quadtrees) == spq_network.num_nodes
+
+    def test_total_blocks_and_size(self, spq):
+        assert spq.total_blocks() > 0
+        assert spq.size_bytes() == 4 * spq.total_blocks()
+
+    def test_query_matches_dijkstra(self, spq_network, spq):
+        rng = random.Random(15)
+        nodes = spq_network.node_ids()
+        for _ in range(20):
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            expected = shortest_path(spq_network, source, target).distance
+            assert spq.query(source, target).distance == pytest.approx(expected)
+
+    def test_query_same_node(self, spq_network, spq):
+        node = spq_network.node_ids()[0]
+        result = spq.query(node, node)
+        assert result.distance == 0.0
+        assert result.path == [node]
+
+    def test_query_path_follows_edges(self, spq_network, spq):
+        from repro.network.algorithms.paths import validate_path
+
+        nodes = spq_network.node_ids()
+        result = spq.query(nodes[0], nodes[-1])
+        assert validate_path(spq_network, result.path)

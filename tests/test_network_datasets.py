@@ -1,0 +1,61 @@
+"""Unit tests for the paper-network dataset registry."""
+
+import pytest
+
+from repro.network import datasets
+
+
+class TestRegistry:
+    def test_all_five_paper_networks_registered(self):
+        assert datasets.available() == [
+            "milan",
+            "germany",
+            "argentina",
+            "india",
+            "san_francisco",
+        ]
+
+    def test_paper_sizes_match_table_2(self):
+        assert datasets.spec("germany").num_nodes == 28_867
+        assert datasets.spec("germany").num_edges == 30_429
+        assert datasets.spec("san_francisco").num_nodes == 174_956
+        assert datasets.spec("milan").num_edges == 26_849
+
+    def test_spec_name_normalization(self):
+        assert datasets.spec("San Francisco").name == "san_francisco"
+        assert datasets.spec("GERMANY").name == "germany"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            datasets.spec("atlantis")
+
+    def test_scaled_spec(self):
+        scaled = datasets.spec("germany").scaled(0.1)
+        assert scaled.num_nodes == pytest.approx(2887, abs=1)
+        assert scaled.num_edges == pytest.approx(3043, abs=1)
+
+    def test_scaled_spec_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            datasets.spec("germany").scaled(0)
+
+
+class TestLoad:
+    def test_load_scaled_network_has_expected_size(self):
+        network = datasets.load("milan", scale=0.02, seed=1)
+        target_nodes = int(round(14_021 * 0.02))
+        assert 0.6 * target_nodes <= network.num_nodes <= target_nodes
+
+    def test_load_is_deterministic(self):
+        a = datasets.load("milan", scale=0.02, seed=3)
+        b = datasets.load("milan", scale=0.02, seed=3)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+
+    def test_different_networks_differ(self):
+        milan = datasets.load("milan", scale=0.02, seed=3)
+        germany = datasets.load("germany", scale=0.02, seed=3)
+        assert milan.num_nodes != germany.num_nodes or milan.num_edges != germany.num_edges
+
+    def test_loaded_network_is_connected(self):
+        network = datasets.load("argentina", scale=0.005, seed=2)
+        assert network.is_weakly_connected()

@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro.network.generators import (
+    GeneratorConfig,
+    generate_grid_network,
+    generate_road_network,
+)
+
+
+class TestGridGenerator:
+    def test_node_and_edge_counts(self):
+        network = generate_grid_network(rows=4, cols=5, seed=0)
+        assert network.num_nodes == 20
+        # 4*4 horizontal + 3*5 vertical candidate pairs, both directions.
+        assert network.num_edges == 2 * (4 * 4 + 3 * 5)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_grid_network(rows=0, cols=3)
+
+    def test_grid_is_connected(self):
+        network = generate_grid_network(rows=5, cols=5, seed=2)
+        assert network.is_weakly_connected()
+
+    def test_zero_noise_gives_uniform_row_weights(self):
+        network = generate_grid_network(rows=2, cols=3, extent=100.0, seed=3)
+        weights = {round(e.weight, 6) for e in network.edges()}
+        assert len(weights) <= 2  # horizontal spacing and vertical spacing
+
+
+class TestRoadGenerator:
+    def test_deterministic_for_same_seed(self):
+        config = GeneratorConfig(num_nodes=150, num_edges=340, seed=9)
+        a = generate_road_network(config)
+        b = generate_road_network(config)
+        assert a.num_nodes == b.num_nodes
+        assert a.num_edges == b.num_edges
+        assert sorted((e.source, e.target, round(e.weight, 9)) for e in a.edges()) == sorted(
+            (e.source, e.target, round(e.weight, 9)) for e in b.edges()
+        )
+
+    def test_different_seeds_differ(self):
+        a = generate_road_network(GeneratorConfig(num_nodes=150, num_edges=340, seed=1))
+        b = generate_road_network(GeneratorConfig(num_nodes=150, num_edges=340, seed=2))
+        edges_a = sorted((e.source, e.target, round(e.weight, 9)) for e in a.edges())
+        edges_b = sorted((e.source, e.target, round(e.weight, 9)) for e in b.edges())
+        assert edges_a != edges_b
+
+    def test_result_is_connected_and_valid(self):
+        network = generate_road_network(GeneratorConfig(num_nodes=300, num_edges=700, seed=4))
+        assert network.is_weakly_connected()
+        network.validate()
+
+    def test_node_count_close_to_target(self):
+        network = generate_road_network(GeneratorConfig(num_nodes=250, num_edges=600, seed=5))
+        assert 0.7 * 250 <= network.num_nodes <= 250
+
+    def test_edge_count_close_to_target(self):
+        network = generate_road_network(GeneratorConfig(num_nodes=250, num_edges=600, seed=6))
+        assert 0.5 * 600 <= network.num_edges <= 1.3 * 600
+
+    def test_low_average_degree_like_road_networks(self):
+        network = generate_road_network(GeneratorConfig(num_nodes=400, num_edges=900, seed=7))
+        average_out_degree = network.num_edges / network.num_nodes
+        assert average_out_degree < 4.0
+
+    def test_weights_positive(self):
+        network = generate_road_network(GeneratorConfig(num_nodes=120, num_edges=260, seed=8))
+        assert all(e.weight > 0 for e in network.edges())
+
+    def test_too_small_request_rejected(self):
+        with pytest.raises(ValueError):
+            generate_road_network(GeneratorConfig(num_nodes=2, num_edges=2))

@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.network.graph`."""
+
+import pytest
+
+from repro.network.graph import Edge, Node, RoadNetwork, build_network
+
+
+def simple_triangle() -> RoadNetwork:
+    network = RoadNetwork(name="triangle")
+    network.add_node(1, 0.0, 0.0)
+    network.add_node(2, 1.0, 0.0)
+    network.add_node(3, 0.0, 1.0)
+    network.add_edge(1, 2, 5.0)
+    network.add_edge(2, 3, 2.0)
+    network.add_edge(3, 1, 1.0)
+    return network
+
+
+class TestConstruction:
+    def test_add_node_and_lookup(self):
+        network = RoadNetwork()
+        node = network.add_node(7, 1.5, -2.5)
+        assert node == Node(7, 1.5, -2.5)
+        assert network.node(7).coordinates() == (1.5, -2.5)
+        assert 7 in network
+        assert network.has_node(7)
+
+    def test_add_edge_requires_existing_endpoints(self):
+        network = RoadNetwork()
+        network.add_node(1, 0, 0)
+        with pytest.raises(KeyError):
+            network.add_edge(1, 2, 1.0)
+        with pytest.raises(KeyError):
+            network.add_edge(3, 1, 1.0)
+
+    def test_negative_weight_rejected(self):
+        network = RoadNetwork()
+        network.add_node(1, 0, 0)
+        network.add_node(2, 1, 0)
+        with pytest.raises(ValueError):
+            network.add_edge(1, 2, -0.5)
+
+    def test_bidirectional_edge_adds_both_directions(self):
+        network = RoadNetwork()
+        network.add_node(1, 0, 0)
+        network.add_node(2, 1, 0)
+        network.add_bidirectional_edge(1, 2, 3.0)
+        assert network.has_edge(1, 2)
+        assert network.has_edge(2, 1)
+        assert network.num_edges == 2
+
+    def test_build_network_helper(self):
+        network = build_network(
+            nodes=[(1, 0.0, 0.0), (2, 1.0, 1.0)],
+            edges=[(1, 2, 2.5)],
+            name="helper",
+        )
+        assert network.num_nodes == 2
+        assert network.edge_weight(1, 2) == 2.5
+
+
+class TestInspection:
+    def test_counts(self):
+        network = simple_triangle()
+        assert network.num_nodes == 3
+        assert network.num_edges == 3
+        assert len(network) == 3
+
+    def test_neighbors_and_degrees(self):
+        network = simple_triangle()
+        assert network.neighbors(1) == [(2, 5.0)]
+        assert network.in_neighbors(1) == [(3, 1.0)]
+        assert network.out_degree(2) == 1
+        assert network.in_degree(2) == 1
+
+    def test_edge_weight_picks_minimum_parallel_edge(self):
+        network = simple_triangle()
+        network.add_edge(1, 2, 4.0)
+        assert network.edge_weight(1, 2) == 4.0
+
+    def test_edge_weight_missing_edge_raises(self):
+        network = simple_triangle()
+        with pytest.raises(KeyError):
+            network.edge_weight(1, 3)
+
+    def test_edges_iteration_yields_all(self):
+        network = simple_triangle()
+        edges = set((e.source, e.target, e.weight) for e in network.edges())
+        assert edges == {(1, 2, 5.0), (2, 3, 2.0), (3, 1, 1.0)}
+
+    def test_edge_reversed(self):
+        edge = Edge(1, 2, 3.5)
+        assert edge.reversed() == Edge(2, 1, 3.5)
+
+    def test_bounding_box(self):
+        network = simple_triangle()
+        assert network.bounding_box() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            RoadNetwork().bounding_box()
+
+    def test_euclidean_distance(self):
+        network = simple_triangle()
+        assert network.euclidean_distance(1, 2) == pytest.approx(1.0)
+
+    def test_total_weight(self):
+        assert simple_triangle().total_weight() == pytest.approx(8.0)
+
+
+class TestDerivedNetworks:
+    def test_subgraph_keeps_internal_edges_only(self):
+        network = simple_triangle()
+        sub = network.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+        assert sub.num_edges == 1
+
+    def test_reversed_flips_every_edge(self):
+        network = simple_triangle()
+        reversed_network = network.reversed()
+        assert reversed_network.has_edge(2, 1)
+        assert reversed_network.has_edge(3, 2)
+        assert reversed_network.has_edge(1, 3)
+        assert reversed_network.num_edges == network.num_edges
+
+    def test_copy_is_independent(self):
+        network = simple_triangle()
+        duplicate = network.copy()
+        duplicate.add_node(99, 9, 9)
+        assert not network.has_node(99)
+        assert duplicate.num_edges == network.num_edges
+
+    def test_validate_passes_on_well_formed_network(self):
+        simple_triangle().validate()
+
+
+class TestConnectivity:
+    def test_weakly_connected_single_component(self):
+        network = simple_triangle()
+        assert network.is_weakly_connected()
+        assert len(network.weakly_connected_components()) == 1
+
+    def test_two_components_detected(self):
+        network = simple_triangle()
+        network.add_node(10, 5, 5)
+        network.add_node(11, 6, 6)
+        network.add_edge(10, 11, 1.0)
+        components = network.weakly_connected_components()
+        assert len(components) == 2
+        assert not network.is_weakly_connected()
+
+    def test_largest_component_selected(self):
+        network = simple_triangle()
+        network.add_node(10, 5, 5)  # isolated node
+        largest = network.largest_component()
+        assert largest.num_nodes == 3
+        assert not largest.has_node(10)

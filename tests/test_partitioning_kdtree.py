@@ -1,0 +1,96 @@
+"""Unit tests for kd-tree partitioning (paper Section 4.1, Figure 2)."""
+
+import random
+
+import pytest
+
+from repro.partitioning.kdtree import KDTreePartitioner, build_kdtree_partitioning
+
+
+class TestBuild:
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            KDTreePartitioner.build([(0, 0), (1, 1)], 3)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            KDTreePartitioner.build([], 4)
+
+    def test_single_region_maps_everything_to_zero(self):
+        partitioner = KDTreePartitioner.build([(0, 0), (5, 5), (9, 1)], 1)
+        assert partitioner.num_regions == 1
+        assert partitioner.locate(100, -100) == 0
+
+    def test_regions_cover_all_points(self):
+        rng = random.Random(1)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(200)]
+        partitioner = KDTreePartitioner.build(points, 16)
+        regions = {partitioner.locate(x, y) for x, y in points}
+        assert regions <= set(range(16))
+        # Median splits over 200 points should populate every leaf.
+        assert len(regions) == 16
+
+    def test_region_ids_in_range_for_arbitrary_queries(self):
+        rng = random.Random(2)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(64)]
+        partitioner = KDTreePartitioner.build(points, 8)
+        for _ in range(100):
+            region = partitioner.locate(rng.uniform(-5, 15), rng.uniform(-5, 15))
+            assert 0 <= region < 8
+
+    def test_median_split_balances_leaf_populations(self):
+        rng = random.Random(3)
+        points = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(256)]
+        partitioner = KDTreePartitioner.build(points, 16)
+        counts = [0] * 16
+        for x, y in points:
+            counts[partitioner.locate(x, y)] += 1
+        assert max(counts) <= 2 * (256 // 16) + 2
+
+
+class TestSplittingValues:
+    def test_number_of_splitting_values(self):
+        rng = random.Random(4)
+        points = [(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(100)]
+        for regions in (2, 4, 8, 16, 32):
+            partitioner = KDTreePartitioner.build(points, regions)
+            assert len(partitioner.splitting_values()) == regions - 1
+
+    def test_first_split_is_median_y(self):
+        points = [(float(i), float(i % 7)) for i in range(21)]
+        partitioner = KDTreePartitioner.build(points, 2)
+        ys = sorted(y for _, y in points)
+        assert partitioner.splitting_values()[0] == ys[(len(ys) - 1) // 2]
+
+    def test_reconstruction_matches_original_locator(self):
+        rng = random.Random(5)
+        points = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(300)]
+        original = KDTreePartitioner.build(points, 32)
+        rebuilt = KDTreePartitioner.from_splitting_values(
+            original.splitting_values(), 32
+        )
+        for _ in range(200):
+            x, y = rng.uniform(-100, 1100), rng.uniform(-100, 1100)
+            assert original.locate(x, y) == rebuilt.locate(x, y)
+
+    def test_reconstruction_validates_length(self):
+        with pytest.raises(ValueError):
+            KDTreePartitioner.from_splitting_values([1.0, 2.0], 4)
+
+    def test_reconstruction_validates_power_of_two(self):
+        with pytest.raises(ValueError):
+            KDTreePartitioner.from_splitting_values([1.0, 2.0], 3)
+
+
+class TestNetworkPartitioning:
+    def test_partitioning_assigns_every_node(self, small_network):
+        partitioning = build_kdtree_partitioning(small_network, 16)
+        assert sum(partitioning.region_sizes()) == small_network.num_nodes
+
+    def test_paper_example_region_numbering_is_left_to_right(self):
+        # Four points in four quadrants; with 4 regions the numbering must
+        # follow the leaf order (bottom-left first within the left subtree).
+        points = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]
+        partitioner = KDTreePartitioner.build(points, 4)
+        regions = [partitioner.locate(x, y) for x, y in points]
+        assert sorted(regions) == [0, 1, 2, 3]

@@ -1,0 +1,64 @@
+"""Unit tests for the Hilbert curve mapping."""
+
+import pytest
+
+from repro.spatial.hilbert import (
+    hilbert_index,
+    hilbert_order_for,
+    hilbert_point,
+    point_to_hilbert,
+)
+
+
+class TestHilbertMapping:
+    def test_order_one_visits_all_four_cells(self):
+        distances = {hilbert_index(1, x, y) for x in range(2) for y in range(2)}
+        assert distances == {0, 1, 2, 3}
+
+    def test_round_trip_for_every_cell(self):
+        order = 4
+        side = 1 << order
+        for x in range(side):
+            for y in range(side):
+                assert hilbert_point(order, hilbert_index(order, x, y)) == (x, y)
+
+    def test_bijection_covers_all_distances(self):
+        order = 3
+        side = 1 << order
+        values = {hilbert_index(order, x, y) for x in range(side) for y in range(side)}
+        assert values == set(range(side * side))
+
+    def test_adjacent_curve_positions_are_adjacent_cells(self):
+        """The locality property the air indexes rely on."""
+        order = 5
+        side = 1 << order
+        for distance in range(side * side - 1):
+            x1, y1 = hilbert_point(order, distance)
+            x2, y2 = hilbert_point(order, distance + 1)
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index(2, 4, 0)
+        with pytest.raises(ValueError):
+            hilbert_point(2, 16)
+
+
+class TestHelpers:
+    def test_order_for_grows_with_object_count(self):
+        assert hilbert_order_for(10) < hilbert_order_for(100_000)
+
+    def test_order_is_capped(self):
+        assert hilbert_order_for(10**12) <= 16
+
+    def test_point_to_hilbert_respects_bounds(self):
+        bounds = (0.0, 0.0, 100.0, 100.0)
+        value_low = point_to_hilbert(0.0, 0.0, bounds, 4)
+        value_clamped = point_to_hilbert(-50.0, -50.0, bounds, 4)
+        assert value_low == value_clamped
+
+    def test_nearby_points_nearby_values_often(self):
+        bounds = (0.0, 0.0, 100.0, 100.0)
+        a = point_to_hilbert(10.0, 10.0, bounds, 6)
+        b = point_to_hilbert(10.5, 10.5, bounds, 6)
+        assert abs(a - b) < (1 << 6) ** 2 / 4

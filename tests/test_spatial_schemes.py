@@ -1,0 +1,99 @@
+"""Tests for the Appendix A spatial air indexes (HCI, DSI, BGI)."""
+
+import random
+
+import pytest
+
+from repro.spatial import (
+    BroadcastGridIndexScheme,
+    DistributedSpatialIndexScheme,
+    HilbertCurveIndexScheme,
+    generate_points,
+)
+
+SCHEME_CLASSES = [
+    HilbertCurveIndexScheme,
+    DistributedSpatialIndexScheme,
+    BroadcastGridIndexScheme,
+]
+
+
+@pytest.fixture(scope="module")
+def points():
+    return generate_points(250, extent=1_000.0, seed=9, clusters=4)
+
+
+@pytest.fixture(scope="module", params=SCHEME_CLASSES, ids=lambda cls: cls.short_name)
+def scheme(request, points):
+    return request.param(points)
+
+
+class TestPointGeneration:
+    def test_count_and_determinism(self):
+        a = generate_points(100, seed=3)
+        b = generate_points(100, seed=3)
+        assert len(a) == 100
+        assert a == b
+
+    def test_clustered_points_stay_in_extent(self):
+        for point in generate_points(200, extent=500.0, seed=1, clusters=5):
+            assert 0.0 <= point.x <= 500.0
+            assert 0.0 <= point.y <= 500.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_points(-1)
+
+
+class TestRangeQueries:
+    def test_matches_ground_truth_on_random_windows(self, scheme):
+        rng = random.Random(17)
+        for _ in range(8):
+            x0, y0 = rng.uniform(0, 800), rng.uniform(0, 800)
+            window = (x0, y0, x0 + rng.uniform(50, 250), y0 + rng.uniform(50, 250))
+            result = scheme.range_query(window)
+            assert result.object_ids == scheme.true_range(window)
+
+    def test_empty_window(self, scheme):
+        result = scheme.range_query((-100.0, -100.0, -50.0, -50.0))
+        assert result.object_ids == []
+
+    def test_whole_extent_returns_everything(self, scheme, points):
+        result = scheme.range_query((0.0, 0.0, 1_000.0, 1_000.0))
+        assert len(result.object_ids) == len(points)
+
+    def test_metrics_populated(self, scheme):
+        result = scheme.range_query((100.0, 100.0, 400.0, 400.0))
+        assert result.metrics.tuning_time_packets > 0
+        assert result.metrics.access_latency_packets >= result.metrics.tuning_time_packets
+
+    def test_selective_tuning_beats_full_cycle(self, scheme):
+        """A small window must not require receiving the whole cycle."""
+        result = scheme.range_query((10.0, 10.0, 60.0, 60.0))
+        assert result.metrics.tuning_time_packets < scheme.cycle.total_packets
+
+
+class TestKnnQueries:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_ground_truth(self, scheme, k):
+        rng = random.Random(23)
+        for _ in range(5):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            result = scheme.knn_query(x, y, k)
+            assert result.object_ids == scheme.true_knn(x, y, k)
+
+    def test_k_larger_than_dataset(self, scheme, points):
+        result = scheme.knn_query(500.0, 500.0, len(points) + 50)
+        assert len(result.object_ids) == len(points)
+
+    def test_invalid_k_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.knn_query(0.0, 0.0, 0)
+
+
+class TestLossResilience:
+    def test_range_query_correct_under_loss(self, scheme):
+        channel = scheme.channel(loss_rate=0.05, seed=3)
+        window = (200.0, 200.0, 600.0, 600.0)
+        result = scheme.range_query(window, channel=channel)
+        assert result.object_ids == scheme.true_range(window)
