@@ -19,7 +19,8 @@ from repro.air.packing import (
     expected_vulnerable_packets,
 )
 from repro.broadcast.interleave import optimal_m
-from repro.experiments import QueryWorkload, build_network, build_scheme, report, run_workload
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, build_network, report
 from repro.partitioning.grid import build_grid_partitioning
 from repro.partitioning.kdtree import build_kdtree_partitioning
 
@@ -28,16 +29,16 @@ from conftest import write_report
 
 @pytest.fixture(scope="module")
 def ablation_network(bench_config):
-    network = build_network(bench_config)
+    system = AirSystem(build_network(bench_config), config=bench_config)
     workload = QueryWorkload(
-        network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
+        system.network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
     )
-    return network, workload
+    return system, workload
 
 
 def test_ablation_kdtree_vs_grid_partition_balance(benchmark, ablation_network):
     """Section 4.1: kd-tree regions are balanced, grid cells are not."""
-    network, _ = ablation_network
+    network = ablation_network[0].network
     kdtree = build_kdtree_partitioning(network, 16)
     benchmark.pedantic(lambda: build_grid_partitioning(network, 4, 4), rounds=1, iterations=1)
     grid = build_grid_partitioning(network, 4, 4)
@@ -61,13 +62,13 @@ def test_ablation_kdtree_vs_grid_partition_balance(benchmark, ablation_network):
 def test_ablation_cross_border_split_saves_tuning(benchmark, ablation_network, bench_config):
     """Section 4.1: receiving only cross-border segments of intermediate
     regions saves tuning time (the paper reports about 20%)."""
-    network, workload = ablation_network
-    scheme = build_scheme("EB", network, bench_config)
-    client = scheme.client()
-    nodes = network.node_ids()
+    system, workload = ablation_network
+    scheme = system.scheme("EB")
+    client = system.client("EB")
+    nodes = system.network.node_ids()
     benchmark(lambda: client.query(nodes[0], nodes[-1]))
 
-    run = run_workload(scheme, workload, bench_config)
+    run = system.query_batch("EB", workload)
     with_split = run.mean.tuning_time_packets
 
     # Without the optimization the client would also receive the local
@@ -118,8 +119,8 @@ def test_ablation_square_vs_row_major_packing(benchmark, bench_config):
 
 def test_ablation_one_m_interleaving_optimum(benchmark, ablation_network, bench_config):
     """Section 2.2: the (1, m) optimum balances index wait against data wait."""
-    network, _ = ablation_network
-    scheme = build_scheme("EB", network, bench_config)
+    system, _ = ablation_network
+    scheme = system.scheme("EB")
     data_packets = scheme.server_metrics().data_packets
     index_packets = scheme.index_packets
     benchmark.pedantic(lambda: optimal_m(data_packets, index_packets), rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Engine cycle cache -- cold builds vs cached reuse.
+
+Not a table or figure of the paper: a smoke benchmark for the
+:class:`~repro.engine.system.AirSystem` facade.  It measures how long the
+first (cold) construction of each comparison scheme takes -- kd partitioning,
+border-path pre-computation, cycle layout -- against a second (cached) pass
+over the same ``(scheme, params, network)`` keys, and asserts the cache
+actually short-circuits the rebuild.
+
+Run standalone like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_cache.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import air
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, build_network, report
+
+from conftest import write_report
+
+METHODS = air.comparison_schemes()
+
+
+@pytest.fixture(scope="module")
+def cache_timings(small_bench_config):
+    system = AirSystem(build_network(small_bench_config), config=small_bench_config)
+    timings = {}
+    for method in METHODS:
+        started = time.perf_counter()
+        system.scheme(method)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        system.scheme(method)
+        warm = time.perf_counter() - started
+        timings[method] = (cold, warm)
+    return system, timings
+
+
+def test_engine_cache_hits_skip_rebuilds(benchmark, cache_timings, small_bench_config):
+    system, timings = cache_timings
+
+    info = system.cache_info()
+    assert info.misses == len(METHODS)
+    assert info.hits >= len(METHODS)
+    assert info.entries == len(METHODS)
+
+    # Cached lookups must return the very same built scheme object.
+    assert system.scheme("NR") is system.scheme("NR")
+    # ...while different parameters are a different cache entry.
+    system.scheme("NR", num_regions=max(4, small_bench_config.eb_nr_regions // 2))
+    assert system.cache_info().entries == len(METHODS) + 1
+
+    # Benchmark the cached lookup itself (should be microseconds).
+    benchmark(lambda: system.scheme("EB"))
+
+    rows = []
+    for method in METHODS:
+        cold, warm = timings[method]
+        speedup = cold / warm if warm > 0 else float("inf")
+        rows.append(
+            [method, round(cold * 1000.0, 2), round(warm * 1000.0, 4), round(speedup, 1)]
+        )
+    table = report.format_table(
+        ["Method", "Cold build (ms)", "Cached (ms)", "Speedup"],
+        rows,
+        title=(
+            "Engine cycle cache: cold vs cached scheme construction -- "
+            f"{system.network.name} (scale={small_bench_config.scale})"
+        ),
+    )
+    write_report("engine_cache", table)
+
+    for method, (cold, warm) in timings.items():
+        assert warm < cold, f"{method}: cached access not faster than cold build"
+
+
+def test_engine_batch_reuses_cycles(cache_timings, small_bench_config):
+    """A whole comparison sweep after the warm-up adds zero cache misses."""
+    system, _ = cache_timings
+    misses_before = system.cache_info().misses
+    workload = QueryWorkload(system.network, 4, seed=small_bench_config.seed)
+    runs = system.compare(METHODS, workload)
+    assert system.cache_info().misses == misses_before
+    for run in runs.values():
+        assert run.mismatches == 0

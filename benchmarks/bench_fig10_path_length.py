@@ -15,50 +15,45 @@ from __future__ import annotations
 
 import pytest
 
+from repro import air
 from repro.broadcast.metrics import average_metrics
-from repro.experiments import (
-    COMPARISON_METHODS,
-    QueryWorkload,
-    build_network,
-    build_scheme,
-    report,
-    run_workload,
-)
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, build_network, report
 
 from conftest import write_report
+
+METHODS = air.comparison_schemes()
 
 
 @pytest.fixture(scope="module")
 def figure10_runs(bench_config):
-    network = build_network(bench_config)
-    workload = QueryWorkload(network, bench_config.num_queries, seed=bench_config.seed)
+    system = AirSystem(build_network(bench_config), config=bench_config)
+    workload = QueryWorkload(system.network, bench_config.num_queries, seed=bench_config.seed)
     buckets = workload.bucket_by_length(4)
 
-    schemes = {
-        method: build_scheme(method, network, bench_config)
-        for method in COMPARISON_METHODS
-    }
     per_bucket = {}
     mismatches = 0
     for label, queries in buckets.items():
         if not queries:
             continue
         per_bucket[label] = {}
-        for method, scheme in schemes.items():
-            run = run_workload(scheme, queries, bench_config)
+        for method in METHODS:
+            run = system.query_batch(method, queries)
             mismatches += run.mismatches
             per_bucket[label][method] = run.mean
-    return network, schemes, per_bucket, mismatches
+    return system, per_bucket, mismatches
 
 
 def test_figure10_effect_of_path_length(benchmark, figure10_runs, bench_config):
-    network, schemes, per_bucket, mismatches = figure10_runs
+    system, per_bucket, mismatches = figure10_runs
+    network = system.network
     assert mismatches == 0
+    # Every method's cycle was built exactly once despite the per-bucket runs.
+    assert system.cache_info().misses == len(METHODS)
 
     # Benchmark a single NR on-air query (the per-query client protocol).
-    nr = schemes["NR"]
     nodes = network.node_ids()
-    client = nr.client()
+    client = system.client("NR")
     benchmark(lambda: client.query(nodes[1], nodes[-2]))
 
     lines = [
@@ -73,7 +68,7 @@ def test_figure10_effect_of_path_length(benchmark, figure10_runs, bench_config):
     ):
         lines.append("")
         lines.append(f"-- {metric_name} --")
-        for method in COMPARISON_METHODS:
+        for method in METHODS:
             series = {
                 label: float(getter(bucket[method]))
                 for label, bucket in per_bucket.items()
@@ -86,7 +81,7 @@ def test_figure10_effect_of_path_length(benchmark, figure10_runs, bench_config):
         method: average_metrics(
             [bucket[method] for bucket in per_bucket.values()]
         )
-        for method in COMPARISON_METHODS
+        for method in METHODS
     }
     for other in ("EB", "DJ", "LD", "AF"):
         assert overall["NR"].tuning_time_packets <= overall[other].tuning_time_packets

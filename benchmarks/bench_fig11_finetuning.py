@@ -47,9 +47,9 @@ def test_figure11_finetuning(benchmark, sweep, bench_config):
     # Benchmark one NR query at the paper's tuned setting (the second point).
     tuned = points[1].runs["NR"]
     nodes = network.node_ids()
-    from repro.experiments import build_scheme
+    from repro import air
 
-    scheme = build_scheme("NR", network, bench_config)
+    scheme = air.create("NR", network, **air.params_from_config("NR", bench_config))
     client = scheme.client()
     benchmark(lambda: client.query(nodes[0], nodes[-1]))
 

@@ -14,38 +14,38 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import (
-    COMPARISON_METHODS,
-    QueryWorkload,
-    build_scheme,
-    compare_methods,
-    report,
-)
+from repro import air
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, report
 from repro.network import datasets
 
 from conftest import write_report
+
+COMPARISON_METHODS = air.comparison_schemes()
 
 
 @pytest.fixture(scope="module")
 def per_network_runs(small_bench_config):
     config = small_bench_config
     runs = {}
+    systems = {}
     for name in datasets.available():
-        network = datasets.load(name, scale=config.scale, seed=config.seed)
-        workload = QueryWorkload(network, config.num_queries, seed=config.seed)
-        runs[name] = (network, compare_methods(COMPARISON_METHODS, network, workload, config))
-    return runs
+        system = AirSystem.from_config(config, network_name=name)
+        workload = QueryWorkload(system.network, config.num_queries, seed=config.seed)
+        systems[name] = system
+        runs[name] = (system.network, system.compare(COMPARISON_METHODS, workload))
+    return systems, runs
 
 
 def test_figure12_different_networks(benchmark, per_network_runs, small_bench_config):
-    runs = per_network_runs
+    systems, runs = per_network_runs
 
-    # Benchmark one NR query on the largest network.
+    # Benchmark one NR query on the largest network (the scheme and its
+    # cycle come straight out of the system's cache).
     largest_name = datasets.available()[-1]
     largest_network, largest_runs = runs[largest_name]
-    scheme = build_scheme("NR", largest_network, small_bench_config)
     nodes = largest_network.node_ids()
-    client = scheme.client()
+    client = systems[largest_name].client("NR")
     benchmark(lambda: client.query(nodes[3], nodes[-3]))
 
     lines = [

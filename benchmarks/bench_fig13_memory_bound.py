@@ -14,38 +14,31 @@ from __future__ import annotations
 
 import pytest
 
-from repro.broadcast.metrics import average_metrics
-from repro.experiments import QueryWorkload, build_network, build_scheme, report
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, build_network, report
 
 from conftest import write_report
 
 
 @pytest.fixture(scope="module")
 def memory_bound_runs(bench_config):
-    network = build_network(bench_config)
-    workload = QueryWorkload(network, bench_config.num_queries, seed=bench_config.seed)
+    system = AirSystem(build_network(bench_config), config=bench_config)
+    workload = QueryWorkload(system.network, bench_config.num_queries, seed=bench_config.seed)
     results = {}
     for method in ("EB", "NR"):
-        scheme = build_scheme(method, network, bench_config)
         for memory_bound in (False, True):
-            client = scheme.client(bench_config.device, memory_bound=memory_bound)
-            metrics = []
-            for query in workload:
-                outcome = client.query(query.source, query.target)
-                assert abs(outcome.distance - query.true_distance) <= 1e-6 * max(
-                    1.0, query.true_distance
-                )
-                metrics.append(outcome.metrics)
-            results[(method, memory_bound)] = average_metrics(metrics)
-    return network, results
+            run = system.query_batch(method, workload, memory_bound=memory_bound)
+            assert run.mismatches == 0
+            results[(method, memory_bound)] = run.mean
+    return system, results
 
 
 def test_figure13_memory_bound_processing(benchmark, memory_bound_runs, bench_config):
-    network, results = memory_bound_runs
+    system, results = memory_bound_runs
+    network = system.network
 
-    # Benchmark a single memory-bound NR query.
-    scheme = build_scheme("NR", network, bench_config)
-    client = scheme.client(bench_config.device, memory_bound=True)
+    # Benchmark a single memory-bound NR query (cycle served from the cache).
+    client = system.client("NR", system.default_options.replace(memory_bound=True))
     nodes = network.node_ids()
     benchmark(lambda: client.query(nodes[2], nodes[-2]))
 

@@ -13,48 +13,41 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import (
-    COMPARISON_METHODS,
-    QueryWorkload,
-    build_network,
-    build_scheme,
-    report,
-    run_workload,
-)
+from repro import air
+from repro.engine import AirSystem
+from repro.experiments import QueryWorkload, build_network, report
 
 from conftest import write_report
 
 LOSS_RATES = [0.001, 0.005, 0.01, 0.05, 0.10]
+COMPARISON_METHODS = air.comparison_schemes()
 
 
 @pytest.fixture(scope="module")
 def loss_sweep(bench_config):
-    network = build_network(bench_config)
+    system = AirSystem(build_network(bench_config), config=bench_config)
     workload = QueryWorkload(
-        network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
+        system.network, max(8, bench_config.num_queries // 2), seed=bench_config.seed
     )
-    schemes = {
-        method: build_scheme(method, network, bench_config)
-        for method in COMPARISON_METHODS
-    }
     results = {}
     for rate in LOSS_RATES:
         results[rate] = {}
-        for method, scheme in schemes.items():
-            run = run_workload(
-                scheme, workload, bench_config, loss_rate=rate, loss_seed=int(rate * 1e4)
+        for method in COMPARISON_METHODS:
+            results[rate][method] = system.query_batch(
+                method, workload, loss_rate=rate, loss_seed=int(rate * 1e4)
             )
-            results[rate][method] = run
-    return network, schemes, results
+    # The whole sweep builds each scheme's cycle exactly once.
+    assert system.cache_info().misses == len(COMPARISON_METHODS)
+    return system, results
 
 
 def test_figure14_packet_loss(benchmark, loss_sweep, bench_config):
-    network, schemes, results = loss_sweep
+    system, results = loss_sweep
+    network = system.network
 
     # Benchmark one NR query over a 5% lossy channel.
-    scheme = schemes["NR"]
-    channel = scheme.channel(loss_rate=0.05, seed=99)
-    client = scheme.client()
+    channel = system.channel("NR", loss_rate=0.05, seed=99)
+    client = system.client("NR")
     nodes = network.node_ids()
     benchmark(lambda: client.query(nodes[4], nodes[-4], channel=channel))
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro import air
 from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS
-from repro.experiments import ALL_METHODS, build_network, build_scheme, report
+from repro.engine import AirSystem
+from repro.experiments import build_network, report
 
 from conftest import write_report
 
@@ -23,24 +25,23 @@ from conftest import write_report
 @pytest.fixture(scope="module")
 def schemes(bench_config):
     """Every Table 1 method built over the (scaled) default network."""
-    network = build_network(bench_config)
-    built = {}
-    for method in ALL_METHODS:
-        built[method] = build_scheme(method, network, bench_config)
-        built[method].cycle  # force construction
-    return network, built
+    system = AirSystem(build_network(bench_config), config=bench_config)
+    for method in air.available_schemes():
+        system.scheme(method)  # builds the cycle on first access
+    return system
 
 
 def test_table1_cycle_length(benchmark, schemes, bench_config):
-    network, built = schemes
+    system = schemes
+    network = system.network
 
     # Benchmark the cycle layout step of the paper's best method (its
     # pre-computation already happened when the fixture built the scheme).
-    benchmark(built["NR"].build_cycle)
+    benchmark(system.scheme("NR").build_cycle)
 
     rows = []
-    for method in ["DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"]:
-        metrics = built[method].server_metrics()
+    for method in air.available_schemes():
+        metrics = system.scheme(method).server_metrics()
         rows.append(
             [
                 method,

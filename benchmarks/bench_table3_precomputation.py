@@ -14,8 +14,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import ExperimentConfig, build_scheme, report
+from repro import air
+from repro.experiments import ExperimentConfig, report
 from repro.network import datasets
+
+
+def _build(method, network, config):
+    """Construct a scheme with its configured parameters (no cycle layout)."""
+    return air.create(method, network, **air.params_from_config(method, config))
 
 from conftest import write_report
 
@@ -35,7 +41,7 @@ def precomputation_times(small_bench_config):
         network = datasets.load(name, scale=config.scale, seed=config.seed)
         row = {}
         for method in ("EB", "AF", "LD"):
-            scheme = build_scheme(method, network, config)
+            scheme = _build(method, network, config)
             row[method] = scheme.precomputation_seconds
         times[name] = (network, row)
     return config, times
@@ -48,7 +54,7 @@ def test_table3_precomputation_time(benchmark, precomputation_times):
     # the paper singles out as cheapest).
     milan, _ = times["milan"]
     benchmark.pedantic(
-        lambda: build_scheme("LD", milan, config), rounds=1, iterations=1
+        lambda: _build("LD", milan, config), rounds=1, iterations=1
     )
 
     rows = []

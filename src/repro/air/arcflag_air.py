@@ -9,10 +9,11 @@ to be all ones (Section 6.2), which keeps the search correct but less pruned.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 from repro.air.full_cycle import FullCycleScheme
-from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.air.registry import register_scheme
 from repro.broadcast.packet import Segment, SegmentKind
 from repro.index.arcflag import ArcFlagIndex
 from repro.network.algorithms.paths import PathResult
@@ -20,9 +21,22 @@ from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["ArcFlagBroadcastScheme"]
+__all__ = ["ArcFlagBroadcastScheme", "AFParams"]
 
 
+@dataclass(frozen=True)
+class AFParams:
+    """Tunable knobs of the ArcFlag broadcast adaptation."""
+
+    num_regions: int = 16
+
+
+@register_scheme(
+    "AF",
+    params=AFParams,
+    description="Full-cycle ArcFlag adaptation: adjacency + edge flags (Section 3.2)",
+    config_map={"num_regions": "arcflag_regions"},
+)
 class ArcFlagBroadcastScheme(FullCycleScheme):
     """Adjacency plus per-edge region flags, received in full by the client."""
 
@@ -61,6 +75,3 @@ class ArcFlagBroadcastScheme(FullCycleScheme):
 
             return shortest_path(self.network, source, target)
         return self.index.query(source, target)
-
-    def client(self, device: DeviceProfile = J2ME_CLAMSHELL):
-        return super().client(device)

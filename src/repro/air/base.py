@@ -13,6 +13,7 @@ A scheme has two halves:
 from __future__ import annotations
 
 import abc
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -25,7 +26,32 @@ from repro.broadcast.packet import SegmentKind
 from repro.network.graph import RoadNetwork
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["QueryResult", "AirClient", "AirIndexScheme", "CpuTimer"]
+__all__ = ["ClientOptions", "QueryResult", "AirClient", "AirIndexScheme", "CpuTimer"]
+
+
+@dataclass(frozen=True)
+class ClientOptions:
+    """Everything that shapes a client's behaviour, in one object.
+
+    Passed to :meth:`AirIndexScheme.client`, so that every scheme exposes the
+    same client factory signature -- the Section 6.1 memory-bound mode is an
+    option here rather than a per-scheme constructor overload.
+    """
+
+    #: The client hardware (heap size, radio/CPU power, CPU slowdown).
+    device: DeviceProfile = J2ME_CLAMSHELL
+    #: Section 6.1 super-edge compression (only EB and NR support it).
+    memory_bound: bool = False
+    #: Bernoulli per-packet loss probability of the default channel.
+    loss_rate: float = 0.0
+    #: Seed of the default channel's loss/tune-in randomness.
+    loss_seed: int = 0
+    #: Fixed cycle offset at which clients tune in; random when ``None``.
+    tune_in_offset: Optional[int] = None
+
+    def replace(self, **changes) -> "ClientOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass
@@ -69,6 +95,9 @@ class AirIndexScheme(abc.ABC):
 
     #: Short name used in tables (the paper's abbreviations: DJ, EB, NR, ...).
     short_name: str = "?"
+    #: Whether the scheme's client implements the Section 6.1 memory-bound
+    #: (super-edge compression) mode; only EB and NR do.
+    supports_memory_bound: bool = False
 
     def __init__(self, network: RoadNetwork, layout: RecordLayout = DEFAULT_LAYOUT) -> None:
         self.network = network
@@ -116,17 +145,65 @@ class AirIndexScheme(abc.ABC):
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
+    def client(
+        self,
+        device: Optional[DeviceProfile] = None,
+        options: Optional[ClientOptions] = None,
+        *,
+        memory_bound: Optional[bool] = None,
+        loss_rate: Optional[float] = None,
+        loss_seed: Optional[int] = None,
+        tune_in_offset: Optional[int] = None,
+    ) -> "AirClient":
+        """Create a query processor bound to this scheme's broadcast content.
+
+        The signature is uniform across every scheme: pass a full
+        :class:`ClientOptions`, or override individual fields by keyword.
+        Asking for the memory-bound mode on a scheme that does not support it
+        raises ``ValueError`` instead of silently ignoring the request.
+        """
+        options = options or ClientOptions()
+        overrides = {
+            key: value
+            for key, value in (
+                ("device", device),
+                ("memory_bound", memory_bound),
+                ("loss_rate", loss_rate),
+                ("loss_seed", loss_seed),
+                ("tune_in_offset", tune_in_offset),
+            )
+            if value is not None
+        }
+        if overrides:
+            options = options.replace(**overrides)
+        if options.memory_bound and not self.supports_memory_bound:
+            raise ValueError(
+                f"scheme {self.short_name!r} does not support the memory-bound "
+                "client mode (only EB and NR implement Section 6.1)"
+            )
+        return self._make_client(options)
+
     @abc.abstractmethod
-    def client(self, device: DeviceProfile = J2ME_CLAMSHELL) -> "AirClient":
-        """Create a query processor bound to this scheme's broadcast content."""
+    def _make_client(self, options: ClientOptions) -> "AirClient":
+        """Scheme-specific client construction from resolved options."""
 
 
 class AirClient(abc.ABC):
     """Client side of a broadcast scheme."""
 
-    def __init__(self, scheme: AirIndexScheme, device: DeviceProfile = J2ME_CLAMSHELL) -> None:
+    def __init__(
+        self,
+        scheme: AirIndexScheme,
+        device: Optional[DeviceProfile] = None,
+        options: Optional[ClientOptions] = None,
+    ) -> None:
+        if options is None:
+            options = ClientOptions(device=device or J2ME_CLAMSHELL)
+        elif device is not None:
+            options = options.replace(device=device)
         self.scheme = scheme
-        self.device = device
+        self.options = options
+        self.device = options.device
 
     @abc.abstractmethod
     def process(
@@ -140,22 +217,36 @@ class AirClient(abc.ABC):
         target: int,
         channel: Optional[BroadcastChannel] = None,
         tune_in_offset: Optional[int] = None,
+        session: Optional[ClientSession] = None,
     ) -> QueryResult:
         """Process one query end to end and fill in the client metrics.
 
         Parameters
         ----------
         channel:
-            The broadcast channel to tune into.  Defaults to a loss-free
-            channel carrying this scheme's cycle.
+            The broadcast channel to tune into.  Defaults to a channel
+            carrying this scheme's cycle with the client options' loss rate
+            and seed (loss-free under the default options).
         tune_in_offset:
-            Cycle offset at which the client tunes in; random (but
-            deterministic per channel) when omitted -- queries are posed at
-            arbitrary moments, exactly as in the paper's evaluation.
+            Cycle offset at which the client tunes in; when omitted, falls
+            back to the client options' offset, and finally to a random (but
+            deterministic per channel) one -- queries are posed at arbitrary
+            moments, exactly as in the paper's evaluation.
+        session:
+            A pre-opened tuning session.  Used by the engine's batch runner
+            to draw sessions in a deterministic order before fanning queries
+            out to worker threads; mutually exclusive with ``channel``.
         """
-        if channel is None:
-            channel = self.scheme.channel()
-        session = channel.session(tune_in_offset)
+        if session is None:
+            if channel is None:
+                channel = self.scheme.channel(
+                    loss_rate=self.options.loss_rate, seed=self.options.loss_seed
+                )
+            if tune_in_offset is None:
+                tune_in_offset = self.options.tune_in_offset
+            session = channel.session(tune_in_offset)
+        elif channel is not None:
+            raise ValueError("pass either channel or session, not both")
         memory = MemoryTracker()
         result = self.process(source, target, session, memory)
         result.metrics.tuning_time_packets = session.tuning_packets

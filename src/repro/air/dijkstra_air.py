@@ -8,13 +8,26 @@ latency, but maximal tuning time and memory.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.air.full_cycle import FullCycleScheme
+from repro.air.registry import register_scheme
 from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.algorithms.paths import PathResult
 
-__all__ = ["DijkstraBroadcastScheme"]
+__all__ = ["DijkstraBroadcastScheme", "DJParams"]
 
 
+@dataclass(frozen=True)
+class DJParams:
+    """Dijkstra broadcasts plain adjacency data; nothing to tune."""
+
+
+@register_scheme(
+    "DJ",
+    params=DJParams,
+    description="Full-cycle Dijkstra adaptation: adjacency only (Section 3.2)",
+)
 class DijkstraBroadcastScheme(FullCycleScheme):
     """Adjacency-only broadcast cycle with local Dijkstra processing."""
 

@@ -26,9 +26,11 @@ wrong path).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.air.base import AirClient, AirIndexScheme, CpuTimer, QueryResult
+from repro.air.base import AirClient, AirIndexScheme, ClientOptions, CpuTimer, QueryResult
+from repro.air.registry import register_scheme
 from repro.air.border_paths import BorderPathPrecomputation
 from repro.air.memory_bound import (
     SuperEdgeGraph,
@@ -39,7 +41,7 @@ from repro.air.packing import CellPacking, RowMajorCellPacking, SquareCellPackin
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 from repro.broadcast.channel import ClientSession
 from repro.broadcast.cycle import BroadcastCycle
-from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.device import DeviceProfile
 from repro.broadcast.interleave import optimal_m
 from repro.broadcast.metrics import MemoryTracker
 from repro.broadcast.packet import Segment, SegmentKind, packets_for_bytes
@@ -47,13 +49,30 @@ from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import KDTreePartitioner, build_kdtree_partitioning
 
-__all__ = ["EllipticBoundaryScheme", "EllipticBoundaryClient"]
+__all__ = ["EllipticBoundaryScheme", "EllipticBoundaryClient", "EBParams"]
 
 
+@dataclass(frozen=True)
+class EBParams:
+    """Tunable knobs of the Elliptic Boundary method."""
+
+    num_regions: int = 32
+    #: Square (w x w) packing of the A-matrix cells; ``False`` selects the
+    #: row-major ablation baseline of Section 6.2 / Figure 9.
+    square_packing: bool = True
+
+
+@register_scheme(
+    "EB",
+    params=EBParams,
+    description="Elliptic Boundary: global index + network-ellipse pruning (Section 4)",
+    config_map={"num_regions": "eb_nr_regions"},
+)
 class EllipticBoundaryScheme(AirIndexScheme):
     """Server side of EB: pre-computation and broadcast cycle layout."""
 
     short_name = "EB"
+    supports_memory_bound = True
 
     def __init__(
         self,
@@ -183,12 +202,8 @@ class EllipticBoundaryScheme(AirIndexScheme):
     # ------------------------------------------------------------------
     # Client
     # ------------------------------------------------------------------
-    def client(
-        self,
-        device: DeviceProfile = J2ME_CLAMSHELL,
-        memory_bound: bool = False,
-    ) -> "EllipticBoundaryClient":
-        return EllipticBoundaryClient(self, device, memory_bound=memory_bound)
+    def _make_client(self, options: ClientOptions) -> "EllipticBoundaryClient":
+        return EllipticBoundaryClient(self, options=options)
 
 
 class EllipticBoundaryClient(AirClient):
@@ -199,11 +214,11 @@ class EllipticBoundaryClient(AirClient):
     def __init__(
         self,
         scheme: EllipticBoundaryScheme,
-        device: DeviceProfile = J2ME_CLAMSHELL,
-        memory_bound: bool = False,
+        device: Optional[DeviceProfile] = None,
+        options: Optional[ClientOptions] = None,
     ) -> None:
-        super().__init__(scheme, device)
-        self.memory_bound = memory_bound
+        super().__init__(scheme, device, options)
+        self.memory_bound = self.options.memory_bound
 
     # ------------------------------------------------------------------
     # Query protocol

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.air.base import AirClient, AirIndexScheme, CpuTimer, QueryResult
+from repro.air.base import AirClient, AirIndexScheme, ClientOptions, CpuTimer, QueryResult
 from repro.broadcast.channel import ClientSession
 from repro.broadcast.cycle import BroadcastCycle
-from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
 from repro.broadcast.metrics import MemoryTracker
 from repro.broadcast.packet import Segment, SegmentKind
 from repro.network.algorithms.paths import PathResult
@@ -63,8 +62,8 @@ class FullCycleScheme(AirIndexScheme):
         segments = self._network_data_segments() + self._precomputed_segments()
         return BroadcastCycle(segments, name=f"{self.short_name}-cycle")
 
-    def client(self, device: DeviceProfile = J2ME_CLAMSHELL) -> "FullCycleClient":
-        return FullCycleClient(self, device)
+    def _make_client(self, options: ClientOptions) -> "FullCycleClient":
+        return FullCycleClient(self, options=options)
 
     # ------------------------------------------------------------------
     # Local processing hook

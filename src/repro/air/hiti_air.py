@@ -14,12 +14,13 @@ the super-edge overlay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
-from repro.air.base import AirClient, AirIndexScheme, CpuTimer, QueryResult
+from repro.air.base import AirClient, AirIndexScheme, ClientOptions, CpuTimer, QueryResult
+from repro.air.registry import register_scheme
 from repro.broadcast.channel import ClientSession
 from repro.broadcast.cycle import BroadcastCycle
-from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
 from repro.broadcast.metrics import MemoryTracker
 from repro.broadcast.packet import Segment, SegmentKind
 from repro.index.hiti import HiTiIndex
@@ -27,9 +28,23 @@ from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["HiTiBroadcastScheme"]
+__all__ = ["HiTiBroadcastScheme", "HiTiParams"]
 
 
+@dataclass(frozen=True)
+class HiTiParams:
+    """Tunable knobs of the HiTi broadcast adaptation."""
+
+    num_regions: int = 16
+
+
+@register_scheme(
+    "HiTi",
+    params=HiTiParams,
+    description="Hierarchical super-edge index broadcast (selective, but oversized; Table 1)",
+    comparison=False,
+    config_map={"num_regions": "hiti_regions"},
+)
 class HiTiBroadcastScheme(AirIndexScheme):
     """Hierarchical super-edge index broadcast ahead of per-region data."""
 
@@ -82,8 +97,8 @@ class HiTiBroadcastScheme(AirIndexScheme):
             )
         return BroadcastCycle(segments, name="HiTi-cycle")
 
-    def client(self, device: DeviceProfile = J2ME_CLAMSHELL) -> "HiTiBroadcastClient":
-        return HiTiBroadcastClient(self, device)
+    def _make_client(self, options: ClientOptions) -> "HiTiBroadcastClient":
+        return HiTiBroadcastClient(self, options=options)
 
 
 class HiTiBroadcastClient(AirClient):

@@ -9,9 +9,11 @@ it correct.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 from repro.air.full_cycle import FullCycleScheme
+from repro.air.registry import register_scheme
 from repro.broadcast.packet import Segment, SegmentKind
 from repro.index.landmark import LandmarkIndex
 from repro.network.algorithms.dijkstra import shortest_path
@@ -19,9 +21,22 @@ from repro.network.algorithms.paths import PathResult
 from repro.network.graph import RoadNetwork
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["LandmarkBroadcastScheme"]
+__all__ = ["LandmarkBroadcastScheme", "LDParams"]
 
 
+@dataclass(frozen=True)
+class LDParams:
+    """Tunable knobs of the Landmark (ALT) broadcast adaptation."""
+
+    num_landmarks: int = 4
+
+
+@register_scheme(
+    "LD",
+    params=LDParams,
+    description="Full-cycle Landmark/ALT adaptation: adjacency + landmark vectors (Section 3.2)",
+    config_map={"num_landmarks": "num_landmarks"},
+)
 class LandmarkBroadcastScheme(FullCycleScheme):
     """Adjacency plus per-node landmark vectors, received in full."""
 

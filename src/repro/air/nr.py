@@ -23,9 +23,11 @@ lost index packet rarely matters; when it does, the client receives region
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.air.base import AirClient, AirIndexScheme, CpuTimer, QueryResult
+from repro.air.base import AirClient, AirIndexScheme, ClientOptions, CpuTimer, QueryResult
+from repro.air.registry import register_scheme
 from repro.air.border_paths import BorderPathPrecomputation
 from repro.air.memory_bound import (
     SuperEdgeGraph,
@@ -35,20 +37,34 @@ from repro.air.memory_bound import (
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 from repro.broadcast.channel import ClientSession
 from repro.broadcast.cycle import BroadcastCycle
-from repro.broadcast.device import DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.device import DeviceProfile
 from repro.broadcast.metrics import MemoryTracker
 from repro.broadcast.packet import Segment, SegmentKind, packets_for_bytes
 from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
 
-__all__ = ["NextRegionScheme", "NextRegionClient"]
+__all__ = ["NextRegionScheme", "NextRegionClient", "NRParams"]
 
 
+@dataclass(frozen=True)
+class NRParams:
+    """Tunable knobs of the Next Region method."""
+
+    num_regions: int = 32
+
+
+@register_scheme(
+    "NR",
+    params=NRParams,
+    description="Next Region: per-region local indexes, chain following (Section 5)",
+    config_map={"num_regions": "eb_nr_regions"},
+)
 class NextRegionScheme(AirIndexScheme):
     """Server side of NR: shared pre-computation plus per-region local indexes."""
 
     short_name = "NR"
+    supports_memory_bound = True
 
     def __init__(
         self,
@@ -155,12 +171,8 @@ class NextRegionScheme(AirIndexScheme):
     # ------------------------------------------------------------------
     # Client
     # ------------------------------------------------------------------
-    def client(
-        self,
-        device: DeviceProfile = J2ME_CLAMSHELL,
-        memory_bound: bool = False,
-    ) -> "NextRegionClient":
-        return NextRegionClient(self, device, memory_bound=memory_bound)
+    def _make_client(self, options: ClientOptions) -> "NextRegionClient":
+        return NextRegionClient(self, options=options)
 
 
 class NextRegionClient(AirClient):
@@ -171,11 +183,11 @@ class NextRegionClient(AirClient):
     def __init__(
         self,
         scheme: NextRegionScheme,
-        device: DeviceProfile = J2ME_CLAMSHELL,
-        memory_bound: bool = False,
+        device: Optional[DeviceProfile] = None,
+        options: Optional[ClientOptions] = None,
     ) -> None:
-        super().__init__(scheme, device)
-        self.memory_bound = memory_bound
+        super().__init__(scheme, device, options)
+        self.memory_bound = self.options.memory_bound
 
     def process(
         self, source: int, target: int, session: ClientSession, memory: MemoryTracker

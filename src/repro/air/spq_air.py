@@ -10,9 +10,11 @@ the device experiments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List
 
 from repro.air.full_cycle import FullCycleScheme
+from repro.air.registry import register_scheme
 from repro.broadcast.packet import Segment, SegmentKind
 from repro.index.spq import ShortestPathQuadTreeIndex
 from repro.network.algorithms.paths import PathResult
@@ -20,9 +22,22 @@ from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.graph import RoadNetwork
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["SPQBroadcastScheme"]
+__all__ = ["SPQBroadcastScheme", "SPQParams"]
 
 
+@dataclass(frozen=True)
+class SPQParams:
+    """Tunable knobs of the shortest path quad-tree adaptation."""
+
+    max_depth: int = 16
+
+
+@register_scheme(
+    "SPQ",
+    params=SPQParams,
+    description="Full-cycle SPQ adaptation: adjacency + per-node quad-trees (Table 1 only)",
+    comparison=False,
+)
 class SPQBroadcastScheme(FullCycleScheme):
     """Adjacency plus one colored quad-tree per node, received in full."""
 

@@ -1,18 +1,26 @@
 """Command-line interface.
 
-Three sub-commands cover the common ways of poking at the system without
+Four sub-commands cover the common ways of poking at the system without
 writing code::
 
+    python -m repro schemes
     python -m repro cycle    --network germany --scale 0.02 --method NR
     python -m repro query    --network germany --scale 0.02 --method NR --queries 5
     python -m repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
 
+* ``schemes`` -- list every registered air-index scheme with its parameters
+  and defaults, straight from the registry.
 * ``cycle``   -- build one scheme and print its broadcast-cycle statistics
   (Table 1 style row).
 * ``query``   -- run a few random on-air queries through one scheme's client
   and print the per-query performance factors.
 * ``compare`` -- run the same workload through several methods and print the
   averaged comparison (Figure 10 style row per method).
+
+Every command constructs its schemes through an
+:class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
+values is exactly ``air.available_schemes()`` -- a newly registered scheme
+shows up here without touching this module.
 """
 
 from __future__ import annotations
@@ -22,17 +30,26 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
+from repro import air
 from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS, J2ME_CLAMSHELL
-from repro.experiments import (
-    ExperimentConfig,
-    QueryWorkload,
-    build_scheme,
-    compare_methods,
-    report,
-)
+from repro.engine import AirSystem, ClientOptions
+from repro.experiments import ExperimentConfig, QueryWorkload, report
 from repro.network import datasets
 
 __all__ = ["main", "build_parser"]
+
+
+def _scheme_name(value: str) -> str:
+    """Argparse type resolving a case-insensitive scheme name."""
+    try:
+        return air.canonical_name(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _scheme_list(value: str) -> List[str]:
+    """Argparse type for a comma-separated scheme list."""
+    return [_scheme_name(part.strip()) for part in value.split(",") if part.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Shortest path computation on air indexes (VLDB 2010) -- reproduction CLI",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    scheme_names = ", ".join(air.available_schemes())
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -59,13 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--landmarks", type=int, default=4, help="landmarks for LD")
 
+    subparsers.add_parser("schemes", help="list registered schemes and their parameters")
+
     cycle = subparsers.add_parser("cycle", help="print broadcast cycle statistics")
     add_common(cycle)
-    cycle.add_argument("--method", default="NR", help="scheme (DJ, NR, EB, LD, AF, SPQ, HiTi)")
+    cycle.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
 
     query = subparsers.add_parser("query", help="run on-air queries through one scheme")
     add_common(query)
-    query.add_argument("--method", default="NR", help="scheme (DJ, NR, EB, LD, AF, SPQ, HiTi)")
+    query.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
     query.add_argument("--queries", type=int, default=3, help="number of random queries")
     query.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
     query.add_argument(
@@ -77,7 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="compare several methods on one workload")
     add_common(compare)
     compare.add_argument(
-        "--methods", default="NR,EB,DJ", help="comma-separated method list"
+        "--methods",
+        default="NR,EB,DJ",
+        type=_scheme_list,
+        help="comma-separated method list",
     )
     compare.add_argument("--queries", type=int, default=8, help="number of random queries")
     compare.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
@@ -96,10 +123,40 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _system(args: argparse.Namespace) -> AirSystem:
+    return AirSystem.from_config(_config(args))
+
+
+def _command_schemes(args: argparse.Namespace, out) -> int:
+    rows = []
+    for name in air.available_schemes():
+        info = air.get_scheme(name)
+        defaults = info.default_params()
+        params = ", ".join(f"{key}={value}" for key, value in defaults.items()) or "-"
+        rows.append(
+            [
+                name,
+                info.cls.__name__,
+                params,
+                "yes" if info.comparison else "-",
+                info.description,
+            ]
+        )
+    print(
+        report.format_table(
+            ["Name", "Class", "Parameters (defaults)", "Comparison", "Description"],
+            rows,
+            title="Registered air-index schemes",
+        ),
+        file=out,
+    )
+    return 0
+
+
 def _command_cycle(args: argparse.Namespace, out) -> int:
-    config = _config(args)
-    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
-    scheme = build_scheme(args.method, network, config)
+    system = _system(args)
+    network = system.network
+    scheme = system.scheme(args.method)
     metrics = scheme.server_metrics()
     rows = [
         ["network", f"{network.name} ({network.num_nodes} nodes, {network.num_edges} edges)"],
@@ -117,14 +174,18 @@ def _command_cycle(args: argparse.Namespace, out) -> int:
 
 
 def _command_query(args: argparse.Namespace, out) -> int:
-    config = _config(args)
-    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
-    scheme = build_scheme(args.method, network, config)
+    system = _system(args)
+    network = system.network
+    scheme = system.scheme(args.method)
+    memory_bound = args.memory_bound and scheme.supports_memory_bound
+    options = ClientOptions(
+        device=J2ME_CLAMSHELL,
+        memory_bound=memory_bound,
+        loss_rate=args.loss_rate,
+        loss_seed=args.seed,
+    )
+    client = scheme.client(options=options)
     channel = scheme.channel(loss_rate=args.loss_rate, seed=args.seed)
-    if args.memory_bound and scheme.short_name in ("EB", "NR"):
-        client = scheme.client(J2ME_CLAMSHELL, memory_bound=True)  # type: ignore[call-arg]
-    else:
-        client = scheme.client(J2ME_CLAMSHELL)
 
     rng = random.Random(args.seed)
     nodes = network.node_ids()
@@ -156,13 +217,12 @@ def _command_query(args: argparse.Namespace, out) -> int:
 
 
 def _command_compare(args: argparse.Namespace, out) -> int:
-    config = _config(args)
-    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
-    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    system = _system(args)
+    network = system.network
     workload = QueryWorkload(network, args.queries, seed=args.seed)
-    runs = compare_methods(methods, network, workload, config, loss_rate=args.loss_rate)
+    runs = system.compare(args.methods, workload, loss_rate=args.loss_rate)
     rows = []
-    for method in methods:
+    for method in args.methods:
         run = runs[method]
         mean = run.mean
         rows.append(
@@ -196,6 +256,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "schemes": _command_schemes,
         "cycle": _command_cycle,
         "query": _command_query,
         "compare": _command_compare,

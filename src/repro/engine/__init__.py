@@ -1,0 +1,15 @@
+"""Engine layer: the system facade over networks, schemes, and workloads.
+
+The :class:`AirSystem` facade owns a road network plus a cache of broadcast
+schemes built over it (cycles are laid out exactly once per
+``(scheme, params, network)``), and exposes single queries, batched
+workloads, and multi-method comparisons.  It is the recommended public entry
+point; the scheme zoo underneath stays pluggable via
+:mod:`repro.air.registry`.
+"""
+
+from repro.air.base import ClientOptions
+from repro.engine.results import MethodRun
+from repro.engine.system import AirSystem, CacheInfo, execute_workload
+
+__all__ = ["AirSystem", "CacheInfo", "ClientOptions", "MethodRun", "execute_workload"]

@@ -1,0 +1,39 @@
+"""Aggregated results produced by the engine's workload execution.
+
+:class:`MethodRun` is the unit every comparison in the paper reports: one
+scheme, one workload, the per-query client metrics and their aggregates.  It
+used to live in :mod:`repro.experiments.runner`; it now belongs to the engine
+layer so that both the :class:`~repro.engine.system.AirSystem` facade and the
+experiment harness share one definition (the harness re-exports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.broadcast.metrics import ClientMetrics, ServerMetrics, average_metrics
+
+__all__ = ["MethodRun"]
+
+
+@dataclass
+class MethodRun:
+    """Aggregated outcome of one method over one workload."""
+
+    method: str
+    server: ServerMetrics
+    per_query: List[ClientMetrics] = field(default_factory=list)
+    mismatches: int = 0
+
+    @property
+    def mean(self) -> ClientMetrics:
+        """Average client metrics over the workload."""
+        return average_metrics(self.per_query)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        """Worst-case client memory over the workload (Table 2's criterion)."""
+        if not self.per_query:
+            return 0
+        return max(metrics.peak_memory_bytes for metrics in self.per_query)

@@ -1,0 +1,339 @@
+"""The :class:`AirSystem` engine facade.
+
+One object owning a road network and every broadcast scheme built over it.
+It is the production-facing entry point the ROADMAP asks for: schemes are
+constructed through the registry, built cycles are memoized by
+``(scheme, params, network fingerprint)`` so repeated experiments never
+rebuild, and workloads run in batches -- optionally across a thread pool of
+independent channel sessions::
+
+    from repro.engine import AirSystem
+    from repro.experiments import ExperimentConfig
+
+    system = AirSystem.from_config(ExperimentConfig(network="germany", scale=0.02))
+    run = system.query_batch("NR", workload, concurrency=4)
+    table = system.compare(["NR", "EB", "DJ"], workload, loss_rate=0.05)
+
+Determinism: a batch pre-draws one tuning session per query from a fresh,
+seeded channel *in workload order* before any query is processed, so the
+results are bit-identical to a sequential per-query loop regardless of the
+``concurrency`` setting (CPU seconds excepted -- those are measured wall
+clock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.air import registry
+from repro.air.base import AirIndexScheme, ClientOptions, QueryResult
+from repro.broadcast.channel import BroadcastChannel
+from repro.engine.results import MethodRun
+from repro.network.graph import RoadNetwork
+
+__all__ = ["AirSystem", "CacheInfo", "execute_workload"]
+
+#: Relative tolerance for declaring an on-air answer a mismatch.
+_MISMATCH_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Statistics of the system's cycle cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def builds(self) -> int:
+        """Number of scheme/cycle constructions (== cache misses)."""
+        return self.misses
+
+
+def _as_query(item: Any) -> Tuple[int, int, Optional[float]]:
+    """Normalize a workload item to ``(source, target, true_distance)``.
+
+    Accepts :class:`~repro.experiments.workloads.Query`-like objects (duck
+    typed on ``source``/``target``) and plain ``(source, target)`` pairs;
+    without a ground-truth distance the mismatch check is skipped.
+    """
+    if hasattr(item, "source") and hasattr(item, "target"):
+        return item.source, item.target, getattr(item, "true_distance", None)
+    source, target = item
+    return source, target, None
+
+
+def execute_workload(
+    scheme: AirIndexScheme,
+    queries: Iterable[Any],
+    options: Optional[ClientOptions] = None,
+    *,
+    channel: Optional[BroadcastChannel] = None,
+    concurrency: int = 1,
+    chunk_size: Optional[int] = None,
+) -> MethodRun:
+    """Run a workload through a scheme's client and aggregate the metrics.
+
+    This is the single implementation behind both the legacy
+    :func:`repro.experiments.runner.run_workload` and
+    :meth:`AirSystem.query_batch`, which is what makes their results
+    identical by construction.
+
+    Sessions are drawn from the channel sequentially in workload order, so
+    tune-in offsets and packet-loss draws do not depend on ``concurrency``;
+    queries are then processed in chunks, in parallel when ``concurrency > 1``
+    (each session is independent and the schemes' shared state is read-only).
+    """
+    options = options or ClientOptions()
+    items = [_as_query(item) for item in queries]
+    if channel is None:
+        channel = scheme.channel(loss_rate=options.loss_rate, seed=options.loss_seed)
+    client = scheme.client(options=options)
+    sessions = [channel.session(options.tune_in_offset) for _ in items]
+
+    def process(index: int) -> QueryResult:
+        source, target, _ = items[index]
+        return client.query(source, target, session=sessions[index])
+
+    results: List[Optional[QueryResult]] = [None] * len(items)
+    if concurrency <= 1 or len(items) <= 1:
+        for index in range(len(items)):
+            results[index] = process(index)
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(items) // (concurrency * 4)))
+        chunks = [
+            range(start, min(start + chunk_size, len(items)))
+            for start in range(0, len(items), chunk_size)
+        ]
+
+        def process_chunk(indices: range) -> List[Tuple[int, QueryResult]]:
+            return [(index, process(index)) for index in indices]
+
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            for chunk_results in pool.map(process_chunk, chunks):
+                for index, result in chunk_results:
+                    results[index] = result
+
+    run = MethodRun(method=scheme.short_name, server=scheme.server_metrics())
+    for (source, target, truth), result in zip(items, results):
+        assert result is not None
+        run.per_query.append(result.metrics)
+        if truth is not None and abs(result.distance - truth) > _MISMATCH_RTOL * max(
+            1.0, truth
+        ):
+            run.mismatches += 1
+    return run
+
+
+class AirSystem:
+    """A network plus a cache of schemes built (and cycles laid out) over it.
+
+    Parameters
+    ----------
+    network:
+        The road network every scheme is built over.
+    config:
+        Optional configuration object (typically an
+        :class:`~repro.experiments.config.ExperimentConfig`).  When given, it
+        supplies per-scheme default parameters through the registry's
+        ``config_map`` and the default client device.
+    default_options:
+        Base :class:`ClientOptions` for every client the system creates;
+        defaults to ``ClientOptions(device=config.device)`` when a
+        configuration is given.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: Any = None,
+        default_options: Optional[ClientOptions] = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        if default_options is None:
+            device = getattr(config, "device", None)
+            default_options = ClientOptions(device=device) if device else ClientOptions()
+        self.default_options = default_options
+        self._fingerprint = network.fingerprint()
+        self._schemes: Dict[Tuple, AirIndexScheme] = {}
+        self._channels: Dict[Tuple, BroadcastChannel] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @classmethod
+    def from_config(cls, config: Any, network_name: Optional[str] = None) -> "AirSystem":
+        """Build the configured (scaled) evaluation network and wrap it."""
+        from repro.network import datasets
+
+        network = datasets.load(
+            network_name or config.network, scale=config.scale, seed=config.seed
+        )
+        return cls(network, config=config)
+
+    # ------------------------------------------------------------------
+    # Scheme cache
+    # ------------------------------------------------------------------
+    def _resolve_params(self, name: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        resolved: Dict[str, Any] = {}
+        if self.config is not None:
+            resolved.update(registry.params_from_config(name, self.config))
+        resolved.update(params)
+        # Round-trip through the dataclass so the cache key carries every
+        # field (defaults included) and unknown names fail fast.
+        info = registry.get_scheme(name)
+        return dataclasses.asdict(info.make_params(**resolved))
+
+    def scheme(self, name: str, **params: Any) -> AirIndexScheme:
+        """The (cached) scheme instance for ``name`` with the given parameters.
+
+        On a cache miss the scheme is constructed through the registry and
+        its broadcast cycle is built immediately, so everything returned by
+        this method is ready to serve queries without further pre-computation.
+        """
+        name = registry.canonical_name(name)
+        resolved = self._resolve_params(name, params)
+        key = (name, tuple(sorted(resolved.items())), self._fingerprint)
+        scheme = self._schemes.get(key)
+        if scheme is not None:
+            self._hits += 1
+            return scheme
+        self._misses += 1
+        scheme = registry.create(name, self.network, **resolved)
+        scheme.cycle  # build (and thereby cache) the broadcast cycle now
+        self._schemes[key] = scheme
+        return scheme
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/entry counts of the cycle cache."""
+        return CacheInfo(hits=self._hits, misses=self._misses, entries=len(self._schemes))
+
+    def clear_cache(self) -> None:
+        """Drop every cached scheme, cycle and channel."""
+        self._schemes.clear()
+        self._channels.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Clients and channels
+    # ------------------------------------------------------------------
+    def _options(self, options: Optional[ClientOptions], **overrides: Any) -> ClientOptions:
+        resolved = options or self.default_options
+        changes = {key: value for key, value in overrides.items() if value is not None}
+        return resolved.replace(**changes) if changes else resolved
+
+    def channel(
+        self, name: str, loss_rate: float = 0.0, seed: int = 0, **params: Any
+    ) -> BroadcastChannel:
+        """A (cached) channel carrying the named scheme's cycle.
+
+        The channel is memoized per ``(scheme, loss_rate, seed)`` so repeated
+        :meth:`query` calls keep advancing the same session sequence instead
+        of replaying session #1 forever.
+        """
+        name = registry.canonical_name(name)
+        scheme = self.scheme(name, **params)
+        resolved = self._resolve_params(name, params)
+        key = (name, tuple(sorted(resolved.items())), loss_rate, seed)
+        if key not in self._channels:
+            self._channels[key] = scheme.channel(loss_rate=loss_rate, seed=seed)
+        return self._channels[key]
+
+    def client(self, name: str, options: Optional[ClientOptions] = None, **params: Any):
+        """A client for the named scheme under the system's default options."""
+        return self.scheme(name, **params).client(options=self._options(options))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        name: str,
+        source: int,
+        target: int,
+        options: Optional[ClientOptions] = None,
+        **params: Any,
+    ) -> QueryResult:
+        """Process one on-air query through the named scheme."""
+        options = self._options(options)
+        channel = self.channel(name, options.loss_rate, options.loss_seed, **params)
+        client = self.scheme(name, **params).client(options=options)
+        return client.query(
+            source, target, channel=channel, tune_in_offset=options.tune_in_offset
+        )
+
+    def query_batch(
+        self,
+        name: str,
+        workload: Iterable[Any],
+        options: Optional[ClientOptions] = None,
+        *,
+        loss_rate: Optional[float] = None,
+        loss_seed: Optional[int] = None,
+        memory_bound: Optional[bool] = None,
+        concurrency: int = 1,
+        chunk_size: Optional[int] = None,
+        **params: Any,
+    ) -> MethodRun:
+        """Run a whole workload through the named scheme and aggregate it.
+
+        The workload may contain :class:`~repro.experiments.workloads.Query`
+        objects (mismatches against the ground truth are counted) or plain
+        ``(source, target)`` pairs.  A fresh, seeded channel is opened for
+        the batch, so two identical calls -- or one batched call and one
+        sequential per-query loop -- produce identical metrics.
+        """
+        options = self._options(
+            options, loss_rate=loss_rate, loss_seed=loss_seed, memory_bound=memory_bound
+        )
+        scheme = self.scheme(name, **params)
+        channel = scheme.channel(loss_rate=options.loss_rate, seed=options.loss_seed)
+        return execute_workload(
+            scheme,
+            workload,
+            options,
+            channel=channel,
+            concurrency=concurrency,
+            chunk_size=chunk_size,
+        )
+
+    def compare(
+        self,
+        methods: Optional[Sequence[str]] = None,
+        workload: Iterable[Any] = (),
+        options: Optional[ClientOptions] = None,
+        *,
+        loss_rate: Optional[float] = None,
+        concurrency: int = 1,
+    ) -> Dict[str, MethodRun]:
+        """Run the same workload through several methods (Figure 10 style).
+
+        ``methods`` defaults to the registry's comparison set (the five
+        schemes of the paper's device experiments).  Workloads are
+        materialized once so every method sees the same queries.
+        """
+        names = [registry.canonical_name(m) for m in (methods or registry.comparison_schemes())]
+        queries = list(workload)
+        return {
+            name: self.query_batch(
+                name,
+                queries,
+                options,
+                loss_rate=loss_rate,
+                concurrency=concurrency,
+            )
+            for name in names
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        info = self.cache_info()
+        return (
+            f"AirSystem(network={self.network.name!r}, cached={info.entries}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

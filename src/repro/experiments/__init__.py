@@ -2,15 +2,20 @@
 
 The benchmarks under ``benchmarks/`` are thin wrappers around this package:
 each table/figure has a function here that builds the (scaled) network,
-generates the query workload, runs the competing methods, and returns the
-rows/series the paper reports.
+generates the query workload, runs the competing methods through the engine
+layer (:class:`~repro.engine.system.AirSystem`), and returns the rows/series
+the paper reports.
+
+``build_scheme``/``compare_methods`` and the ``COMPARISON_METHODS``/
+``ALL_METHODS`` constants are deprecated shims kept for older callers; the
+scheme registry (``repro.air``) and the engine facade are the supported API.
 """
+
+from typing import List
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, scale_from_env
 from repro.experiments.workloads import Query, QueryWorkload
 from repro.experiments.runner import (
-    ALL_METHODS,
-    COMPARISON_METHODS,
     MethodRun,
     build_network,
     build_scheme,
@@ -45,3 +50,12 @@ __all__ = [
     "scale_from_env",
     "scaled_device",
 ]
+
+
+def __getattr__(name: str) -> List[str]:
+    """Deprecated method-list constants, forwarded to the runner's shims."""
+    if name in ("COMPARISON_METHODS", "ALL_METHODS"):
+        from repro.experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,12 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.air import canonical_name
 from repro.broadcast.device import DeviceProfile
+from repro.engine.system import AirSystem
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import build_scheme, run_workload
 from repro.experiments.workloads import QueryWorkload
-from repro.network import datasets
-from repro.network.graph import RoadNetwork
 
 __all__ = ["ApplicabilityResult", "scaled_device", "method_applicability"]
 
@@ -69,16 +68,15 @@ def method_applicability(
     device = device or scaled_device(config.device, config.scale)
     results: List[ApplicabilityResult] = []
     for name in network_names:
-        network = datasets.load(name, scale=config.scale, seed=config.seed)
-        workload = QueryWorkload(network, probe_queries, seed=config.seed)
+        system = AirSystem.from_config(config, network_name=name)
+        workload = QueryWorkload(system.network, probe_queries, seed=config.seed)
+        runs = system.compare(methods, workload)
         for method in methods:
-            scheme = build_scheme(method, network, config)
-            run = run_workload(scheme, workload, config)
             results.append(
                 ApplicabilityResult(
                     network=name,
                     method=method,
-                    peak_memory_bytes=run.peak_memory_bytes,
+                    peak_memory_bytes=runs[canonical_name(method)].peak_memory_bytes,
                     heap_bytes=device.heap_bytes,
                 )
             )

@@ -61,6 +61,32 @@ class ExperimentConfig:
     #: The client device (Table 2's 8 MB heap phone).
     device: DeviceProfile = J2ME_CLAMSHELL
 
+    def __post_init__(self) -> None:
+        """Fail fast on configurations no scheme builder could satisfy."""
+        from repro.network import datasets
+
+        known = datasets.available()
+        if self.network not in known:
+            raise ValueError(
+                f"unknown network {self.network!r}; available: {', '.join(known)}"
+            )
+        if not self.scale > 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.num_queries <= 0:
+            raise ValueError(f"num_queries must be positive, got {self.num_queries}")
+        for field_name in ("eb_nr_regions", "arcflag_regions", "hiti_regions"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.num_landmarks <= 0:
+            raise ValueError(f"num_landmarks must be positive, got {self.num_landmarks}")
+        for rate in self.loss_rates:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"loss rates must be in [0, 1), got {rate}")
+        for setting in self.finetune_settings:
+            if setting <= 0:
+                raise ValueError(f"finetune settings must be positive, got {setting}")
+
     def landmarks_for_regions(self, regions: int) -> int:
         """The paper pairs 16/32/64/128 regions with 2/4/8/16 landmarks."""
         mapping: Dict[int, int] = {16: 2, 32: 4, 64: 8, 128: 16}

@@ -11,19 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.air import (
-    ArcFlagBroadcastScheme,
-    DijkstraBroadcastScheme,
-    EllipticBoundaryScheme,
-    LandmarkBroadcastScheme,
-    NextRegionScheme,
-)
+from repro import air
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import MethodRun, run_workload
 from repro.experiments.workloads import QueryWorkload
 from repro.network.graph import RoadNetwork
 
 __all__ = ["FinetunePoint", "finetune_sweep"]
+
+#: Which registry parameter each method's x-axis value feeds (Figure 11
+#: sweeps regions for the border/flag methods and landmarks for LD; DJ has
+#: nothing to tune and serves as the flat reference line).
+_SWEPT_PARAM = {"NR": "num_regions", "EB": "num_regions", "AF": "num_regions", "LD": "num_landmarks"}
 
 
 @dataclass
@@ -55,20 +54,21 @@ def finetune_sweep(
         landmarks = config.landmarks_for_regions(regions)
         point = FinetunePoint(regions=regions, landmarks=landmarks)
         for method in methods:
-            if method == "NR":
-                scheme = NextRegionScheme(network, num_regions=regions)
-            elif method == "EB":
-                scheme = EllipticBoundaryScheme(network, num_regions=regions)
-            elif method == "DJ":
-                scheme = DijkstraBroadcastScheme(network)
-            elif method == "LD":
-                scheme = LandmarkBroadcastScheme(network, num_landmarks=landmarks)
-            elif method == "AF":
-                if regions > max_arcflag_regions:
-                    continue
-                scheme = ArcFlagBroadcastScheme(network, num_regions=regions)
-            else:
-                raise ValueError(f"unknown method {method!r}")
+            name = air.canonical_name(method)
+            if name not in _SWEPT_PARAM and name != "DJ":
+                raise ValueError(
+                    f"method {method!r} has no fine-tuning sweep; "
+                    f"sweepable: {sorted(_SWEPT_PARAM)} (plus the DJ reference)"
+                )
+            if name == "AF" and regions > max_arcflag_regions:
+                continue
+            swept = _SWEPT_PARAM.get(name)
+            params = {}
+            if swept == "num_regions":
+                params[swept] = regions
+            elif swept == "num_landmarks":
+                params[swept] = landmarks
+            scheme = air.create(name, network, **params)
             point.runs[method] = run_workload(scheme, workload, config)
         points.append(point)
     return points

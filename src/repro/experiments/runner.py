@@ -1,27 +1,26 @@
 """Per-method experiment runner.
 
-Glue between the air-index schemes and the table/figure reproductions: build
-a scheme under the configured parameters, push a query workload through its
-client, and aggregate the per-query metrics the way the paper reports them
-(averages per method, per bucket, or per network).
+Glue between the air-index schemes and the table/figure reproductions.  The
+heavy lifting now lives in the engine layer: schemes are constructed through
+the :mod:`repro.air.registry` and workloads execute via
+:func:`repro.engine.system.execute_workload`, which is the same code path
+:meth:`repro.engine.system.AirSystem.query_batch` uses -- so the harness and
+the facade produce identical numbers by construction.
+
+``build_scheme`` and ``compare_methods`` remain as thin deprecation shims for
+code written against the pre-registry API; new code should use
+``air.create(...)`` and :class:`~repro.engine.system.AirSystem` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+import warnings
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.air import (
-    ArcFlagBroadcastScheme,
-    DijkstraBroadcastScheme,
-    EllipticBoundaryScheme,
-    HiTiBroadcastScheme,
-    LandmarkBroadcastScheme,
-    NextRegionScheme,
-    SPQBroadcastScheme,
-)
-from repro.air.base import AirIndexScheme, QueryResult
-from repro.broadcast.metrics import ClientMetrics, ServerMetrics, average_metrics
+from repro.air import registry
+from repro.air.base import AirIndexScheme, ClientOptions
+from repro.engine.results import MethodRun
+from repro.engine.system import AirSystem, execute_workload
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import Query, QueryWorkload
 from repro.network import datasets
@@ -33,36 +32,7 @@ __all__ = [
     "build_scheme",
     "run_workload",
     "compare_methods",
-    "COMPARISON_METHODS",
-    "ALL_METHODS",
 ]
-
-#: Methods included in the paper's device experiments (Figures 10-14).
-COMPARISON_METHODS = ["NR", "EB", "DJ", "LD", "AF"]
-#: All methods, including the two that only appear in Table 1.
-ALL_METHODS = ["DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"]
-
-
-@dataclass
-class MethodRun:
-    """Aggregated outcome of one method over one workload."""
-
-    method: str
-    server: ServerMetrics
-    per_query: List[ClientMetrics] = field(default_factory=list)
-    mismatches: int = 0
-
-    @property
-    def mean(self) -> ClientMetrics:
-        """Average client metrics over the workload."""
-        return average_metrics(self.per_query)
-
-    @property
-    def peak_memory_bytes(self) -> int:
-        """Worst-case client memory over the workload (Table 2's criterion)."""
-        if not self.per_query:
-            return 0
-        return max(metrics.peak_memory_bytes for metrics in self.per_query)
 
 
 def build_network(config: ExperimentConfig, name: Optional[str] = None) -> RoadNetwork:
@@ -73,23 +43,21 @@ def build_network(config: ExperimentConfig, name: Optional[str] = None) -> RoadN
 def build_scheme(
     method: str, network: RoadNetwork, config: ExperimentConfig
 ) -> AirIndexScheme:
-    """Construct the scheme for the paper's method abbreviation."""
-    method = method.upper() if method.lower() != "hiti" else "HiTi"
-    if method == "DJ":
-        return DijkstraBroadcastScheme(network)
-    if method == "NR":
-        return NextRegionScheme(network, num_regions=config.eb_nr_regions)
-    if method == "EB":
-        return EllipticBoundaryScheme(network, num_regions=config.eb_nr_regions)
-    if method == "LD":
-        return LandmarkBroadcastScheme(network, num_landmarks=config.num_landmarks)
-    if method == "AF":
-        return ArcFlagBroadcastScheme(network, num_regions=config.arcflag_regions)
-    if method == "SPQ":
-        return SPQBroadcastScheme(network)
-    if method == "HiTi":
-        return HiTiBroadcastScheme(network, num_regions=config.hiti_regions)
-    raise ValueError(f"unknown method {method!r}")
+    """Construct the scheme for the paper's method abbreviation.
+
+    .. deprecated::
+        Use ``air.create(method, network, **params)`` or
+        ``AirSystem.scheme(method)``; this shim resolves the configured
+        parameters through the registry's ``config_map`` and raises the same
+        ``ValueError`` for unknown methods.
+    """
+    warnings.warn(
+        "build_scheme is deprecated; use air.create(...) or AirSystem.scheme(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    name = registry.canonical_name(method)
+    return registry.create(name, network, **registry.params_from_config(name, config))
 
 
 def run_workload(
@@ -105,18 +73,13 @@ def run_workload(
     ``mismatches`` counts queries whose returned distance differs from the
     ground truth -- it should always be zero and is asserted on by the tests.
     """
-    channel = scheme.channel(loss_rate=loss_rate, seed=loss_seed)
-    if memory_bound:
-        client = scheme.client(config.device, memory_bound=True)  # type: ignore[call-arg]
-    else:
-        client = scheme.client(config.device)
-    run = MethodRun(method=scheme.short_name, server=scheme.server_metrics())
-    for query in queries:
-        result: QueryResult = client.query(query.source, query.target, channel=channel)
-        run.per_query.append(result.metrics)
-        if abs(result.distance - query.true_distance) > 1e-6 * max(1.0, query.true_distance):
-            run.mismatches += 1
-    return run
+    options = ClientOptions(
+        device=config.device,
+        memory_bound=memory_bound,
+        loss_rate=loss_rate,
+        loss_seed=loss_seed,
+    )
+    return execute_workload(scheme, queries, options)
 
 
 def compare_methods(
@@ -126,9 +89,41 @@ def compare_methods(
     config: ExperimentConfig,
     loss_rate: float = 0.0,
 ) -> Dict[str, MethodRun]:
-    """Build each method once and run the same workload through all of them."""
-    runs: Dict[str, MethodRun] = {}
-    for method in methods:
-        scheme = build_scheme(method, network, config)
-        runs[method] = run_workload(scheme, workload, config, loss_rate=loss_rate)
-    return runs
+    """Build each method once and run the same workload through all of them.
+
+    .. deprecated::
+        Use ``AirSystem(network, config).compare(methods, workload, ...)``.
+    """
+    warnings.warn(
+        "compare_methods is deprecated; use AirSystem.compare(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    system = AirSystem(network, config=config)
+    runs = system.compare(methods, workload, loss_rate=loss_rate)
+    # The old function keyed the result by the method strings as given
+    # (``runs["nr"]`` worked); AirSystem.compare keys by canonical name.
+    return {method: runs[registry.canonical_name(method)] for method in methods}
+
+
+_DEPRECATED_CONSTANTS = {
+    # Methods included in the paper's device experiments (Figures 10-14).
+    "COMPARISON_METHODS": registry.comparison_schemes,
+    # All methods, including the two that only appear in Table 1.
+    "ALL_METHODS": registry.available_schemes,
+}
+
+
+def __getattr__(name: str) -> List[str]:
+    """Deprecated method-list constants, now answered by the registry."""
+    try:
+        supplier = _DEPRECATED_CONSTANTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    warnings.warn(
+        f"{name} is deprecated; query the registry via "
+        "air.comparison_schemes() / air.available_schemes()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return supplier()

@@ -277,6 +277,24 @@ class RoadNetwork:
             return True
         return len(self.weakly_connected_components()) == 1
 
+    def fingerprint(self) -> str:
+        """A stable digest of the network's structure and weights.
+
+        Two networks with the same nodes, coordinates, edges and weights get
+        the same fingerprint regardless of insertion order.  The engine uses
+        it to key cached broadcast cycles, so a rebuilt-but-identical network
+        hits the cache while any topological change misses it.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for node_id in sorted(self._nodes):
+            node = self._nodes[node_id]
+            digest.update(f"n{node_id}:{node.x!r}:{node.y!r};".encode())
+            for target, weight in sorted(self._adjacency[node_id]):
+                digest.update(f"e{node_id}>{target}:{weight!r};".encode())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # Representation
     # ------------------------------------------------------------------

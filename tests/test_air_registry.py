@@ -1,0 +1,156 @@
+"""Tests for the scheme registry (repro.air.registry)."""
+
+from dataclasses import dataclass, FrozenInstanceError
+
+import pytest
+
+from repro import air
+from repro.air import registry
+from repro.air.base import AirIndexScheme
+from repro.experiments import ExperimentConfig
+
+
+class TestRegistryContents:
+    def test_all_paper_methods_registered(self):
+        assert set(air.available_schemes()) == {"DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi"}
+
+    def test_comparison_subset(self):
+        assert set(air.comparison_schemes()) == {"DJ", "NR", "EB", "LD", "AF"}
+        assert "SPQ" not in air.comparison_schemes()
+        assert "HiTi" not in air.comparison_schemes()
+
+    def test_short_names_match_registry_keys(self):
+        for name in air.available_schemes():
+            assert air.get_scheme(name).cls.short_name == name
+
+    def test_registered_classes_are_schemes(self):
+        for name in air.available_schemes():
+            assert issubclass(air.get_scheme(name).cls, AirIndexScheme)
+
+    def test_back_compat_scheme_registry_view(self):
+        assert air.SCHEME_REGISTRY["NR"] is air.NextRegionScheme
+        assert set(air.SCHEME_REGISTRY) == set(air.available_schemes())
+
+
+class TestLookup:
+    def test_case_insensitive_canonicalization(self):
+        assert air.canonical_name("nr") == "NR"
+        assert air.canonical_name("hiti") == "HiTi"
+        assert air.canonical_name("HITI") == "HiTi"
+
+    def test_unknown_scheme_raises_with_alternatives(self):
+        with pytest.raises(ValueError, match="unknown scheme 'XYZ'"):
+            air.canonical_name("XYZ")
+        with pytest.raises(ValueError, match="available:"):
+            air.get_scheme("nope")
+
+    def test_defaults_reflect_param_dataclasses(self):
+        assert air.scheme_defaults("NR") == {"num_regions": 32}
+        assert air.scheme_defaults("EB") == {"num_regions": 32, "square_packing": True}
+        assert air.scheme_defaults("LD") == {"num_landmarks": 4}
+        assert air.scheme_defaults("DJ") == {}
+
+
+class TestCreate:
+    def test_create_with_parameters(self, medium_network):
+        scheme = air.create("NR", medium_network, num_regions=8)
+        assert scheme.short_name == "NR"
+        assert scheme.num_regions == 8
+
+    def test_create_uses_defaults(self, medium_network):
+        scheme = air.create("LD", medium_network)
+        assert scheme.num_landmarks == 4
+
+    def test_create_case_insensitive(self, medium_network):
+        assert air.create("dj", medium_network).short_name == "DJ"
+
+    def test_unknown_parameter_rejected(self, medium_network):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            air.create("NR", medium_network, bogus=3)
+
+    def test_unknown_scheme_rejected(self, medium_network):
+        with pytest.raises(ValueError):
+            air.create("XYZ", medium_network)
+
+    def test_params_from_config(self):
+        config = ExperimentConfig(
+            eb_nr_regions=48, arcflag_regions=12, hiti_regions=6, num_landmarks=3
+        )
+        assert air.params_from_config("NR", config) == {"num_regions": 48}
+        assert air.params_from_config("EB", config) == {"num_regions": 48}
+        assert air.params_from_config("AF", config) == {"num_regions": 12}
+        assert air.params_from_config("HiTi", config) == {"num_regions": 6}
+        assert air.params_from_config("LD", config) == {"num_landmarks": 3}
+        assert air.params_from_config("DJ", config) == {}
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @registry.register_scheme("NR")
+            class AnotherNR:  # pragma: no cover - never constructed
+                short_name = "NR"
+
+    def test_reregistering_same_class_is_idempotent(self):
+        cls = air.get_scheme("NR").cls
+        assert registry.register_scheme("NR", params=air.NRParams)(cls) is cls
+        # The original metadata (config_map included) survives the no-op.
+        assert air.get_scheme("NR").config_map == {"num_regions": "eb_nr_regions"}
+
+    def test_module_reload_replaces_the_entry(self):
+        """Reloading a scheme module re-runs the decorator with a new class."""
+        import importlib
+
+        from repro.air import nr as nr_module
+
+        original = air.get_scheme("NR").cls
+        try:
+            importlib.reload(nr_module)
+            reloaded = air.get_scheme("NR").cls
+            assert reloaded is not original
+            assert reloaded.__qualname__ == original.__qualname__
+            assert air.get_scheme("NR").config_map == {"num_regions": "eb_nr_regions"}
+        finally:
+            # Restore the original class so session-scoped fixtures built
+            # from it keep matching the registry for later tests.
+            registry._REGISTRY["NR"] = registry.SchemeInfo(
+                name="NR",
+                cls=original,
+                params=air.NRParams,
+                description=air.get_scheme("NR").description,
+                config_map=dict(air.get_scheme("NR").config_map),
+            )
+
+    def test_non_dataclass_params_rejected(self):
+        with pytest.raises(TypeError, match="must be a dataclass"):
+            registry.register_scheme("ZZ", params=dict)
+
+    def test_params_dataclasses_are_frozen(self):
+        params = air.NRParams(num_regions=8)
+        with pytest.raises(FrozenInstanceError):
+            params.num_regions = 9
+
+    def test_new_scheme_registration_roundtrip(self, medium_network):
+        """A scheme registered at runtime is immediately constructible."""
+
+        @dataclass(frozen=True)
+        class EchoParams:
+            knob: int = 1
+
+        @registry.register_scheme("TestEcho", params=EchoParams, comparison=False)
+        class EchoScheme:
+            short_name = "TestEcho"
+
+            def __init__(self, network, knob=1):
+                self.network = network
+                self.knob = knob
+
+        try:
+            assert "TestEcho" in air.available_schemes()
+            assert "TestEcho" not in air.comparison_schemes()
+            built = air.create("testecho", medium_network, knob=5)
+            assert built.knob == 5
+        finally:
+            registry._REGISTRY.pop("TestEcho", None)
+            registry._ALIASES.pop("testecho", None)

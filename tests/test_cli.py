@@ -31,6 +31,36 @@ class TestParser:
         assert args.method == "NR"
 
 
+class TestSchemesCommand:
+    def test_lists_every_registered_scheme(self):
+        from repro import air
+
+        code, output = run_cli(["schemes"])
+        assert code == 0
+        for name in air.available_schemes():
+            assert name in output
+
+    def test_shows_parameters_and_defaults(self):
+        code, output = run_cli(["schemes"])
+        assert code == 0
+        assert "num_regions=32" in output  # NR default, from the registry
+        assert "num_landmarks=4" in output  # LD default
+
+
+class TestSchemeNameResolution:
+    def test_method_names_are_case_insensitive(self):
+        args = build_parser().parse_args(["cycle", "--method", "hiti"])
+        assert args.method == "HiTi"
+
+    def test_unknown_method_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cycle", "--method", "XYZ"])
+
+    def test_methods_list_is_parsed_and_canonicalized(self):
+        args = build_parser().parse_args(["compare", "--methods", "nr, dj"])
+        assert args.methods == ["NR", "DJ"]
+
+
 class TestCycleCommand:
     def test_prints_cycle_statistics(self):
         code, output = run_cli(["cycle", "--method", "NR"] + COMMON)

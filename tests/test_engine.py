@@ -1,0 +1,284 @@
+"""Tests for the engine layer: AirSystem facade, cycle cache, batching."""
+
+import warnings
+
+import pytest
+
+from repro.air import ClientOptions
+from repro.engine import AirSystem, MethodRun
+from repro.experiments import (
+    ExperimentConfig,
+    QueryWorkload,
+    run_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        network="germany",
+        scale=0.01,
+        seed=3,
+        num_queries=6,
+        eb_nr_regions=8,
+        arcflag_regions=8,
+        hiti_regions=8,
+        num_landmarks=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def system(medium_network, config):
+    return AirSystem(medium_network, config=config)
+
+
+@pytest.fixture(scope="module")
+def workload50(medium_network):
+    """The acceptance-criteria workload: 50 queries."""
+    return QueryWorkload(medium_network, num_queries=50, seed=17)
+
+
+def _deterministic_fields(metrics):
+    """Every per-query metric except the wall-clock CPU measurement."""
+    return (
+        metrics.tuning_time_packets,
+        metrics.access_latency_packets,
+        metrics.peak_memory_bytes,
+        metrics.lost_packets,
+    )
+
+
+class TestCycleCache:
+    def test_same_scheme_and_params_build_once(self, system):
+        system.clear_cache()
+        first = system.scheme("NR")
+        second = system.scheme("NR")
+        assert first is second
+        info = system.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.entries == 1
+
+    def test_explicit_params_matching_config_defaults_hit(self, system, config):
+        system.clear_cache()
+        implied = system.scheme("NR")
+        explicit = system.scheme("NR", num_regions=config.eb_nr_regions)
+        assert implied is explicit
+        assert system.cache_info().misses == 1
+
+    def test_different_params_are_different_entries(self, system, config):
+        system.clear_cache()
+        default = system.scheme("NR")
+        halved = system.scheme("NR", num_regions=config.eb_nr_regions // 2)
+        assert default is not halved
+        assert system.cache_info().entries == 2
+
+    def test_case_insensitive_names_share_an_entry(self, system):
+        system.clear_cache()
+        assert system.scheme("nr") is system.scheme("NR")
+        assert system.cache_info().misses == 1
+
+    def test_cached_schemes_have_built_cycles(self, system):
+        scheme = system.scheme("DJ")
+        assert scheme._cycle is not None
+
+    def test_workload_over_all_methods_builds_each_once(self, system, workload50):
+        system.clear_cache()
+        queries = list(workload50)[:5]
+        for _ in range(3):
+            for method in ("NR", "DJ"):
+                run = system.query_batch(method, queries)
+                assert run.mismatches == 0
+        info = system.cache_info()
+        assert info.misses == 2
+        assert info.entries == 2
+
+    def test_identical_network_copy_hits_the_cache_key(self, medium_network, config):
+        """The cache key uses the structural fingerprint, not object identity."""
+        assert medium_network.copy().fingerprint() == medium_network.fingerprint()
+
+    def test_clear_cache_resets_counters(self, system):
+        system.scheme("NR")
+        system.clear_cache()
+        info = system.cache_info()
+        assert (info.hits, info.misses, info.entries) == (0, 0, 0)
+
+
+class TestQueryBatchEquivalence:
+    @pytest.mark.parametrize("method", ["NR", "EB", "DJ"])
+    def test_batch_matches_sequential_run_workload(self, system, config, workload50, method):
+        """The acceptance criterion: 50 batched queries == per-query loop."""
+        batched = system.query_batch(method, workload50)
+        scheme = system.scheme(method)
+        sequential = run_workload(scheme, workload50, config)
+        assert len(batched.per_query) == len(sequential.per_query) == 50
+        assert batched.mismatches == sequential.mismatches == 0
+        for ours, theirs in zip(batched.per_query, sequential.per_query):
+            assert _deterministic_fields(ours) == _deterministic_fields(theirs)
+
+    def test_batch_matches_manual_client_loop(self, system, workload50):
+        """query_batch == hand-rolled client.query loop over one channel."""
+        batched = system.query_batch("NR", workload50)
+        scheme = system.scheme("NR")
+        channel = scheme.channel()
+        client = scheme.client()
+        for query, metrics in zip(workload50, batched.per_query):
+            result = client.query(query.source, query.target, channel=channel)
+            assert abs(result.distance - query.true_distance) <= 1e-6 * max(
+                1.0, query.true_distance
+            )
+            assert _deterministic_fields(result.metrics) == _deterministic_fields(metrics)
+
+    def test_concurrency_does_not_change_results(self, system, workload50):
+        sequential = system.query_batch("NR", workload50)
+        threaded = system.query_batch("NR", workload50, concurrency=4)
+        chunked = system.query_batch("NR", workload50, concurrency=2, chunk_size=3)
+        for runs in (threaded, chunked):
+            assert runs.mismatches == sequential.mismatches
+            assert [
+                _deterministic_fields(m) for m in runs.per_query
+            ] == [_deterministic_fields(m) for m in sequential.per_query]
+
+    def test_lossy_batch_stays_exact_and_deterministic(self, system, workload50):
+        queries = list(workload50)[:10]
+        first = system.query_batch("NR", queries, loss_rate=0.05, loss_seed=9)
+        second = system.query_batch("NR", queries, loss_rate=0.05, loss_seed=9)
+        assert first.mismatches == second.mismatches == 0
+        assert [m.lost_packets for m in first.per_query] == [
+            m.lost_packets for m in second.per_query
+        ]
+        assert sum(m.lost_packets for m in first.per_query) > 0
+
+    def test_plain_pairs_are_accepted(self, system, workload50):
+        pairs = [(q.source, q.target) for q in list(workload50)[:5]]
+        run = system.query_batch("DJ", pairs)
+        assert len(run.per_query) == 5
+        assert run.mismatches == 0  # no ground truth -> nothing to mismatch
+
+
+class TestSystemSurface:
+    def test_compare_returns_method_runs(self, system, workload50):
+        queries = list(workload50)[:5]
+        runs = system.compare(["NR", "DJ"], queries)
+        assert set(runs) == {"NR", "DJ"}
+        for run in runs.values():
+            assert isinstance(run, MethodRun)
+            assert run.mismatches == 0
+
+    def test_compare_defaults_to_comparison_schemes(self, system, workload50):
+        runs = system.compare(workload=list(workload50)[:2])
+        assert set(runs) == {"DJ", "NR", "EB", "LD", "AF"}
+
+    def test_channel_cache_keys_on_resolved_params(self, system, config):
+        """Equivalent param spellings share one channel (one session sequence)."""
+        implied = system.channel("NR")
+        explicit = system.channel("NR", num_regions=config.eb_nr_regions)
+        assert implied is explicit
+
+    def test_single_query_advances_sessions(self, system, medium_network):
+        nodes = medium_network.node_ids()
+        first = system.query("NR", nodes[0], nodes[-1])
+        second = system.query("NR", nodes[0], nodes[-1])
+        assert first.found and second.found
+        assert first.distance == second.distance
+        # The memoized channel advances its session count, so consecutive
+        # queries tune in at different cycle offsets (as in the paper).
+        latencies = {
+            first.metrics.access_latency_packets,
+            second.metrics.access_latency_packets,
+            system.query("NR", nodes[0], nodes[-1]).metrics.access_latency_packets,
+        }
+        assert len(latencies) > 1
+
+    def test_from_config_builds_the_configured_network(self, config):
+        built = AirSystem.from_config(config)
+        assert built.network.name == "germany"
+        assert built.default_options.device is config.device
+
+    def test_memory_bound_option_threads_through(self, system, workload50):
+        queries = list(workload50)[:15]
+        plain = system.query_batch("NR", queries)
+        bound = system.query_batch("NR", queries, memory_bound=True)
+        assert bound.mismatches == 0
+        # Section 6.1 compression lowers the average working set (Figure 13).
+        assert bound.mean.peak_memory_bytes < plain.mean.peak_memory_bytes
+        assert bound.mean.cpu_seconds > 0.0
+
+    def test_memory_bound_rejected_for_full_cycle_schemes(self, system):
+        with pytest.raises(ValueError, match="memory-bound"):
+            system.client("DJ", ClientOptions(memory_bound=True))
+
+
+class TestDeprecationShims:
+    def test_build_scheme_still_works_but_warns(self, medium_network, config):
+        from repro.experiments import build_scheme
+
+        with pytest.warns(DeprecationWarning, match="build_scheme is deprecated"):
+            scheme = build_scheme("NR", medium_network, config)
+        assert scheme.short_name == "NR"
+        assert scheme.num_regions == config.eb_nr_regions
+
+    def test_build_scheme_unknown_method_still_valueerrors(self, medium_network, config):
+        from repro.experiments import build_scheme
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                build_scheme("XYZ", medium_network, config)
+
+    def test_compare_methods_still_works_but_warns(self, medium_network, config, workload50):
+        from repro.experiments import compare_methods
+
+        with pytest.warns(DeprecationWarning, match="compare_methods is deprecated"):
+            runs = compare_methods(["DJ"], medium_network, list(workload50)[:2], config)
+        assert set(runs) == {"DJ"}
+        assert runs["DJ"].mismatches == 0
+
+    def test_compare_methods_keys_by_caller_spelling(self, medium_network, config, workload50):
+        """The old function keyed results by the method strings as given."""
+        from repro.experiments import compare_methods
+
+        with pytest.warns(DeprecationWarning):
+            runs = compare_methods(["nr"], medium_network, list(workload50)[:2], config)
+        assert set(runs) == {"nr"}
+        assert runs["nr"].method == "NR"
+
+    def test_method_constants_resolve_through_registry(self):
+        with pytest.warns(DeprecationWarning, match="COMPARISON_METHODS"):
+            from repro.experiments import COMPARISON_METHODS  # noqa: F401 - shim
+
+            assert set(COMPARISON_METHODS) == {"DJ", "NR", "EB", "LD", "AF"}
+        with pytest.warns(DeprecationWarning, match="ALL_METHODS"):
+            from repro.experiments import runner
+
+            assert set(runner.ALL_METHODS) == {
+                "DJ", "NR", "EB", "LD", "AF", "SPQ", "HiTi",
+            }
+
+
+class TestConfigValidation:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            ExperimentConfig(network="atlantis")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 0.0},
+            {"scale": -1.0},
+            {"num_queries": 0},
+            {"eb_nr_regions": 0},
+            {"arcflag_regions": -4},
+            {"hiti_regions": 0},
+            {"num_landmarks": 0},
+            {"loss_rates": [0.5, 1.5]},
+            {"finetune_settings": [16, 0]},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_valid_config_accepted(self):
+        config = ExperimentConfig(network="milan", scale=0.5, num_queries=1)
+        assert config.network == "milan"

@@ -119,6 +119,12 @@ class TestFinetune:
         for point in points:
             assert set(point.runs) == {"NR", "DJ"}
 
+    def test_unsweepable_method_rejected(self, medium_network, workload, config):
+        with pytest.raises(ValueError, match="no fine-tuning sweep"):
+            finetune_sweep(
+                medium_network, list(workload)[:2], config, settings=[8], methods=("SPQ",)
+            )
+
     def test_arcflag_skipped_beyond_cap(self, medium_network, workload, config):
         points = finetune_sweep(
             medium_network,
