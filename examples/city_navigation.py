@@ -4,9 +4,9 @@ The scenario the paper's introduction motivates: a city broadcasts its road
 network on the air and an arbitrary number of vehicles compute routes locally
 -- no location server, no per-query network traffic, and full location
 privacy.  This example simulates a small fleet of vehicles issuing navigation
-queries at random moments of the broadcast cycle, compares every method the
-paper evaluates (Dijkstra, ArcFlag, Landmark, EB, NR), and reports the
-averaged client costs plus the per-vehicle battery impact.
+queries at random moments of the broadcast cycle, compares every method of
+the paper's device experiments through one :class:`AirSystem` batch call, and
+reports the averaged client costs plus the per-vehicle battery impact.
 
 Run with::
 
@@ -17,17 +17,10 @@ from __future__ import annotations
 
 import random
 
-from repro import datasets
-from repro.air import (
-    ArcFlagBroadcastScheme,
-    DijkstraBroadcastScheme,
-    EllipticBoundaryScheme,
-    LandmarkBroadcastScheme,
-    NextRegionScheme,
-)
+from repro import air, datasets
 from repro.broadcast.device import CHANNEL_384KBPS, J2ME_CLAMSHELL
-from repro.broadcast.metrics import average_metrics
-from repro.experiments import report
+from repro.engine import AirSystem
+from repro.experiments import Query, report
 from repro.network.algorithms import shortest_path
 
 NUM_VEHICLES = 25
@@ -40,13 +33,10 @@ def main() -> None:
         f"{network.num_edges} edges); {NUM_VEHICLES} vehicles, 384 Kbps channel"
     )
 
-    schemes = {
-        "NR": NextRegionScheme(network, num_regions=16),
-        "EB": EllipticBoundaryScheme(network, num_regions=16),
-        "DJ": DijkstraBroadcastScheme(network),
-        "LD": LandmarkBroadcastScheme(network, num_landmarks=4),
-        "AF": ArcFlagBroadcastScheme(network, num_regions=16),
-    }
+    # One system object serves every method; regions/landmarks are per-scheme
+    # parameters resolved through the registry.
+    system = AirSystem(network)
+    methods = air.comparison_schemes()
 
     rng = random.Random(3)
     nodes = network.node_ids()
@@ -54,21 +44,19 @@ def main() -> None:
     while len(trips) < NUM_VEHICLES:
         origin, destination = rng.choice(nodes), rng.choice(nodes)
         if origin != destination:
-            trips.append((origin, destination))
+            truth = shortest_path(network, origin, destination).distance
+            trips.append(Query(origin, destination, truth))
 
+    params = {
+        "NR": {"num_regions": 16},
+        "EB": {"num_regions": 16},
+        "LD": {"num_landmarks": 4},
+        "AF": {"num_regions": 16},
+    }
     rows = []
-    for name, scheme in schemes.items():
-        channel = scheme.channel()
-        client = scheme.client(J2ME_CLAMSHELL)
-        per_vehicle = []
-        wrong = 0
-        for origin, destination in trips:
-            result = client.query(origin, destination, channel=channel)
-            reference = shortest_path(network, origin, destination).distance
-            if abs(result.distance - reference) > 1e-6 * max(1.0, reference):
-                wrong += 1
-            per_vehicle.append(result.metrics)
-        mean = average_metrics(per_vehicle)
+    for name in methods:
+        run = system.query_batch(name, trips, concurrency=4, **params.get(name, {}))
+        mean = run.mean
         rows.append(
             [
                 name,
@@ -76,7 +64,7 @@ def main() -> None:
                 round(mean.access_latency_seconds(CHANNEL_384KBPS), 2),
                 round(mean.peak_memory_bytes / 1024.0, 1),
                 round(mean.energy_joules(J2ME_CLAMSHELL, CHANNEL_384KBPS), 3),
-                wrong,
+                run.mismatches,
             ]
         )
 

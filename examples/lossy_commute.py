@@ -17,9 +17,9 @@ from __future__ import annotations
 import random
 
 from repro import datasets
-from repro.air import DijkstraBroadcastScheme, NextRegionScheme
-from repro.broadcast.device import CHANNEL_384KBPS, J2ME_CLAMSHELL
-from repro.experiments import report
+from repro.broadcast.device import CHANNEL_384KBPS
+from repro.engine import AirSystem
+from repro.experiments import Query, report
 from repro.network.algorithms import shortest_path
 
 LOSS_RATES = [0.0, 0.01, 0.05, 0.10]
@@ -33,28 +33,31 @@ def main() -> None:
         f"{REPLANS_PER_RATE} route re-plans per loss rate"
     )
 
-    nr = NextRegionScheme(network, num_regions=16)
-    dj = DijkstraBroadcastScheme(network)
+    # One system; the NR and DJ cycles are each built exactly once, then
+    # reused across every loss rate below.
+    system = AirSystem(network)
 
     rng = random.Random(8)
     nodes = network.node_ids()
     home, office = nodes[1], nodes[-2]
     waypoints = [home] + [rng.choice(nodes) for _ in range(REPLANS_PER_RATE - 1)]
+    replans = [
+        Query(waypoint, office, shortest_path(network, waypoint, office).distance)
+        for waypoint in waypoints
+    ]
 
     rows = []
     for rate in LOSS_RATES:
-        for name, scheme in (("NR", nr), ("DJ", dj)):
-            channel = scheme.channel(loss_rate=rate, seed=int(rate * 1000) + 1)
-            client = scheme.client(J2ME_CLAMSHELL)
-            tuning = 0
-            latency_seconds = 0.0
-            exact = True
-            for waypoint in waypoints:
-                result = client.query(waypoint, office, channel=channel)
-                reference = shortest_path(network, waypoint, office).distance
-                exact &= abs(result.distance - reference) <= 1e-6 * max(1.0, reference)
-                tuning += result.metrics.tuning_time_packets
-                latency_seconds += result.metrics.access_latency_seconds(CHANNEL_384KBPS)
+        for name in ("NR", "DJ"):
+            params = {"num_regions": 16} if name == "NR" else {}
+            run = system.query_batch(
+                name, replans, loss_rate=rate, loss_seed=int(rate * 1000) + 1, **params
+            )
+            tuning = sum(m.tuning_time_packets for m in run.per_query)
+            latency_seconds = sum(
+                m.access_latency_seconds(CHANNEL_384KBPS) for m in run.per_query
+            )
+            exact = run.mismatches == 0
             rows.append(
                 [
                     f"{rate * 100:g}%",

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import random
 
-from repro import datasets
-from repro.air import NextRegionScheme
+from repro import air, datasets
+from repro.air import ClientOptions
 from repro.broadcast.device import DeviceProfile
 from repro.broadcast.metrics import average_metrics
 from repro.experiments import report
@@ -28,7 +28,7 @@ NUM_QUERIES = 10
 
 def main() -> None:
     network = datasets.load("argentina", scale=0.01, seed=19)
-    scheme = NextRegionScheme(network, num_regions=8)
+    scheme = air.create("NR", network, num_regions=8)
     print(
         f"network: {network.name} ({network.num_nodes} nodes); "
         f"{NUM_QUERIES} long-distance queries"
@@ -44,7 +44,9 @@ def main() -> None:
 
     results = {}
     for label, memory_bound in (("hold all regions", False), ("super-edge compression", True)):
-        client = scheme.client(memory_bound=memory_bound)
+        # The memory-bound mode is a uniform ClientOptions field; schemes
+        # without Section 6.1 support reject it instead of ignoring it.
+        client = scheme.client(options=ClientOptions(memory_bound=memory_bound))
         metrics = []
         for source, target in queries:
             outcome = client.query(source, target)

@@ -11,8 +11,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import datasets
-from repro.air import NextRegionScheme
+from repro import air, datasets
 from repro.broadcast.device import CHANNEL_2MBPS, J2ME_CLAMSHELL
 from repro.network.algorithms import shortest_path
 
@@ -23,8 +22,9 @@ def main() -> None:
     network = datasets.load("germany", scale=0.02, seed=7)
     print(f"network: {network.name} ({network.num_nodes} nodes, {network.num_edges} edges)")
 
-    # 2. Server side: pre-compute border paths and lay out the broadcast cycle.
-    scheme = NextRegionScheme(network, num_regions=16)
+    # 2. Server side: pick the scheme from the registry (any name in
+    #    air.available_schemes() works here), pre-compute, lay out the cycle.
+    scheme = air.create("NR", network, num_regions=16)
     cycle = scheme.cycle
     print(
         f"broadcast cycle: {cycle.total_packets} packets "
