@@ -1,0 +1,114 @@
+"""Fleet scaling -- shared-session replay vs naive per-device simulation.
+
+Not a table or figure of the paper: the paper evaluates one client at a
+time, while a broadcast cycle serves an unbounded audience.  This benchmark
+puts a rush-hour fleet on one cached NR cycle and measures devices/second
+for three ways of serving it:
+
+* **naive** -- every device runs the full client protocol on its own
+  session: per-packet channel simulation plus a local shortest path
+  computation per device;
+* **replay** -- the fleet simulator's shared-session fast path: one probe
+  session per distinct query, O(ops) packet arithmetic per further device;
+* **replay x4** -- the same, fanned out over a thread pool.
+
+Asserted invariants: the replay path is >= 10x the naive path at 1,000
+devices, and fleet results are bit-identical for ``concurrency`` in {1, 4}.
+
+Run standalone like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scale.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.broadcast.channel import ClientSession
+from repro.engine import AirSystem
+from repro.experiments import build_network, fleet_rush_hour, report
+from repro.fleet import simulate_fleet
+
+from conftest import write_report
+
+METHOD = "NR"
+FLEET_SIZES = (200, 1_000)
+#: Acceptance criterion: replay throughput vs naive at the largest fleet.
+MIN_SPEEDUP = 10.0
+
+
+def _naive_devices_per_second(scheme, devices) -> float:
+    """Simulate every device natively: own session, full client protocol."""
+    cycle = scheme.cycle
+    client = scheme.client()
+    started = time.perf_counter()
+    for spec in devices:
+        offset = int(spec.tune_in_fraction * cycle.total_packets) % cycle.total_packets
+        result = client.query(spec.source, spec.target, session=ClientSession(cycle, offset))
+        assert result.found
+    return len(devices) / (time.perf_counter() - started)
+
+
+@pytest.fixture(scope="module")
+def system(small_bench_config):
+    return AirSystem(build_network(small_bench_config), config=small_bench_config)
+
+
+def test_fleet_scale_replay_vs_naive(system, small_bench_config):
+    scheme = system.scheme(METHOD)
+    rows = []
+    speedup_at_largest = 0.0
+    for num_devices in FLEET_SIZES:
+        devices = fleet_rush_hour(
+            system.network, num_devices, seed=small_bench_config.seed, hot_pairs=24
+        )
+        # Best of two timed passes per path: shields the hard speedup assert
+        # below from one-off scheduler noise on shared CI runners.
+        naive = max(_naive_devices_per_second(scheme, devices) for _ in range(2))
+
+        sequential = max(
+            (simulate_fleet(scheme, devices, concurrency=1) for _ in range(2)),
+            key=lambda run: run.devices_per_second,
+        )
+        threaded = simulate_fleet(scheme, devices, concurrency=4)
+        assert sequential.mismatches == threaded.mismatches == 0
+        # Determinism contract: bit-identical across concurrency settings.
+        assert sequential.signature() == threaded.signature()
+        assert sequential.replays == num_devices
+
+        speedup = sequential.devices_per_second / naive
+        speedup_at_largest = speedup
+        rows.append(
+            [
+                num_devices,
+                sequential.probes,
+                round(naive),
+                round(sequential.devices_per_second),
+                round(threaded.devices_per_second),
+                round(speedup, 1),
+            ]
+        )
+
+    table = report.format_table(
+        [
+            "Devices",
+            "Probes",
+            "Naive (dev/s)",
+            "Replay (dev/s)",
+            "Replay x4 (dev/s)",
+            "Speedup",
+        ],
+        rows,
+        title=(
+            f"Fleet scaling on {METHOD} -- {system.network.name} "
+            f"(scale={small_bench_config.scale}, rush-hour scenario)"
+        ),
+    )
+    write_report("fleet_scale", table)
+
+    assert speedup_at_largest >= MIN_SPEEDUP, (
+        f"shared-session replay is only {speedup_at_largest:.1f}x the naive "
+        f"path at {FLEET_SIZES[-1]} devices (need >= {MIN_SPEEDUP}x)"
+    )

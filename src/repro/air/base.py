@@ -26,7 +26,32 @@ from repro.broadcast.packet import SegmentKind
 from repro.network.graph import RoadNetwork
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
 
-__all__ = ["ClientOptions", "QueryResult", "AirClient", "AirIndexScheme", "CpuTimer"]
+__all__ = [
+    "ClientOptions",
+    "MISMATCH_RTOL",
+    "QueryResult",
+    "AirClient",
+    "AirIndexScheme",
+    "CpuTimer",
+    "is_mismatch",
+]
+
+#: Relative tolerance for declaring an on-air answer a mismatch against the
+#: ground truth; shared by the engine's workload runner and the fleet
+#: simulator so both count mismatches by the same rule.
+MISMATCH_RTOL = 1e-6
+
+
+def is_mismatch(distance: float, truth: Optional[float]) -> bool:
+    """Whether an on-air answer disagrees with the ground truth.
+
+    ``truth`` may be ``None`` (no ground truth available), which never
+    counts as a mismatch.  The one rule both the engine's workload runner
+    and the fleet simulator apply.
+    """
+    if truth is None:
+        return False
+    return abs(distance - truth) > MISMATCH_RTOL * max(1.0, truth)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,12 @@ from repro.broadcast.device import (
 )
 from repro.broadcast.channel import BroadcastChannel, ClientSession, PacketLossModel
 from repro.broadcast.metrics import ClientMetrics, MemoryTracker, ServerMetrics
+from repro.broadcast.replay import (
+    RecordingSession,
+    ReplayOutcome,
+    SessionTrace,
+    replay_trace,
+)
 
 __all__ = [
     "PACKET_SIZE_BYTES",
@@ -26,7 +32,11 @@ __all__ = [
     "J2ME_CLAMSHELL",
     "MemoryTracker",
     "PacketLossModel",
+    "RecordingSession",
+    "ReplayOutcome",
     "Segment",
+    "SessionTrace",
+    "replay_trace",
     "SegmentKind",
     "ServerMetrics",
     "interleave_one_m",

@@ -1,0 +1,236 @@
+"""Shared-session fast path: record one tuning session, replay it per device.
+
+A broadcast cycle serves an unbounded audience, and on a loss-free channel a
+client's protocol is *data independent of time*: which packets it receives is
+decided by its query (and, for the handful of position-dependent choices such
+as "the next index copy on the air", by the segment boundary it tuned in
+behind), never by the wall clock.  The fleet simulator exploits that: it runs
+one real *probe* session per distinct query, materializes the probe's packet
+stream as a :class:`SessionTrace`, and then *replays* the trace for every
+further device with pure packet arithmetic -- no per-packet loops, no loss
+draws, no local shortest path computation.
+
+Replay semantics (documented contract, asserted by the tests):
+
+* **Tuning time** is exact: it is the number of packets received, which is a
+  property of the trace's reception multiset, not of the replay order.
+* **Access latency** is exact for the full-cycle schemes (DJ, LD, AF, SPQ,
+  whose reception order is the rotation of one fixed segment sequence): the
+  replay rotates the recorded stream to start at the reception that is next
+  on the air after the device's tune-in offset.  For selective-tuning schemes
+  (EB, NR, HiTi) the rotated replay can differ from a freshly simulated
+  session by up to the spacing between index copies, because the probe's
+  concrete index copy is replayed instead of the copy nearest to the device.
+* Replay is only valid for **lossless** sessions; lossy devices must be
+  simulated natively (their per-packet Bernoulli draws are part of the
+  result).  :func:`replay_trace` refuses traces recorded under loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.broadcast.channel import ClientSession, PacketLossModel
+from repro.broadcast.cycle import BroadcastCycle
+from repro.broadcast.packet import Segment
+
+__all__ = [
+    "OpKind",
+    "TraceOp",
+    "SessionTrace",
+    "RecordingSession",
+    "ReplayOutcome",
+    "replay_trace",
+]
+
+
+class OpKind(Enum):
+    """Kinds of elementary channel operations a client performs."""
+
+    #: Read the packet currently on the air (used to find the next index).
+    ONE_PACKET = "one-packet"
+    #: Receive selected packet offsets of a named segment.
+    SEGMENT = "segment"
+    #: Listen to one entire cycle from the current position.
+    FULL_CYCLE = "full-cycle"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded channel operation.
+
+    ``SEGMENT`` ops are compacted to what replay arithmetic needs --
+    ``packet_count`` (packets listened to) and ``last_offset`` (the final
+    listened packet offset within the segment, which decides the end
+    position) -- rather than the full offset list, so a trace stays O(ops)
+    in memory even for whole-segment receptions.  ``anchor`` is the cycle
+    offset at which the operation's first listened packet is broadcast, used
+    to rotate the stream to a device's tune-in position.
+    """
+
+    kind: OpKind
+    name: Optional[str] = None
+    packet_count: int = 0
+    last_offset: int = 0
+    anchor: int = 0
+
+    @property
+    def packets(self) -> int:
+        """Packets the radio listened to for this operation (retries, if the
+        recording session was lossy, included)."""
+        return 1 if self.kind is OpKind.ONE_PACKET else self.packet_count
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """The materialized packet stream of one recorded tuning session."""
+
+    ops: Tuple[TraceOp, ...]
+    #: Cycle length the trace was recorded against (guards stale replays).
+    cycle_packets: int
+    #: Loss rate of the recording session; replay requires ``0.0``.
+    loss_rate: float = 0.0
+
+    @property
+    def tuning_packets(self) -> int:
+        """Total packets received by the recorded session."""
+        return sum(op.packets for op in self.ops)
+
+
+class RecordingSession(ClientSession):
+    """A :class:`ClientSession` that also materializes its packet stream.
+
+    Every elementary operation behaves exactly as in the base class (the
+    probe is a *real* simulation); the session additionally appends one
+    :class:`TraceOp` per operation so the stream can be replayed for other
+    devices.  ``receive_segment`` needs no override: the base implementation
+    delegates to :meth:`receive_segment_packets`.
+    """
+
+    def __init__(
+        self,
+        cycle: BroadcastCycle,
+        start_position: int,
+        loss_model: Optional[PacketLossModel] = None,
+    ) -> None:
+        super().__init__(cycle, start_position, loss_model)
+        self._ops: List[TraceOp] = []
+
+    def receive_one_packet(self) -> Segment:
+        segment = super().receive_one_packet()
+        self._ops.append(
+            TraceOp(OpKind.ONE_PACKET, anchor=(self.position - 1) % self.cycle.total_packets)
+        )
+        return segment
+
+    def receive_segment_packets(self, name: str, packet_offsets: Sequence[int]):
+        reception = super().receive_segment_packets(name, packet_offsets)
+        anchor = (reception.start_position + reception.requested_offsets[0]) % (
+            self.cycle.total_packets
+        )
+        self._ops.append(
+            TraceOp(
+                OpKind.SEGMENT,
+                name=name,
+                packet_count=len(reception.requested_offsets),
+                last_offset=reception.requested_offsets[-1],
+                anchor=anchor,
+            )
+        )
+        return reception
+
+    def receive_full_cycle(self, max_retry_cycles: int = 50) -> int:
+        received = super().receive_full_cycle(max_retry_cycles)
+        self._ops.append(TraceOp(OpKind.FULL_CYCLE, packet_count=received))
+        return received
+
+    def trace(self) -> SessionTrace:
+        """The materialized packet stream recorded so far."""
+        return SessionTrace(
+            ops=tuple(self._ops),
+            cycle_packets=self.cycle.total_packets,
+            loss_rate=self.loss_model.loss_rate,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Channel-level metrics of one replayed session."""
+
+    tuning_packets: int
+    access_latency_packets: int
+
+
+def replay_trace(
+    trace: SessionTrace, cycle: BroadcastCycle, start_position: int
+) -> ReplayOutcome:
+    """Replay a recorded packet stream for a device tuning in elsewhere.
+
+    The stream's position-anchored head (the ``ONE_PACKET`` reads a client
+    performs right after tuning in) executes first; the remaining receptions
+    are rotated so the replay starts with the reception that is next on the
+    air after the device's position, then proceeds in recorded (on-air)
+    order.  Every operation is O(1) packet arithmetic -- this is what makes
+    per-device cost independent of cycle length and of the client's local
+    computation.
+    """
+    if trace.loss_rate != 0.0:
+        raise ValueError(
+            f"cannot replay a trace recorded under loss rate {trace.loss_rate}; "
+            "lossy sessions must be simulated natively"
+        )
+    if trace.cycle_packets != cycle.total_packets:
+        raise ValueError(
+            f"trace was recorded against a {trace.cycle_packets}-packet cycle, "
+            f"got one of {cycle.total_packets} packets"
+        )
+    total = cycle.total_packets
+    position = start_position
+    tuning = 0
+
+    def apply(op: TraceOp) -> None:
+        nonlocal position, tuning
+        if op.kind is OpKind.ONE_PACKET:
+            tuning += 1
+            position += 1
+        elif op.kind is OpKind.FULL_CYCLE:
+            # Lossless by construction (lossy traces are rejected above), so
+            # the recorded count is exactly one cycle with no retries.
+            tuning += op.packet_count
+            position += total
+        else:
+            assert op.name is not None
+            start = cycle.next_segment_named(op.name, position)
+            tuning += op.packet_count
+            position = start + op.last_offset + 1
+
+    # Position-anchored head: reads of "whatever is on the air right now".
+    index = 0
+    while index < len(trace.ops) and trace.ops[index].kind is not OpKind.SEGMENT:
+        apply(trace.ops[index])
+        index += 1
+
+    body = trace.ops[index:]
+    segment_ops = [
+        (i, op) for i, op in enumerate(body) if op.kind is OpKind.SEGMENT
+    ]
+    if segment_ops:
+        # Rotate to the reception next on the air after the current position.
+        rotation = min(
+            range(len(segment_ops)),
+            key=lambda i: ((segment_ops[i][1].anchor - position) % total, i),
+        )
+        start_at = segment_ops[rotation][0]
+        for op in body[start_at:]:
+            apply(op)
+        for op in body[:start_at]:
+            apply(op)
+    else:
+        for op in body:
+            apply(op)
+
+    return ReplayOutcome(
+        tuning_packets=tuning, access_latency_packets=position - start_position
+    )

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Four sub-commands cover the common ways of poking at the system without
+Five sub-commands cover the common ways of poking at the system without
 writing code::
 
     python -m repro schemes
     python -m repro cycle    --network germany --scale 0.02 --method NR
     python -m repro query    --network germany --scale 0.02 --method NR --queries 5
     python -m repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
+    python -m repro fleet    --network germany --scale 0.02 --method NR --devices 500
 
 * ``schemes`` -- list every registered air-index scheme with its parameters
   and defaults, straight from the registry.
@@ -16,6 +17,9 @@ writing code::
   and print the per-query performance factors.
 * ``compare`` -- run the same workload through several methods and print the
   averaged comparison (Figure 10 style row per method).
+* ``fleet``   -- simulate a population of devices sharing one broadcast
+  cycle (scenario-generated queries, staggered tune-ins, optional loss) and
+  print percentile latency/tuning/energy aggregates.
 
 Every command constructs its schemes through an
 :class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
@@ -33,7 +37,7 @@ from typing import List, Optional, Sequence
 from repro import air
 from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS, J2ME_CLAMSHELL
 from repro.engine import AirSystem, ClientOptions
-from repro.experiments import ExperimentConfig, QueryWorkload, report
+from repro.experiments import FLEET_SCENARIOS, ExperimentConfig, QueryWorkload, report
 from repro.network import datasets
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +54,14 @@ def _scheme_name(value: str) -> str:
 def _scheme_list(value: str) -> List[str]:
     """Argparse type for a comma-separated scheme list."""
     return [_scheme_name(part.strip()) for part in value.split(",") if part.strip()]
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be >= 1."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--queries", type=int, default=8, help="number of random queries")
     compare.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
+
+    fleet = subparsers.add_parser(
+        "fleet", help="simulate a device population sharing one broadcast cycle"
+    )
+    add_common(fleet)
+    fleet.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
+    fleet.add_argument("--devices", type=_positive_int, default=500, help="fleet size")
+    fleet.add_argument(
+        "--scenario",
+        default="rush-hour",
+        choices=sorted(FLEET_SCENARIOS),
+        help="device population generator",
+    )
+    fleet.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
+    fleet.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker threads (per-device answers/packet metrics are "
+            "bit-identical for every value; wall-clock fields vary)"
+        ),
+    )
     return parser
 
 
@@ -250,6 +287,46 @@ def _command_compare(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace, out) -> int:
+    system = _system(args)
+    network = system.network
+    scenario = FLEET_SCENARIOS[args.scenario]
+    devices = scenario(network, args.devices, seed=args.seed, loss_rate=args.loss_rate)
+    run = system.simulate_fleet(
+        args.method, devices, seed=args.seed, concurrency=args.concurrency
+    )
+    latency = run.latency_percentiles()
+    tuning = run.tuning_percentiles()
+    rows = [
+        ["network", f"{network.name} ({network.num_nodes} nodes, {network.num_edges} edges)"],
+        ["method / cycle packets", f"{run.scheme} / {run.cycle_packets}"],
+        ["devices", run.num_devices],
+        ["probe sessions", run.probes],
+        ["replayed / native", f"{run.replays} / {run.natives}"],
+        ["devices per second", round(run.devices_per_second, 1)],
+        ["latency p50/p90/p99 (pkt)", "/".join(str(int(latency[q])) for q in (50, 90, 99))],
+        ["tuning  p50/p90/p99 (pkt)", "/".join(str(int(tuning[q])) for q in (50, 90, 99))],
+        ["latency p99 @2Mbps (s)", round(
+            CHANNEL_2MBPS.packets_to_seconds(latency[99]), 3
+        )],
+        ["mean energy (J)", round(run.mean_energy_joules(J2ME_CLAMSHELL, CHANNEL_2MBPS), 4)],
+        ["mean lost packets", round(run.mean("lost_packets"), 2)],
+        ["mismatches", run.mismatches],
+    ]
+    print(
+        report.format_table(
+            ["Quantity", "Value"],
+            rows,
+            title=(
+                f"Fleet simulation: {args.scenario} x{run.num_devices} on "
+                f"{run.scheme} (loss={args.loss_rate:g})"
+            ),
+        ),
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -260,6 +337,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "cycle": _command_cycle,
         "query": _command_query,
         "compare": _command_compare,
+        "fleet": _command_fleet,
     }
     return handlers[args.command](args, out)
 

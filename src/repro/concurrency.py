@@ -1,0 +1,56 @@
+"""Deterministic indexed fan-out, shared by the engine and fleet runners.
+
+Both :func:`repro.engine.system.execute_workload` and
+:func:`repro.fleet.simulator.simulate_fleet` follow the same determinism
+recipe: pre-draw every random input per index, then compute the per-index
+results in any order and write them into index-addressed slots.  This module
+is the one implementation of the second half, so the two contracts stay
+provably identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+__all__ = ["run_indexed"]
+
+_T = TypeVar("_T")
+
+
+def run_indexed(
+    process: Callable[[int], _T],
+    count: int,
+    concurrency: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[_T]:
+    """Run ``process(i)`` for every ``i < count``; results in index order.
+
+    With ``concurrency == 1`` (or at most one item) everything runs inline
+    and no thread pool is created.  Otherwise contiguous index chunks fan
+    out over a pool of ``concurrency`` workers; because results land in
+    per-index slots, the output order -- and any determinism contract built
+    on pre-drawn per-index inputs -- is independent of scheduling.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    results: List[Optional[_T]] = [None] * count
+    if concurrency == 1 or count <= 1:
+        for index in range(count):
+            results[index] = process(index)
+        return results  # type: ignore[return-value]
+    if chunk_size is None:
+        chunk_size = max(1, -(-count // (concurrency * 4)))
+    chunks = [
+        range(start, min(start + chunk_size, count))
+        for start in range(0, count, chunk_size)
+    ]
+
+    def process_chunk(indices: range) -> List[Tuple[int, _T]]:
+        return [(index, process(index)) for index in indices]
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for chunk_results in pool.map(process_chunk, chunks):
+            for index, result in chunk_results:
+                results[index] = result
+    return results  # type: ignore[return-value]

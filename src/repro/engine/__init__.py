@@ -11,5 +11,14 @@ point; the scheme zoo underneath stays pluggable via
 from repro.air.base import ClientOptions
 from repro.engine.results import MethodRun
 from repro.engine.system import AirSystem, CacheInfo, execute_workload
+from repro.fleet import DeviceSpec, FleetRun
 
-__all__ = ["AirSystem", "CacheInfo", "ClientOptions", "MethodRun", "execute_workload"]
+__all__ = [
+    "AirSystem",
+    "CacheInfo",
+    "ClientOptions",
+    "DeviceSpec",
+    "FleetRun",
+    "MethodRun",
+    "execute_workload",
+]

@@ -24,20 +24,20 @@ clock).
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.air import registry
-from repro.air.base import AirIndexScheme, ClientOptions, QueryResult
+from repro.air.base import AirIndexScheme, ClientOptions, QueryResult, is_mismatch
 from repro.broadcast.channel import BroadcastChannel
+from repro.concurrency import run_indexed
 from repro.engine.results import MethodRun
+from repro.fleet.devices import DeviceSpec
+from repro.fleet.results import FleetRun
+from repro.fleet.simulator import simulate_fleet as _simulate_fleet
 from repro.network.graph import RoadNetwork
 
 __all__ = ["AirSystem", "CacheInfo", "execute_workload"]
-
-#: Relative tolerance for declaring an on-air answer a mismatch.
-_MISMATCH_RTOL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -88,6 +88,8 @@ def execute_workload(
     queries are then processed in chunks, in parallel when ``concurrency > 1``
     (each session is independent and the schemes' shared state is read-only).
     """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     options = options or ClientOptions()
     items = [_as_query(item) for item in queries]
     if channel is None:
@@ -99,33 +101,13 @@ def execute_workload(
         source, target, _ = items[index]
         return client.query(source, target, session=sessions[index])
 
-    results: List[Optional[QueryResult]] = [None] * len(items)
-    if concurrency <= 1 or len(items) <= 1:
-        for index in range(len(items)):
-            results[index] = process(index)
-    else:
-        if chunk_size is None:
-            chunk_size = max(1, -(-len(items) // (concurrency * 4)))
-        chunks = [
-            range(start, min(start + chunk_size, len(items)))
-            for start in range(0, len(items), chunk_size)
-        ]
-
-        def process_chunk(indices: range) -> List[Tuple[int, QueryResult]]:
-            return [(index, process(index)) for index in indices]
-
-        with ThreadPoolExecutor(max_workers=concurrency) as pool:
-            for chunk_results in pool.map(process_chunk, chunks):
-                for index, result in chunk_results:
-                    results[index] = result
+    # run_indexed never spins up a pool for an empty or single-item workload.
+    results = run_indexed(process, len(items), concurrency, chunk_size)
 
     run = MethodRun(method=scheme.short_name, server=scheme.server_metrics())
     for (source, target, truth), result in zip(items, results):
-        assert result is not None
         run.per_query.append(result.metrics)
-        if truth is not None and abs(result.distance - truth) > _MISMATCH_RTOL * max(
-            1.0, truth
-        ):
+        if is_mismatch(result.distance, truth):
             run.mismatches += 1
     return run
 
@@ -160,7 +142,6 @@ class AirSystem:
             device = getattr(config, "device", None)
             default_options = ClientOptions(device=device) if device else ClientOptions()
         self.default_options = default_options
-        self._fingerprint = network.fingerprint()
         self._schemes: Dict[Tuple, AirIndexScheme] = {}
         self._channels: Dict[Tuple, BroadcastChannel] = {}
         self._hits = 0
@@ -188,6 +169,18 @@ class AirSystem:
         # field (defaults included) and unknown names fail fast.
         info = registry.get_scheme(name)
         return dataclasses.asdict(info.make_params(**resolved))
+
+    @property
+    def _fingerprint(self) -> str:
+        """The network's current structural digest.
+
+        Read on every cache lookup (memoized inside :class:`RoadNetwork`, so
+        this is a dictionary read while the network is unchanged): mutating
+        the network -- adding or removing an edge -- changes the digest,
+        which misses every cached key and forces a rebuild instead of
+        serving a stale cycle.
+        """
+        return self.network.fingerprint()
 
     def scheme(self, name: str, **params: Any) -> AirIndexScheme:
         """The (cached) scheme instance for ``name`` with the given parameters.
@@ -220,6 +213,24 @@ class AirSystem:
         self._hits = 0
         self._misses = 0
 
+    def prune_cache(self) -> int:
+        """Drop cache entries built for superseded network structures.
+
+        In-place mutation keeps older-fingerprint entries around so that
+        reverting a mutation hits the original entry again, but a long-lived
+        system in a mutate/re-query loop would accumulate one dead cycle per
+        structure.  This evicts every entry whose fingerprint differs from
+        the network's current one and returns the number dropped.
+        """
+        current = self._fingerprint
+        stale_schemes = [key for key in self._schemes if key[2] != current]
+        for key in stale_schemes:
+            del self._schemes[key]
+        stale_channels = [key for key in self._channels if key[2] != current]
+        for key in stale_channels:
+            del self._channels[key]
+        return len(stale_schemes) + len(stale_channels)
+
     # ------------------------------------------------------------------
     # Clients and channels
     # ------------------------------------------------------------------
@@ -240,7 +251,7 @@ class AirSystem:
         name = registry.canonical_name(name)
         scheme = self.scheme(name, **params)
         resolved = self._resolve_params(name, params)
-        key = (name, tuple(sorted(resolved.items())), loss_rate, seed)
+        key = (name, tuple(sorted(resolved.items())), self._fingerprint, loss_rate, seed)
         if key not in self._channels:
             self._channels[key] = scheme.channel(loss_rate=loss_rate, seed=seed)
         return self._channels[key]
@@ -300,6 +311,38 @@ class AirSystem:
             options,
             channel=channel,
             concurrency=concurrency,
+            chunk_size=chunk_size,
+        )
+
+    def simulate_fleet(
+        self,
+        name: str,
+        devices: Sequence[DeviceSpec],
+        options: Optional[ClientOptions] = None,
+        *,
+        concurrency: int = 1,
+        seed: int = 0,
+        chunk_size: Optional[int] = None,
+        **params: Any,
+    ) -> FleetRun:
+        """Simulate a fleet of devices on the named scheme's broadcast.
+
+        The scheme (and its cycle) comes from the system cache, so a fleet
+        over an already-built scheme pays for session replay only -- no
+        rebuilds.  Lossless devices share probe sessions via the
+        :mod:`repro.broadcast.replay` fast path; lossy devices are simulated
+        natively.  Like :meth:`query_batch`, the result is bit-identical for
+        every ``concurrency`` value (wall-clock fields excepted).
+
+        ``devices`` typically comes from a scenario generator such as
+        :func:`repro.experiments.workloads.fleet_rush_hour`.
+        """
+        return _simulate_fleet(
+            self.scheme(name, **params),
+            devices,
+            self._options(options),
+            concurrency=concurrency,
+            seed=seed,
             chunk_size=chunk_size,
         )
 

@@ -14,7 +14,14 @@ scheme registry (``repro.air``) and the engine facade are the supported API.
 from typing import List
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig, scale_from_env
-from repro.experiments.workloads import Query, QueryWorkload
+from repro.experiments.workloads import (
+    FLEET_SCENARIOS,
+    Query,
+    QueryWorkload,
+    fleet_hot_destination,
+    fleet_rush_hour,
+    fleet_uniform_trickle,
+)
 from repro.experiments.runner import (
     MethodRun,
     build_network,
@@ -36,7 +43,11 @@ __all__ = [
     "COMPARISON_METHODS",
     "DEFAULT_CONFIG",
     "ExperimentConfig",
+    "FLEET_SCENARIOS",
     "FinetunePoint",
+    "fleet_hot_destination",
+    "fleet_rush_hour",
+    "fleet_uniform_trickle",
     "MethodRun",
     "Query",
     "QueryWorkload",

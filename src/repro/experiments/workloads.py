@@ -1,23 +1,48 @@
-"""Query workload generation (paper Section 7).
+"""Query and fleet workload generation (paper Section 7 and beyond).
 
 The paper processes 400 shortest path queries between randomly selected
 source and destination nodes, then classifies them into four shortest-path
 length buckets (Figure 10).  :class:`QueryWorkload` reproduces that: it draws
 random connected source/target pairs deterministically and can bucket them by
 their true shortest path length.
+
+The fleet scenario generators go past the paper's one-client-at-a-time
+evaluation: each returns a population of :class:`~repro.fleet.DeviceSpec`
+for :func:`repro.fleet.simulate_fleet`, differing in *when* devices tune in
+(expressed as a cycle fraction, so the scenarios stay scheme-agnostic) and
+in how skewed their queries are:
+
+* :func:`fleet_rush_hour` -- a commute burst: devices tune in within a
+  narrow window of the cycle and draw their query from a small pool of
+  popular origin/destination pairs (rank-weighted, so the fast path's
+  probe-once-replay-many sharing is realistic);
+* :func:`fleet_uniform_trickle` -- independent devices, uniform tune-in
+  moments, every query drawn fresh; and
+* :func:`fleet_hot_destination` -- everyone heads to one of a few hot
+  destinations (stadium, airport) from a random origin.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.fleet.devices import DeviceSpec
 from repro.network.algorithms.dijkstra import dijkstra_distances, shortest_path
 from repro.network.algorithms.paths import INFINITY
 from repro.network.graph import RoadNetwork
 
-__all__ = ["Query", "QueryWorkload"]
+__all__ = [
+    "Query",
+    "QueryWorkload",
+    "FLEET_SCENARIOS",
+    "fleet_rush_hour",
+    "fleet_uniform_trickle",
+    "fleet_hot_destination",
+]
 
 
 @dataclass(frozen=True)
@@ -104,3 +129,199 @@ class QueryWorkload:
     def pairs(self) -> List[Tuple[int, int]]:
         """The raw (source, target) pairs."""
         return [(query.source, query.target) for query in self.queries]
+
+
+# ----------------------------------------------------------------------
+# Fleet scenarios
+# ----------------------------------------------------------------------
+def _require_queryable(network: RoadNetwork) -> List[int]:
+    """The network's node ids; raises if no source != target pair exists."""
+    node_ids = network.node_ids()
+    if len(node_ids) < 2:
+        raise ValueError(
+            f"fleet scenarios need at least 2 nodes, network {network.name!r} "
+            f"has {len(node_ids)}"
+        )
+    return node_ids
+
+
+def _connected_pair(
+    network: RoadNetwork, rng: random.Random, node_ids: List[int]
+) -> Tuple[int, int, float]:
+    """One random connected source/target pair with its true distance."""
+    for _ in range(200):
+        source, target = rng.choice(node_ids), rng.choice(node_ids)
+        if source == target:
+            continue
+        distance = shortest_path(network, source, target).distance
+        if distance != INFINITY:
+            return source, target, distance
+    raise ValueError(
+        f"could not sample a connected query pair on network {network.name!r}"
+    )
+
+
+def _rank_weighted_sampler(
+    count: int, skew: float
+) -> Callable[[random.Random], int]:
+    """Sampler of indexes in ``[0, count)`` with Zipf weights ``1/(i+1)^skew``.
+
+    The cumulative weight table is built once per scenario; each draw is one
+    ``rng.random()`` plus a bisection, which matters for fleet sizes in the
+    hundreds of thousands.
+    """
+    cumulative = list(
+        itertools.accumulate(1.0 / (index + 1) ** skew for index in range(count))
+    )
+    total = cumulative[-1]
+
+    def draw(rng: random.Random) -> int:
+        return min(count - 1, bisect.bisect_left(cumulative, rng.random() * total))
+
+    return draw
+
+
+def fleet_rush_hour(
+    network: RoadNetwork,
+    num_devices: int,
+    *,
+    seed: int = 0,
+    hot_pairs: int = 24,
+    pair_skew: float = 1.1,
+    burst_center: float = 0.35,
+    burst_width: float = 0.08,
+    loss_rate: float = 0.0,
+    with_ground_truth: bool = True,
+) -> List[DeviceSpec]:
+    """A commute burst: a narrow tune-in window, a small pool of hot routes.
+
+    ``burst_center``/``burst_width`` place the tune-in moments (as cycle
+    fractions) on a clamped Gaussian; queries are drawn rank-weighted from
+    ``hot_pairs`` popular origin/destination pairs, whose ground truth is
+    computed once per pair (cheap even for large fleets).
+    """
+    rng = random.Random(seed)
+    node_ids = _require_queryable(network)
+    # Distinct routes only: a duplicate draw would occupy several Zipf ranks
+    # with one route, silently distorting the advertised pool skew.
+    pool_size = max(1, min(hot_pairs, len(node_ids) * (len(node_ids) - 1)))
+    pool: List[Tuple[int, int, float]] = []
+    routes = set()
+    attempts = 0
+    while len(pool) < pool_size and attempts < 50 * pool_size:
+        attempts += 1
+        source, target, distance = _connected_pair(network, rng, node_ids)
+        if (source, target) not in routes:
+            routes.add((source, target))
+            pool.append((source, target, distance))
+    draw_pair = _rank_weighted_sampler(len(pool), pair_skew)
+    devices: List[DeviceSpec] = []
+    for device_id in range(num_devices):
+        source, target, distance = pool[draw_pair(rng)]
+        fraction = min(max(rng.gauss(burst_center, burst_width), 0.0), 1.0 - 1e-9)
+        devices.append(
+            DeviceSpec(
+                device_id=device_id,
+                source=source,
+                target=target,
+                tune_in_fraction=fraction,
+                loss_rate=loss_rate,
+                true_distance=distance if with_ground_truth else None,
+            )
+        )
+    return devices
+
+
+def fleet_uniform_trickle(
+    network: RoadNetwork,
+    num_devices: int,
+    *,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+    with_ground_truth: bool = False,
+) -> List[DeviceSpec]:
+    """Independent devices: uniform tune-in moments, fresh random queries.
+
+    Ground truth costs one shortest path computation per device, so it
+    defaults to off for large fleets.
+    """
+    rng = random.Random(seed)
+    node_ids = _require_queryable(network)
+    devices: List[DeviceSpec] = []
+    for device_id in range(num_devices):
+        if with_ground_truth:
+            source, target, distance = _connected_pair(network, rng, node_ids)
+        else:
+            source, target = rng.choice(node_ids), rng.choice(node_ids)
+            while target == source:
+                target = rng.choice(node_ids)
+            distance = None
+        devices.append(
+            DeviceSpec(
+                device_id=device_id,
+                source=source,
+                target=target,
+                tune_in_fraction=rng.random(),
+                loss_rate=loss_rate,
+                true_distance=distance,
+            )
+        )
+    return devices
+
+
+def fleet_hot_destination(
+    network: RoadNetwork,
+    num_devices: int,
+    *,
+    seed: int = 0,
+    num_destinations: int = 6,
+    destination_skew: float = 1.3,
+    loss_rate: float = 0.0,
+    with_ground_truth: bool = False,
+) -> List[DeviceSpec]:
+    """Everyone heads to one of a few hot destinations from a random origin.
+
+    With ground truth enabled, one reverse single-source sweep per hot
+    destination prices every origin at once.
+    """
+    if num_destinations < 1:
+        raise ValueError(f"num_destinations must be >= 1, got {num_destinations}")
+    rng = random.Random(seed)
+    node_ids = _require_queryable(network)
+    destinations = rng.sample(node_ids, min(num_destinations, len(node_ids)))
+    truth_to: Dict[int, Dict[int, float]] = {}
+    if with_ground_truth:
+        reverse = network.reversed()
+        for destination in destinations:
+            truth_to[destination] = dijkstra_distances(reverse, destination).distances
+    draw_destination = _rank_weighted_sampler(len(destinations), destination_skew)
+    devices: List[DeviceSpec] = []
+    for device_id in range(num_devices):
+        target = destinations[draw_destination(rng)]
+        source = rng.choice(node_ids)
+        while source == target:
+            source = rng.choice(node_ids)
+        distance: Optional[float] = None
+        if with_ground_truth:
+            distance = truth_to[target].get(source, INFINITY)
+            if distance == INFINITY:
+                distance = None
+        devices.append(
+            DeviceSpec(
+                device_id=device_id,
+                source=source,
+                target=target,
+                tune_in_fraction=rng.random(),
+                loss_rate=loss_rate,
+                true_distance=distance,
+            )
+        )
+    return devices
+
+
+#: Scenario name -> generator, for the CLI's ``fleet --scenario`` choices.
+FLEET_SCENARIOS: Dict[str, Callable[..., List[DeviceSpec]]] = {
+    "rush-hour": fleet_rush_hour,
+    "trickle": fleet_uniform_trickle,
+    "hot-destination": fleet_hot_destination,
+}

@@ -1,0 +1,26 @@
+"""Fleet simulator: an event-driven population of devices on one broadcast.
+
+The paper evaluates air indexes one client at a time; the whole point of a
+wireless broadcast is that a single cycle serves an unbounded audience.  This
+package models that audience: N devices tune into one shared cycle at
+staggered offsets, each with its own query, loss model and memory bound.
+
+Per-device cost is *session replay only*: lossless devices with a query that
+some earlier device (the "probe") already ran get their channel metrics from
+:mod:`repro.broadcast.replay` with O(ops) packet arithmetic, reusing the
+probe's answer, working set and CPU cost.  Lossy devices are simulated
+natively, packet by packet, with a pre-seeded loss model.
+
+Determinism contract (same as ``AirSystem.query_batch``): every per-device
+random draw -- tune-in offset and loss seed -- is made *in device order*
+before any device is processed, and the probe for each trace key is the
+first device with that key in device order (fixed before any probe runs),
+so a fleet run is bit-identical regardless of the ``concurrency`` setting
+(wall-clock fields excepted).
+"""
+
+from repro.fleet.devices import DeviceSpec
+from repro.fleet.results import DeviceOutcome, FleetRun
+from repro.fleet.simulator import simulate_fleet
+
+__all__ = ["DeviceSpec", "DeviceOutcome", "FleetRun", "simulate_fleet"]

@@ -1,0 +1,53 @@
+"""Device population specifications for fleet simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device in a fleet: its query, tune-in moment and channel model.
+
+    Tune-in can be fixed three ways, in priority order: an absolute packet
+    ``tune_in_offset``, a cycle-relative ``tune_in_fraction`` in ``[0, 1)``
+    (scenario generators use this so they stay scheme-agnostic -- the cycle
+    length is unknown until a scheme is chosen), or neither, in which case
+    the simulator draws a deterministic pseudo-random offset in device order.
+    """
+
+    device_id: int
+    source: int
+    target: int
+    #: Absolute tune-in packet offset; wins over ``tune_in_fraction``.
+    tune_in_offset: Optional[int] = None
+    #: Tune-in moment as a fraction of the broadcast cycle.
+    tune_in_fraction: Optional[float] = None
+    #: Bernoulli per-packet loss probability of this device's radio link.
+    loss_rate: float = 0.0
+    #: Loss-model seed; drawn deterministically in device order when ``None``.
+    loss_seed: Optional[int] = None
+    #: Section 6.1 super-edge client mode (supported schemes only).
+    memory_bound: bool = False
+    #: Ground-truth shortest path distance, when the scenario computed it.
+    true_distance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"device {self.device_id}: loss rate must be in [0, 1), "
+                f"got {self.loss_rate}"
+            )
+        if self.tune_in_fraction is not None and not 0.0 <= self.tune_in_fraction < 1.0:
+            raise ValueError(
+                f"device {self.device_id}: tune_in_fraction must be in [0, 1), "
+                f"got {self.tune_in_fraction}"
+            )
+        if self.tune_in_offset is not None and self.tune_in_offset < 0:
+            raise ValueError(
+                f"device {self.device_id}: tune_in_offset must be non-negative, "
+                f"got {self.tune_in_offset}"
+            )

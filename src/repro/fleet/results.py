@@ -1,0 +1,143 @@
+"""Aggregated outcome of a fleet simulation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.broadcast.device import CHANNEL_2MBPS, ChannelRate, DeviceProfile, J2ME_CLAMSHELL
+from repro.broadcast.metrics import ClientMetrics
+
+from repro.fleet.devices import DeviceSpec
+
+__all__ = ["DeviceOutcome", "FleetRun", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in ``[0, 100]``; an empty sequence yields ``0.0`` so aggregate
+    tables stay printable for degenerate fleets.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * q / 100.0))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+@dataclass(frozen=True)
+class DeviceOutcome:
+    """One device's result: the answer and its channel/compute cost.
+
+    ``mode`` records how the outcome was produced: ``"replay"`` for the
+    shared-session fast path (lossless devices) or ``"native"`` for a full
+    packet-by-packet simulation (lossy devices).
+    """
+
+    spec: DeviceSpec
+    tune_in_offset: int
+    distance: float
+    found: bool
+    mode: str
+    metrics: ClientMetrics
+    mismatch: bool = False
+
+    def deterministic_fields(self) -> Tuple:
+        """Everything the determinism contract covers (no wall-clock)."""
+        return (
+            self.spec.device_id,
+            round(self.distance, 9) if self.found else float("inf"),
+            self.metrics.tuning_time_packets,
+            self.metrics.access_latency_packets,
+            self.metrics.peak_memory_bytes,
+            self.metrics.lost_packets,
+            self.mismatch,
+        )
+
+
+@dataclass
+class FleetRun:
+    """Aggregated outcome of one fleet over one broadcast cycle."""
+
+    scheme: str
+    outcomes: List[DeviceOutcome] = field(default_factory=list)
+    #: Distinct probe sessions actually simulated end to end.
+    probes: int = 0
+    #: Devices served by trace replay.
+    replays: int = 0
+    #: Devices simulated natively (lossy channels).
+    natives: int = 0
+    concurrency: int = 1
+    wall_seconds: float = 0.0
+    cycle_packets: int = 0
+
+    # ------------------------------------------------------------------
+    # Counts and throughput
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def mismatches(self) -> int:
+        """Devices whose on-air answer disagreed with the ground truth."""
+        return sum(1 for outcome in self.outcomes if outcome.mismatch)
+
+    @property
+    def devices_per_second(self) -> float:
+        """Simulation throughput (wall clock, so *not* deterministic)."""
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.num_devices / self.wall_seconds
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _values(self, metric: str) -> List[float]:
+        return [float(getattr(o.metrics, metric)) for o in self.outcomes]
+
+    def percentile(self, metric: str, q: float) -> float:
+        """Nearest-rank percentile of a :class:`ClientMetrics` field."""
+        return percentile(self._values(metric), q)
+
+    def latency_percentiles(self, qs: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        return {q: self.percentile("access_latency_packets", q) for q in qs}
+
+    def tuning_percentiles(self, qs: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
+        return {q: self.percentile("tuning_time_packets", q) for q in qs}
+
+    def mean(self, metric: str) -> float:
+        values = self._values(metric)
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_energy_joules(
+        self,
+        device: Optional[DeviceProfile] = None,
+        rate: ChannelRate = CHANNEL_2MBPS,
+    ) -> float:
+        """Average per-query energy across the fleet."""
+        if not self.outcomes:
+            return 0.0
+        device = device or J2ME_CLAMSHELL
+        total = sum(o.metrics.energy_joules(device, rate) for o in self.outcomes)
+        return total / len(self.outcomes)
+
+    def signature(self) -> Tuple[Tuple, ...]:
+        """Per-device deterministic fields, in device order.
+
+        Two runs of the same fleet must produce identical signatures no
+        matter the ``concurrency`` -- this is what the bit-identical tests
+        and the scaling benchmark compare.
+        """
+        return tuple(outcome.deterministic_fields() for outcome in self.outcomes)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"FleetRun(scheme={self.scheme!r}, devices={self.num_devices}, "
+            f"probes={self.probes}, replays={self.replays}, natives={self.natives}, "
+            f"mismatches={self.mismatches})"
+        )

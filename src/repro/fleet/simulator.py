@@ -1,0 +1,216 @@
+"""Event-driven multi-client broadcast simulation.
+
+One broadcast cycle, N devices.  The simulator partitions the fleet into
+
+* **lossless** devices, served by the shared-session fast path: one real
+  *probe* session per distinct ``(source, target, memory_bound)`` key
+  materializes the packet stream (:mod:`repro.broadcast.replay`), and every
+  device with that key replays it at its own tune-in offset with O(ops)
+  packet arithmetic -- the probe's answer, working set and CPU cost are
+  reused, so per-device cost is session replay only; and
+* **lossy** devices, simulated natively packet by packet (their Bernoulli
+  loss draws are part of the result and cannot be shared).
+
+Determinism: tune-in offsets and loss seeds are drawn from per-device RNGs
+keyed by the device's position in the fleet, the probe for each key is the
+first device with that key in device order (fixed before any probe runs, so
+probes may fan out over the pool too), and every phase writes into
+index-addressed slots -- so the outcome is bit-identical regardless of
+``concurrency`` (wall-clock fields excepted).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.air.base import (
+    MISMATCH_RTOL,
+    AirClient,
+    AirIndexScheme,
+    ClientOptions,
+    QueryResult,
+    is_mismatch as _is_mismatch,
+)
+from repro.broadcast.channel import ClientSession, PacketLossModel
+from repro.broadcast.metrics import ClientMetrics
+from repro.broadcast.replay import RecordingSession, SessionTrace, replay_trace
+from repro.concurrency import run_indexed
+
+from repro.fleet.devices import DeviceSpec
+from repro.fleet.results import DeviceOutcome, FleetRun
+
+__all__ = ["simulate_fleet", "MISMATCH_RTOL"]
+
+#: Trace cache key: everything that shapes a lossless session's behaviour.
+_TraceKey = Tuple[int, int, bool]
+
+
+def _resolve_tune_in(spec: DeviceSpec, rng: random.Random, total: int) -> int:
+    if spec.tune_in_offset is not None:
+        return spec.tune_in_offset % total
+    if spec.tune_in_fraction is not None:
+        return int(spec.tune_in_fraction * total) % total
+    return rng.randrange(total)
+
+
+def simulate_fleet(
+    scheme: AirIndexScheme,
+    devices: Sequence[DeviceSpec],
+    options: Optional[ClientOptions] = None,
+    *,
+    concurrency: int = 1,
+    seed: int = 0,
+    chunk_size: Optional[int] = None,
+) -> FleetRun:
+    """Simulate a fleet of devices tuning into one scheme's broadcast.
+
+    Parameters
+    ----------
+    scheme:
+        A built scheme (its cycle is reused as-is -- no rebuilds).
+    devices:
+        The fleet, typically from a scenario generator in
+        :mod:`repro.experiments.workloads`.
+    options:
+        Base client options; the per-device ``memory_bound`` flag overrides
+        the option's, and per-device loss models replace the option's
+        channel-level loss fields.
+    concurrency:
+        Worker threads for the replay/native phase.  Must be >= 1; results
+        are bit-identical for every value.
+    seed:
+        Seed of the per-device tune-in/loss draws (for specs that leave
+        them unset).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    specs = list(devices)
+    network = scheme.network
+    for spec in specs:
+        if spec.source not in network or spec.target not in network:
+            raise ValueError(
+                f"device {spec.device_id}: query {spec.source}->{spec.target} "
+                f"references nodes outside network {network.name!r}"
+            )
+    started = time.perf_counter()
+    run = FleetRun(scheme=scheme.short_name, concurrency=concurrency)
+    if not specs:
+        run.wall_seconds = time.perf_counter() - started
+        return run
+
+    cycle = scheme.cycle
+    total = cycle.total_packets
+    run.cycle_packets = total
+    base_options = options or ClientOptions()
+
+    # ------------------------------------------------------------------
+    # Pre-draw every random choice in device order (determinism contract).
+    # ------------------------------------------------------------------
+    offsets: List[int] = []
+    loss_seeds: List[int] = []
+    for index, spec in enumerate(specs):
+        rng = random.Random(seed * 1_000_003 + index + 1)
+        offsets.append(_resolve_tune_in(spec, rng, total))
+        loss_seeds.append(
+            spec.loss_seed if spec.loss_seed is not None else rng.randrange(2**31)
+        )
+
+    # One client per memory mode present in the fleet, created up front so
+    # the parallel phase only reads shared state; a memory-bound client on a
+    # scheme without Section 6.1 support raises here, before any work runs.
+    clients: Dict[bool, AirClient] = {
+        memory_bound: scheme.client(
+            options=base_options.replace(memory_bound=memory_bound, loss_rate=0.0)
+        )
+        for memory_bound in sorted({spec.memory_bound for spec in specs})
+    }
+
+    def client_for(memory_bound: bool) -> AirClient:
+        return clients[memory_bound]
+
+    # ------------------------------------------------------------------
+    # Probe phase: one real session per distinct lossless trace key, probed
+    # at the first device of that key in device order.  The probe set and
+    # every probe input are fixed before any probe runs, so the probes
+    # themselves fan out over the pool without affecting determinism --
+    # which matters when most queries are distinct and probing, not replay,
+    # dominates the wall clock.
+    # ------------------------------------------------------------------
+    probe_items: List[Tuple[_TraceKey, int]] = []
+    seen: set = set()
+    for index, spec in enumerate(specs):
+        if spec.loss_rate != 0.0:
+            continue
+        key = (spec.source, spec.target, spec.memory_bound)
+        if key not in seen:
+            seen.add(key)
+            probe_items.append((key, index))
+
+    def probe(item: int) -> Tuple[SessionTrace, QueryResult]:
+        _, index = probe_items[item]
+        spec = specs[index]
+        session = RecordingSession(cycle, offsets[index])
+        result = client_for(spec.memory_bound).query(
+            spec.source, spec.target, session=session
+        )
+        return session.trace(), result
+
+    traces: Dict[_TraceKey, Tuple[SessionTrace, QueryResult]] = {}
+    for (key, _), recorded in zip(
+        probe_items, run_indexed(probe, len(probe_items), concurrency)
+    ):
+        traces[key] = recorded
+    run.probes = len(traces)
+
+    # ------------------------------------------------------------------
+    # Replay/native phase (parallelizable: every input was pre-drawn).
+    # ------------------------------------------------------------------
+    def process(index: int) -> DeviceOutcome:
+        spec = specs[index]
+        offset = offsets[index]
+        if spec.loss_rate == 0.0:
+            trace, probe = traces[(spec.source, spec.target, spec.memory_bound)]
+            replayed = replay_trace(trace, cycle, offset)
+            metrics = ClientMetrics(
+                tuning_time_packets=replayed.tuning_packets,
+                access_latency_packets=replayed.access_latency_packets,
+                peak_memory_bytes=probe.metrics.peak_memory_bytes,
+                cpu_seconds=probe.metrics.cpu_seconds,
+                lost_packets=0,
+                extra=dict(probe.metrics.extra),
+            )
+            return DeviceOutcome(
+                spec=spec,
+                tune_in_offset=offset,
+                distance=probe.distance,
+                found=probe.found,
+                mode="replay",
+                metrics=metrics,
+                mismatch=_is_mismatch(probe.distance, spec.true_distance),
+            )
+        session = ClientSession(
+            cycle, offset, PacketLossModel(spec.loss_rate, seed=loss_seeds[index])
+        )
+        result = client_for(spec.memory_bound).query(
+            spec.source, spec.target, session=session
+        )
+        return DeviceOutcome(
+            spec=spec,
+            tune_in_offset=offset,
+            distance=result.distance,
+            found=result.found,
+            mode="native",
+            metrics=result.metrics,
+            mismatch=_is_mismatch(result.distance, spec.true_distance),
+        )
+
+    for outcome in run_indexed(process, len(specs), concurrency, chunk_size):
+        run.outcomes.append(outcome)
+        if outcome.mode == "replay":
+            run.replays += 1
+        else:
+            run.natives += 1
+    run.wall_seconds = time.perf_counter() - started
+    return run

@@ -61,6 +61,7 @@ class RoadNetwork:
         self._adjacency: Dict[int, List[Tuple[int, float]]] = {}
         self._reverse_adjacency: Dict[int, List[Tuple[int, float]]] = {}
         self._num_edges = 0
+        self._fingerprint_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,6 +73,7 @@ class RoadNetwork:
             self._adjacency[node_id] = []
             self._reverse_adjacency[node_id] = []
         self._nodes[node_id] = node
+        self._fingerprint_cache = None
         return node
 
     def add_edge(self, source: int, target: int, weight: float) -> Edge:
@@ -85,12 +87,29 @@ class RoadNetwork:
         self._adjacency[source].append((target, float(weight)))
         self._reverse_adjacency[target].append((source, float(weight)))
         self._num_edges += 1
+        self._fingerprint_cache = None
         return Edge(source, target, float(weight))
 
     def add_bidirectional_edge(self, a: int, b: int, weight: float) -> None:
         """Add the pair of directed edges ``a -> b`` and ``b -> a``."""
         self.add_edge(a, b, weight)
         self.add_edge(b, a, weight)
+
+    def remove_edge(self, source: int, target: int) -> Edge:
+        """Remove one directed edge ``source -> target`` and return it.
+
+        With parallel edges, the minimum-weight one (the one shortest paths
+        use) is removed.  Raises ``KeyError`` if no such edge exists.
+        """
+        weights = [w for t, w in self._adjacency.get(source, ()) if t == target]
+        if not weights:
+            raise KeyError(f"no edge {source} -> {target}")
+        weight = min(weights)
+        self._adjacency[source].remove((target, weight))
+        self._reverse_adjacency[target].remove((source, weight))
+        self._num_edges -= 1
+        self._fingerprint_cache = None
+        return Edge(source, target, weight)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -284,7 +303,14 @@ class RoadNetwork:
         the same fingerprint regardless of insertion order.  The engine uses
         it to key cached broadcast cycles, so a rebuilt-but-identical network
         hits the cache while any topological change misses it.
+
+        The digest is memoized and invalidated by every mutating method
+        (``add_node``/``add_edge``/``remove_edge``), so repeated calls on an
+        unchanged network -- the engine checks staleness on every scheme
+        lookup -- cost a dictionary read, not an O(E log E) hash.
         """
+        if self._fingerprint_cache is not None:
+            return self._fingerprint_cache
         import hashlib
 
         digest = hashlib.sha256()
@@ -293,7 +319,8 @@ class RoadNetwork:
             digest.update(f"n{node_id}:{node.x!r}:{node.y!r};".encode())
             for target, weight in sorted(self._adjacency[node_id]):
                 digest.update(f"e{node_id}>{target}:{weight!r};".encode())
-        return digest.hexdigest()
+        self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------
     # Representation

@@ -104,6 +104,79 @@ class TestCycleCache:
         assert (info.hits, info.misses, info.entries) == (0, 0, 0)
 
 
+class TestCycleCacheInvalidation:
+    """Mutating the network must invalidate cached cycles, not serve stale ones."""
+
+    @pytest.fixture()
+    def mutable_system(self, medium_network, config):
+        # A private copy: these tests mutate the network in place.
+        return AirSystem(medium_network.copy(), config=config)
+
+    def test_add_edge_changes_fingerprint_and_rebuilds(self, mutable_system):
+        system = mutable_system
+        network = system.network
+        before = network.fingerprint()
+        stale = system.scheme("NR")
+        nodes = network.node_ids()
+        network.add_edge(nodes[0], nodes[-1], 123.0)
+        assert network.fingerprint() != before
+        rebuilt = system.scheme("NR")
+        assert rebuilt is not stale
+        assert system.cache_info().misses == 2
+
+    def test_remove_edge_changes_fingerprint_and_rebuilds(self, mutable_system):
+        system = mutable_system
+        network = system.network
+        edge = next(iter(network.edges()))
+        stale = system.scheme("DJ")
+        before = network.fingerprint()
+        network.remove_edge(edge.source, edge.target)
+        assert network.fingerprint() != before
+        assert system.scheme("DJ") is not stale
+
+    def test_reverting_a_mutation_restores_the_cached_entry(self, mutable_system):
+        system = mutable_system
+        network = system.network
+        original = system.scheme("NR")
+        nodes = network.node_ids()
+        network.add_edge(nodes[0], nodes[-1], 99.0)
+        mutated = system.scheme("NR")
+        network.remove_edge(nodes[0], nodes[-1])
+        # Same structure, same fingerprint: the original entry hits again.
+        assert system.scheme("NR") is original
+        assert system.scheme("NR") is not mutated
+
+    def test_channels_are_not_served_stale_either(self, mutable_system):
+        system = mutable_system
+        network = system.network
+        stale_channel = system.channel("NR")
+        nodes = network.node_ids()
+        network.add_edge(nodes[1], nodes[-2], 77.0)
+        fresh_channel = system.channel("NR")
+        assert fresh_channel is not stale_channel
+        assert fresh_channel.cycle is system.scheme("NR").cycle
+
+    def test_fingerprint_is_memoized_while_unchanged(self, medium_network):
+        network = medium_network.copy()
+        assert network.fingerprint() is network.fingerprint()
+
+    def test_prune_cache_drops_superseded_structures_only(self, mutable_system):
+        system = mutable_system
+        network = system.network
+        system.scheme("NR")
+        system.channel("NR")
+        nodes = network.node_ids()
+        network.add_edge(nodes[0], nodes[-1], 42.0)
+        current = system.scheme("NR")
+        system.channel("NR")
+        dropped = system.prune_cache()
+        assert dropped == 2  # one stale scheme entry, one stale channel
+        assert system.cache_info().entries == 1
+        # The entry for the current structure survives and still hits.
+        assert system.scheme("NR") is current
+        assert system.prune_cache() == 0
+
+
 class TestQueryBatchEquivalence:
     @pytest.mark.parametrize("method", ["NR", "EB", "DJ"])
     def test_batch_matches_sequential_run_workload(self, system, config, workload50, method):
@@ -154,6 +227,25 @@ class TestQueryBatchEquivalence:
         run = system.query_batch("DJ", pairs)
         assert len(run.per_query) == 5
         assert run.mismatches == 0  # no ground truth -> nothing to mismatch
+
+    def test_empty_workload_with_concurrency_never_spins_up_a_pool(
+        self, system, monkeypatch
+    ):
+        import repro.concurrency
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("thread pool created for an empty workload")
+
+        monkeypatch.setattr(repro.concurrency, "ThreadPoolExecutor", forbidden)
+        run = system.query_batch("NR", [], concurrency=8)
+        assert run.per_query == []
+        assert run.mismatches == 0
+
+    @pytest.mark.parametrize("concurrency", [0, -1])
+    def test_concurrency_below_one_raises(self, system, workload50, concurrency):
+        queries = list(workload50)[:2]
+        with pytest.raises(ValueError, match="concurrency"):
+            system.query_batch("NR", queries, concurrency=concurrency)
 
 
 class TestSystemSurface:
@@ -242,6 +334,51 @@ class TestDeprecationShims:
             runs = compare_methods(["nr"], medium_network, list(workload50)[:2], config)
         assert set(runs) == {"nr"}
         assert runs["nr"].method == "NR"
+
+    def test_build_scheme_result_identical_to_registry_path(
+        self, medium_network, config, workload50
+    ):
+        """The shim must not just work -- it must match the registry path bit
+        for bit (same cycle, same per-query metrics)."""
+        from repro import air
+        from repro.air import registry
+        from repro.engine import execute_workload
+        from repro.experiments import build_scheme
+
+        with pytest.warns(DeprecationWarning):
+            shimmed = build_scheme("NR", medium_network, config)
+        registry_scheme = air.create(
+            "NR", medium_network, **registry.params_from_config("NR", config)
+        )
+        ours, theirs = shimmed.server_metrics(), registry_scheme.server_metrics()
+        # precomputation_seconds is wall clock; everything else must match.
+        assert (ours.scheme, ours.cycle_packets, ours.cycle_bytes,
+                ours.index_packets, ours.data_packets) == (
+            theirs.scheme, theirs.cycle_packets, theirs.cycle_bytes,
+            theirs.index_packets, theirs.data_packets)
+        queries = list(workload50)[:5]
+        shim_run = execute_workload(shimmed, queries)
+        registry_run = execute_workload(registry_scheme, queries)
+        assert shim_run.mismatches == registry_run.mismatches == 0
+        for ours, theirs in zip(shim_run.per_query, registry_run.per_query):
+            assert _deterministic_fields(ours) == _deterministic_fields(theirs)
+
+    def test_compare_methods_result_identical_to_airsystem_compare(
+        self, medium_network, config, workload50
+    ):
+        from repro.experiments import compare_methods
+
+        queries = list(workload50)[:4]
+        with pytest.warns(DeprecationWarning):
+            shimmed = compare_methods(["NR", "DJ"], medium_network, queries, config)
+        system = AirSystem(medium_network, config=config)
+        direct = system.compare(["NR", "DJ"], queries)
+        assert set(shimmed) == set(direct)
+        for method in shimmed:
+            assert shimmed[method].mismatches == direct[method].mismatches == 0
+            assert [
+                _deterministic_fields(m) for m in shimmed[method].per_query
+            ] == [_deterministic_fields(m) for m in direct[method].per_query]
 
     def test_method_constants_resolve_through_registry(self):
         with pytest.warns(DeprecationWarning, match="COMPARISON_METHODS"):
