@@ -1,0 +1,182 @@
+"""Dynamic networks -- incremental cycle refresh vs full rebuild.
+
+Not a table or figure of the paper: the paper's network is static, while a
+production broadcast server must absorb a continuous stream of edge-weight
+updates (congestion, closures).  This benchmark applies batches of
+single-partition weight updates to a ~1k-node network and measures, per
+scheme, the cycle-refresh throughput of
+
+* **full** -- what a static system does after any mutation: rebuild the
+  scheme (pre-computation included) from scratch, and
+* **incremental** -- the engine's :meth:`AirSystem.refresh` routed through
+  :meth:`AirIndexScheme.incremental_rebuild`: reuse weight-independent
+  segments and re-run only the affected parts of the pre-computation.
+
+Asserted invariants: the incrementally refreshed cycle is **bit-identical**
+to a from-scratch build after every stream (compared via
+``BroadcastCycle.signature()``), and the speedup meets a per-scheme floor --
+>= 5x for the delta-local schemes (DJ's cycle reuse, HiTi's dirty-block
+super-edge recompute).  NR's floor is intentionally loose: its
+border-path refresh re-runs every border source whose shortest path tree a
+changed edge sits on, and on a sparse road network a random edge lies on a
+large fraction of those trees, so NR's speedup is workload-dependent (ramps
+that re-touch the same hot edges prune far better than fresh random edges).
+
+Run standalone like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dynamic_updates.py -q
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import air
+from repro.engine import AirSystem
+from repro.experiments import report
+from repro.network.generators import GeneratorConfig, generate_road_network
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+from conftest import write_report
+
+#: The 1k-node benchmark network (realized size shrinks slightly because the
+#: generator keeps the largest component).
+NETWORK_CONFIG = GeneratorConfig(num_nodes=1000, num_edges=2300, seed=31)
+NUM_REGIONS = 16
+#: The partition whose internal edges the update batches touch.
+TARGET_REGION = 5
+EDGES_PER_BATCH = 3
+
+#: (scheme, params, batches to time, speedup floor).  DJ and HiTi refresh
+#: strictly delta-locally and carry the >= 5x acceptance criterion.  NR's
+#: affected-source refresh is exact but workload-dependent (see module doc):
+#: its floor only asserts the incremental path is never slower than a full
+#: rebuild -- structurally guaranteed, since it runs a subset of the same
+#: work (measured ~1.1x on this congest/recover schedule, more when
+#: congestion persists instead of oscillating).
+SCHEMES: List[Tuple[str, Dict[str, int], int, float]] = [
+    ("DJ", {}, 40, 5.0),
+    ("HiTi", {"num_regions": NUM_REGIONS}, 10, 5.0),
+    ("NR", {"num_regions": NUM_REGIONS}, 4, 1.0),
+]
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = generate_road_network(NETWORK_CONFIG, name="bench-dynamic-1k")
+    net.clear_delta()
+    return net
+
+
+@pytest.fixture(scope="module")
+def update_batches(network):
+    """Alternating congest/restore batches confined to one kd partition."""
+    partitioning = build_kdtree_partitioning(network, NUM_REGIONS)
+    internal = sorted(
+        {
+            (edge.source, edge.target)
+            for edge in network.edges()
+            if partitioning.region_of(edge.source) == TARGET_REGION
+            and partitioning.region_of(edge.target) == TARGET_REGION
+        }
+    )
+    assert len(internal) >= EDGES_PER_BATCH
+    base = {pair: network.edge_weight(*pair) for pair in internal}
+    # One hot corridor, rush-hour style: the same edges congest and recover
+    # through a factor schedule, so every batch is a genuine change and the
+    # workload matches what the congestion-ramp stream generator emits.
+    pairs = internal[:EDGES_PER_BATCH]
+    factors = [1.5, 2.5, 4.0, 2.0, 1.0, 3.0]
+    batches: List[List[Tuple[int, int, float]]] = []
+    for index in range(max(count for _, _, count, _ in SCHEMES)):
+        factor = factors[index % len(factors)]
+        batches.append([(s, t, base[(s, t)] * factor) for s, t in pairs])
+    return batches
+
+
+def test_dynamic_updates_incremental_vs_full(network, update_batches):
+    rows = []
+    failures = []
+    for name, params, num_batches, floor in SCHEMES:
+        batches = update_batches[:num_batches]
+
+        # Incremental path: one warm AirSystem, refresh() per batch.
+        inc_network = network.copy()
+        inc_network.clear_delta()
+        system = AirSystem(inc_network)
+        system.scheme(name, **params)
+        inc_seconds = 0.0
+        for batch in batches:
+            inc_network.apply_updates(batch)
+            started = time.perf_counter()
+            refresh = system.refresh()
+            inc_seconds += time.perf_counter() - started
+            assert refresh.incremental == (air.canonical_name(name),)
+
+        # Full path: rebuild the scheme from scratch after every batch.
+        full_network = network.copy()
+        full_network.clear_delta()
+        full_seconds = 0.0
+        scratch = None
+        for batch in batches:
+            full_network.apply_updates(batch)
+            full_network.clear_delta()
+            started = time.perf_counter()
+            full_network.fingerprint()  # the cache re-key both paths pay
+            scratch = air.create(name, full_network, **params)
+            scratch.cycle
+            full_seconds += time.perf_counter() - started
+
+        # Bit-identity: the incrementally maintained cycle equals the final
+        # from-scratch build (same mutated network on both sides).
+        refreshed = system.scheme(name, **params)
+        assert refreshed.cycle.signature() == scratch.cycle.signature(), (
+            f"{name}: incremental cycle differs from a from-scratch rebuild"
+        )
+        assert refreshed.refresh_count == num_batches
+
+        inc_per_sec = num_batches / inc_seconds
+        full_per_sec = num_batches / full_seconds
+        speedup = inc_per_sec / full_per_sec
+        rows.append(
+            [
+                air.canonical_name(name),
+                num_batches,
+                round(full_seconds / num_batches * 1000.0, 2),
+                round(inc_seconds / num_batches * 1000.0, 2),
+                round(full_per_sec, 1),
+                round(inc_per_sec, 1),
+                round(speedup, 1),
+                "bit-identical",
+            ]
+        )
+        if speedup < floor:
+            failures.append(
+                f"{name}: incremental refresh is only {speedup:.2f}x the full "
+                f"rebuild (floor {floor}x)"
+            )
+
+    table = report.format_table(
+        [
+            "Scheme",
+            "Batches",
+            "Full (ms)",
+            "Incremental (ms)",
+            "Full (refresh/s)",
+            "Incremental (refresh/s)",
+            "Speedup",
+            "Cycle check",
+        ],
+        rows,
+        title=(
+            f"Incremental vs full cycle refresh -- {network.name} "
+            f"({network.num_nodes} nodes, {network.num_edges} edges, "
+            f"{EDGES_PER_BATCH}-edge batches inside one of {NUM_REGIONS} regions)"
+        ),
+    )
+    write_report("dynamic_updates", table)
+
+    assert not failures, "; ".join(failures)

@@ -41,7 +41,7 @@ Quickstart -- the engine facade (cycles built once, workloads batched)::
 schemes`` prints the same from the command line.
 """
 
-from repro import air, broadcast, engine, experiments, index, network, partitioning, spatial
+from repro import air, broadcast, dynamic, engine, experiments, index, network, partitioning, spatial
 from repro.engine import AirSystem, ClientOptions
 from repro.network import datasets
 from repro.version import __version__
@@ -53,6 +53,7 @@ __all__ = [
     "air",
     "broadcast",
     "datasets",
+    "dynamic",
     "engine",
     "experiments",
     "index",

@@ -129,6 +129,9 @@ class AirIndexScheme(abc.ABC):
         self.layout = layout
         self._cycle: Optional[BroadcastCycle] = None
         self.precomputation_seconds = 0.0
+        #: Incremental-refresh accounting (see :meth:`incremental_rebuild`).
+        self.refresh_count = 0
+        self.refresh_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Server side
@@ -143,6 +146,32 @@ class AirIndexScheme(abc.ABC):
         if self._cycle is None:
             self._cycle = self.build_cycle()
         return self._cycle
+
+    def incremental_rebuild(self, network: RoadNetwork, delta) -> bool:
+        """Refresh this scheme's state and cycle after in-place mutation.
+
+        ``network`` is the scheme's own (mutated) network and ``delta`` the
+        :class:`~repro.network.delta.NetworkDelta` describing what changed
+        since the scheme's state was last consistent.  A scheme that can
+        apply the delta re-computes only the touched parts of its
+        pre-computation and re-packs only the touched cycle segments, then
+        returns ``True``; the refreshed state must be **bit-identical** to a
+        from-scratch build over the mutated network (the property suite
+        asserts this).  Returning ``False`` -- the default, and what every
+        scheme does for structural deltas -- tells the caller (the engine's
+        :meth:`~repro.engine.system.AirSystem.refresh`) to construct a fresh
+        scheme instead.
+
+        Implementations should bill their work to :attr:`refresh_count` /
+        :attr:`refresh_seconds` via :meth:`_track_refresh`.
+        """
+        return False
+
+    def _track_refresh(self, started: float) -> bool:
+        """Record one successful incremental refresh; returns ``True``."""
+        self.refresh_count += 1
+        self.refresh_seconds += time.perf_counter() - started
+        return True
 
     def server_metrics(self) -> ServerMetrics:
         """Cycle size and pre-computation cost (paper Tables 1 and 3)."""
@@ -161,6 +190,8 @@ class AirIndexScheme(abc.ABC):
             precomputation_seconds=self.precomputation_seconds,
             data_packets=data_packets,
             index_packets=cycle.total_packets - data_packets,
+            refreshes=self.refresh_count,
+            refresh_seconds=self.refresh_seconds,
         )
 
     def channel(self, loss_rate: float = 0.0, seed: int = 0) -> BroadcastChannel:

@@ -10,26 +10,64 @@ pre-computation cost is identical).  From those paths this module derives:
   pre-computed path -- used to split each region's data into a cross-border
   and a local segment, and
 * for every ordered region pair, the set of regions traversed by any
-  pre-computed shortest path between their border nodes (NR's region sets).
+  pre-computed shortest path between border nodes of those regions (NR's
+  region sets).
 
 The paper defines the pre-computed set ``S`` over border-node pairs from
 *different* regions.  We additionally include pairs of border nodes of the
 *same* region so that queries whose source and destination fall in one region
 remain covered; this only grows the index conservatively (documented
 deviation, see DESIGN.md).
+
+Dynamic networks: the computation is organized as one independent record per
+border *source* (its Dijkstra distances plus everything derived from its
+shortest path tree), and the published aggregates are a pure, order-free fold
+over those records.  :meth:`BorderPathPrecomputation.refresh` exploits that:
+given a batch of applied weight changes, it re-runs the per-source
+computation only for sources whose shortest path tree could be affected --
+decided exactly from the cached distances and the old/new weights -- and
+re-folds.  Unaffected sources provably have bit-identical Dijkstra results,
+so the refreshed state equals a from-scratch rebuild.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.network.algorithms.dijkstra import dijkstra_distances
 from repro.network.algorithms.paths import INFINITY
+from repro.network.delta import WeightChange
 from repro.network.graph import RoadNetwork
 from repro.partitioning.base import Partitioning
 
 __all__ = ["BorderPathPrecomputation"]
+
+
+@dataclass
+class _BorderSource:
+    """Everything pre-computed from one border source node.
+
+    The published aggregates (min/max region distances, cross-border node
+    set, traversed-region sets) are folds over these records, which is what
+    lets :meth:`BorderPathPrecomputation.refresh` re-run only the affected
+    sources after a weight update.
+    """
+
+    node: int
+    region: int
+    #: Dijkstra distances from the source (kept for the affected-source test).
+    distances: Dict[int, float] = field(default_factory=dict)
+    #: Nodes on at least one pre-computed path from this source.
+    cross_nodes: Set[int] = field(default_factory=set)
+    #: Finite border-pair count contributed by this source.
+    finite_pairs: int = 0
+    #: Target region -> min / max shortest distance from this source.
+    min_to: Dict[int, float] = field(default_factory=dict)
+    max_to: Dict[int, float] = field(default_factory=dict)
+    #: Target region -> regions traversed by the pre-computed paths there.
+    traversed: Dict[int, Set[int]] = field(default_factory=dict)
 
 
 class BorderPathPrecomputation:
@@ -43,12 +81,8 @@ class BorderPathPrecomputation:
 
         #: ``min_distance[i][j]`` / ``max_distance[i][j]``: extreme shortest
         #: path distances from a border node of region i to one of region j.
-        self.min_distance: List[List[float]] = [
-            [INFINITY] * num_regions for _ in range(num_regions)
-        ]
-        self.max_distance: List[List[float]] = [
-            [INFINITY] * num_regions for _ in range(num_regions)
-        ]
+        self.min_distance: List[List[float]] = []
+        self.max_distance: List[List[float]] = []
         #: Nodes appearing on at least one pre-computed border-to-border path.
         self.cross_border_nodes: Set[int] = set()
         #: ``traversed_regions[(i, j)]``: regions crossed by any pre-computed
@@ -62,67 +96,158 @@ class BorderPathPrecomputation:
     def _compute(self) -> None:
         started = time.perf_counter()
         partitioning = self.partitioning
-        region_of = partitioning.region_of
-        num_regions = self.num_regions
 
         border_by_region: List[List[int]] = [
-            partitioning.border_nodes(region) for region in range(num_regions)
+            partitioning.border_nodes(region) for region in range(self.num_regions)
         ]
-        all_border: List[Tuple[int, int]] = [
+        #: ``(node, region)`` for every border node, in region-then-list order.
+        self._all_border: List[Tuple[int, int]] = [
             (node, region)
-            for region in range(num_regions)
+            for region in range(self.num_regions)
             for node in border_by_region[region]
         ]
-        border_set = {node for node, _ in all_border}
+        self._border_set = {node for node, _ in self._all_border}
 
-        max_seen: List[List[float]] = [[-1.0] * num_regions for _ in range(num_regions)]
+        self._sources: List[_BorderSource] = [
+            self._compute_source(source, source_region)
+            for source, source_region in self._all_border
+        ]
+        self._aggregate()
+        self.precomputation_seconds = time.perf_counter() - started
 
-        for source, source_region in all_border:
-            result = dijkstra_distances(self.network, source)
-            distances = result.distances
-            predecessors = result.predecessors
-            # Nodes already marked on some path from this source; walking a
-            # predecessor chain can stop as soon as it hits a marked node.
-            marked_from_source: Set[int] = {source}
-            self.cross_border_nodes.add(source)
+    def _compute_source(self, source: int, source_region: int) -> _BorderSource:
+        """Run one border source's Dijkstra and derive its contributions."""
+        result = dijkstra_distances(self.network, source)
+        distances = result.distances
+        predecessors = result.predecessors
+        record = _BorderSource(node=source, region=source_region, distances=distances)
+        # Nodes already marked on some path from this source; walking a
+        # predecessor chain can stop as soon as it hits a marked node.
+        marked_from_source: Set[int] = {source}
+        record.cross_nodes.add(source)
+        region_of = self.partitioning.region_of
 
-            for target, target_region in all_border:
-                if target == source:
-                    continue
-                distance = distances.get(target, INFINITY)
-                pair = (source_region, target_region)
-                if distance == INFINITY:
-                    continue
-                self.num_border_pairs += 1
-                if distance < self.min_distance[source_region][target_region]:
-                    self.min_distance[source_region][target_region] = distance
-                if distance > max_seen[source_region][target_region]:
-                    max_seen[source_region][target_region] = distance
+        for target, target_region in self._all_border:
+            if target == source:
+                continue
+            distance = distances.get(target, INFINITY)
+            if distance == INFINITY:
+                continue
+            record.finite_pairs += 1
+            if distance < record.min_to.get(target_region, INFINITY):
+                record.min_to[target_region] = distance
+            if distance > record.max_to.get(target_region, -1.0):
+                record.max_to[target_region] = distance
 
-                regions = self.traversed_regions.setdefault(pair, set())
-                # Walk the shortest path tree from target back toward source,
-                # marking cross-border nodes and collecting traversed regions.
-                node = target
-                while node is not None:
-                    regions.add(region_of(node))
-                    if node in marked_from_source:
-                        # Nodes from here to the source are already marked as
-                        # cross-border, but we still need their regions.
-                        node = predecessors.get(node)
-                        while node is not None:
-                            regions.add(region_of(node))
-                            node = predecessors.get(node)
-                        break
-                    marked_from_source.add(node)
-                    self.cross_border_nodes.add(node)
+            regions = record.traversed.setdefault(target_region, set())
+            # Walk the shortest path tree from target back toward source,
+            # marking cross-border nodes and collecting traversed regions.
+            node = target
+            while node is not None:
+                regions.add(region_of(node))
+                if node in marked_from_source:
+                    # Nodes from here to the source are already marked as
+                    # cross-border, but we still need their regions.
                     node = predecessors.get(node)
+                    while node is not None:
+                        regions.add(region_of(node))
+                        node = predecessors.get(node)
+                    break
+                marked_from_source.add(node)
+                record.cross_nodes.add(node)
+                node = predecessors.get(node)
+        return record
 
-        for i in range(self.num_regions):
-            for j in range(self.num_regions):
+    def _aggregate(self) -> None:
+        """Fold the per-source records into the published aggregates.
+
+        Pure and order-free (mins, maxes, unions, sums), so re-folding after
+        an incremental refresh yields exactly what a from-scratch build would.
+        """
+        n = self.num_regions
+        self.min_distance = [[INFINITY] * n for _ in range(n)]
+        self.max_distance = [[INFINITY] * n for _ in range(n)]
+        self.cross_border_nodes = set()
+        self.traversed_regions = {}
+        self.num_border_pairs = 0
+        max_seen: List[List[float]] = [[-1.0] * n for _ in range(n)]
+
+        for record in self._sources:
+            i = record.region
+            self.cross_border_nodes |= record.cross_nodes
+            self.num_border_pairs += record.finite_pairs
+            row_min = self.min_distance[i]
+            row_max = max_seen[i]
+            for j, value in record.min_to.items():
+                if value < row_min[j]:
+                    row_min[j] = value
+            for j, value in record.max_to.items():
+                if value > row_max[j]:
+                    row_max[j] = value
+            for j, regions in record.traversed.items():
+                self.traversed_regions.setdefault((i, j), set()).update(regions)
+
+        for i in range(n):
+            for j in range(n):
                 if max_seen[i][j] >= 0.0:
                     self.max_distance[i][j] = max_seen[i][j]
-        self._border_set = border_set
-        self.precomputation_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Incremental refresh
+    # ------------------------------------------------------------------
+    def affected_sources(self, changes: Sequence[WeightChange]) -> List[int]:
+        """Indexes of border sources whose results a change batch can touch.
+
+        For a source with cached distances ``d``, a weight change on edge
+        ``(u, v)`` is relevant iff
+
+        * **decrease** (``new < old``): ``d(u) + new <= d(v)`` -- the cheaper
+          edge creates (or ties) a shorter path through ``(u, v)``; or
+        * **increase** (``new > old``): ``d(u) + old <= d(v)`` -- by the
+          triangle inequality ``d(v) <= d(u) + old`` always holds, so this is
+          the tightness test ``d(u) + old == d(v)``, i.e. "some shortest path
+          uses ``(u, v)`` as its final hop into ``v``" (and any shortest path
+          through the edge has such a prefix).
+
+        Both tests include ties, which makes the unaffected set *provably*
+        bit-identical under a re-run: the old distance labels remain a
+        feasible potential and the old shortest path tree contains no changed
+        edge, so Dijkstra's relaxations (and tie-breaks) replay unchanged.
+        """
+        relevant = [change for change in changes if not change.is_noop]
+        affected: List[int] = []
+        for index, record in enumerate(self._sources):
+            distances = record.distances
+            for change in relevant:
+                du = distances.get(change.source)
+                if du is None:
+                    continue
+                dv = distances.get(change.target, INFINITY)
+                if change.new_weight < change.old_weight:
+                    if du + change.new_weight <= dv:
+                        affected.append(index)
+                        break
+                elif du + change.old_weight <= dv:
+                    affected.append(index)
+                    break
+        return affected
+
+    def refresh(self, changes: Sequence[WeightChange]) -> int:
+        """Re-run the affected border sources after a weight-change batch.
+
+        Only valid for weight changes (the caller handles structural changes
+        with a full rebuild: they can move borders).  Returns the number of
+        sources re-run; the published aggregates afterwards equal a
+        from-scratch :class:`BorderPathPrecomputation` over the mutated
+        network, bit for bit.
+        """
+        affected = self.affected_sources(changes)
+        for index in affected:
+            record = self._sources[index]
+            self._sources[index] = self._compute_source(record.node, record.region)
+        if affected:
+            self._aggregate()
+        return len(affected)
 
     # ------------------------------------------------------------------
     # Derived views

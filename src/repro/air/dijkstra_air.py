@@ -33,6 +33,11 @@ class DijkstraBroadcastScheme(FullCycleScheme):
 
     short_name = "DJ"
 
+    def _refresh_precomputation(self, delta) -> bool:
+        # No pre-computed state at all: a weight delta only requires the
+        # dirty data segments to be re-packed, which the base class does.
+        return True
+
     def local_query(self, source: int, target: int, degraded: bool) -> PathResult:
         # Dijkstra has no pre-computed information, so there is nothing to
         # degrade: lost adjacency packets were already re-received.

@@ -26,6 +26,7 @@ wrong path).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -139,6 +140,28 @@ class EllipticBoundaryScheme(AirIndexScheme):
             segments.extend(group)
             packets_since_copy += sum(segment.num_packets for segment in group)
         return BroadcastCycle(segments, name="EB-cycle")
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (dynamic networks)
+    # ------------------------------------------------------------------
+    def incremental_rebuild(self, network: RoadNetwork, delta) -> bool:
+        """Refresh the shared border-path pre-computation, then re-lay the cycle.
+
+        The expensive part of an EB rebuild is the border-to-border
+        pre-computation, which re-runs only the affected border sources
+        (the kd partitioning depends on coordinates alone, so a weight-only
+        delta keeps it).  The cycle itself is re-laid from scratch: its
+        interleaving (index copy placement) depends on the new cross/local
+        splits globally and costs a negligible fraction of one pre-compute.
+        """
+        if network is not self.network or delta.structural:
+            return False
+        started = time.perf_counter()
+        if delta.changes:
+            self.precomputation.refresh(delta.changes)
+        if self._cycle is not None:
+            self._cycle = self.build_cycle()
+        return self._track_refresh(started)
 
     def _index_copy(self, copy: int) -> List[Segment]:
         return [

@@ -14,6 +14,7 @@ the super-edge overlay.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List
 
@@ -62,7 +63,7 @@ class HiTiBroadcastScheme(AirIndexScheme):
         self.index = HiTiIndex(network, self.partitioning)
         self.precomputation_seconds = self.index.precomputation_seconds
 
-    def build_cycle(self) -> BroadcastCycle:
+    def _index_segment(self) -> Segment:
         # Crossing (inter-region) edges are part of the index: the client
         # needs them to stitch super-edges of different regions together.
         crossing_edges = sum(
@@ -76,14 +77,15 @@ class HiTiBroadcastScheme(AirIndexScheme):
             + self.index.num_super_edges() * self.layout.hiti_super_edge_bytes()
             + crossing_edges * (2 * self.layout.node_id_bytes + self.layout.weight_bytes)
         )
-        segments: List[Segment] = [
-            Segment(
-                name="hiti-index",
-                kind=SegmentKind.INDEX,
-                size_bytes=index_bytes,
-                payload={"index": self.index},
-            )
-        ]
+        return Segment(
+            name="hiti-index",
+            kind=SegmentKind.INDEX,
+            size_bytes=index_bytes,
+            payload={"index": self.index},
+        )
+
+    def build_cycle(self) -> BroadcastCycle:
+        segments: List[Segment] = [self._index_segment()]
         for region in range(self.num_regions):
             nodes = self.partitioning.nodes_in_region(region)
             segments.append(
@@ -96,6 +98,35 @@ class HiTiBroadcastScheme(AirIndexScheme):
                 )
             )
         return BroadcastCycle(segments, name="HiTi-cycle")
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (dynamic networks)
+    # ------------------------------------------------------------------
+    def incremental_rebuild(self, network: RoadNetwork, delta) -> bool:
+        """Recompute super-edges only for the hierarchy blocks touching a
+        dirty region, then re-pack only the index segment.
+
+        HiTi is the natural fit for partition-local updates: a changed edge
+        is internal to exactly the sub-graphs covering its endpoints'
+        regions, so one dirty leaf costs one leaf recompute plus its
+        ``log2(num_regions)`` ancestors instead of the whole hierarchy.  The
+        per-region data segments depend only on structure (node lists and
+        degrees) and are reused as-is; structural deltas fall back to a full
+        rebuild because they can move borders.
+        """
+        if network is not self.network or delta.structural:
+            return False
+        started = time.perf_counter()
+        if delta.changes:
+            self.index.refresh(delta.dirty_regions(self.partitioning))
+        if self._cycle is not None:
+            # Region data segments depend only on structure and are reused;
+            # only the index segment's size can move with the super edges.
+            segments = [self._index_segment()] + [
+                segment for segment in self._cycle.segments if segment.name != "hiti-index"
+            ]
+            self._cycle = BroadcastCycle(segments, name="HiTi-cycle")
+        return self._track_refresh(started)
 
     def _make_client(self, options: ClientOptions) -> "HiTiBroadcastClient":
         return HiTiBroadcastClient(self, options=options)

@@ -23,6 +23,7 @@ lost index packet rarely matters; when it does, the client receives region
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -167,6 +168,56 @@ class NextRegionScheme(AirIndexScheme):
                 )
             )
         return BroadcastCycle(segments, name="NR-cycle")
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (dynamic networks)
+    # ------------------------------------------------------------------
+    def incremental_rebuild(self, network: RoadNetwork, delta) -> bool:
+        """Refresh the border-path pre-computation and re-pack touched segments.
+
+        A weight-only delta cannot move the kd partitioning (it depends on
+        coordinates alone), so the partitioning is kept and the shared
+        pre-computation re-runs only the border sources whose shortest path
+        trees a change could touch.  Cycle-wise, the per-region local-index
+        segments have a fixed size and are reused; a region's cross/local
+        data segments are re-packed only when its cross-border membership
+        actually changed.  Structural deltas fall back to a full rebuild.
+        """
+        if network is not self.network or delta.structural:
+            return False
+        started = time.perf_counter()
+        if delta.changes:
+            self.precomputation.refresh(delta.changes)
+            self._needed_cache.clear()
+        if self._cycle is not None:
+            old = self._cycle
+            segments: List[Segment] = []
+            for region in range(self.num_regions):
+                segments.append(old.segment(f"nr-index-{region}"))
+                cross_nodes = self.precomputation.cross_border_in_region(region)
+                local_nodes = self.precomputation.local_in_region(region)
+                for suffix, kind, nodes in (
+                    ("cross", SegmentKind.REGION_CROSS_BORDER, cross_nodes),
+                    ("local", SegmentKind.REGION_LOCAL, local_nodes),
+                ):
+                    name = f"region-{region}-{suffix}"
+                    previous = old.segment(name)
+                    # Record sizes are purely structural (degree-based), so a
+                    # segment with an unchanged node list is already correct.
+                    if previous.payload["nodes"] == nodes:
+                        segments.append(previous)
+                    else:
+                        segments.append(
+                            Segment(
+                                name=name,
+                                kind=kind,
+                                size_bytes=self.layout.adjacency_bytes(self.network, nodes),
+                                region=region,
+                                payload={"nodes": nodes},
+                            )
+                        )
+            self._cycle = BroadcastCycle(segments, name="NR-cycle")
+        return self._track_refresh(started)
 
     # ------------------------------------------------------------------
     # Client

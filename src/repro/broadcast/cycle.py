@@ -135,6 +135,38 @@ class BroadcastCycle:
     # ------------------------------------------------------------------
     # Reporting helpers
     # ------------------------------------------------------------------
+    def signature(self) -> Tuple[Tuple, ...]:
+        """A value-level digest of the on-air layout, for equality checks.
+
+        One tuple per segment -- name, kind, payload size, packet count,
+        region annotation, and a normalized payload (integer lists become
+        tuples; scalar values pass through; anything else is reduced to its
+        type name) -- in broadcast order.  Two cycles with equal signatures
+        occupy identical packet positions with identical content layout,
+        which is what the dynamic-network tests and benchmarks mean by
+        "bit-identical cycles" between an incremental refresh and a
+        from-scratch rebuild.
+        """
+
+        def normalize(value):
+            if isinstance(value, (list, tuple)):
+                return tuple(value)
+            if isinstance(value, (int, float, str, bool, type(None))):
+                return value
+            return type(value).__name__
+
+        return tuple(
+            (
+                segment.name,
+                segment.kind.value,
+                segment.size_bytes,
+                segment.num_packets,
+                segment.region,
+                tuple(sorted((key, normalize(val)) for key, val in segment.payload.items())),
+            )
+            for segment in self.segments
+        )
+
     def composition(self) -> Dict[str, int]:
         """Packets per :class:`SegmentKind` (for cycle-length breakdowns)."""
         breakdown: Dict[str, int] = {}

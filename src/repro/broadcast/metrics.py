@@ -115,6 +115,11 @@ class ServerMetrics:
     index_packets: int = 0
     data_packets: int = 0
     notes: Optional[str] = None
+    #: Incremental cycle refreshes applied to this scheme (dynamic networks)
+    #: and the total server time they cost; both stay zero for a scheme that
+    #: was never refreshed in place.
+    refreshes: int = 0
+    refresh_seconds: float = 0.0
 
     def cycle_seconds(self, rate: ChannelRate) -> float:
         """Duration of one broadcast cycle at the given channel rate."""

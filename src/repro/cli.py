@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five sub-commands cover the common ways of poking at the system without
+Six sub-commands cover the common ways of poking at the system without
 writing code::
 
     python -m repro schemes
@@ -8,6 +8,7 @@ writing code::
     python -m repro query    --network germany --scale 0.02 --method NR --queries 5
     python -m repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
     python -m repro fleet    --network germany --scale 0.02 --method NR --devices 500
+    python -m repro dynamic  --network germany --scale 0.02 --method NR --steps 6
 
 * ``schemes`` -- list every registered air-index scheme with its parameters
   and defaults, straight from the registry.
@@ -20,6 +21,9 @@ writing code::
 * ``fleet``   -- simulate a population of devices sharing one broadcast
   cycle (scenario-generated queries, staggered tune-ins, optional loss) and
   print percentile latency/tuning/energy aggregates.
+* ``dynamic`` -- replay an edge-weight update stream (congestion ramp or
+  random closures) against one scheme, refreshing the cycle incrementally
+  between device waves, and print the per-step refresh/answer statistics.
 
 Every command constructs its schemes through an
 :class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
@@ -36,6 +40,7 @@ from typing import List, Optional, Sequence
 
 from repro import air
 from repro.broadcast.device import CHANNEL_2MBPS, CHANNEL_384KBPS, J2ME_CLAMSHELL
+from repro.dynamic import UPDATE_STREAMS, simulate_update_stream
 from repro.engine import AirSystem, ClientOptions
 from repro.experiments import FLEET_SCENARIOS, ExperimentConfig, QueryWorkload, report
 from repro.network import datasets
@@ -144,6 +149,37 @@ def build_parser() -> argparse.ArgumentParser:
             "worker threads (per-device answers/packet metrics are "
             "bit-identical for every value; wall-clock fields vary)"
         ),
+    )
+
+    dynamic = subparsers.add_parser(
+        "dynamic",
+        help="replay an edge-weight update stream with incremental cycle refresh",
+    )
+    add_common(dynamic)
+    dynamic.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
+    dynamic.add_argument(
+        "--stream",
+        default="congestion",
+        choices=sorted(UPDATE_STREAMS),
+        help="update stream generator (rush-hour congestion ramp or random closures)",
+    )
+    dynamic.add_argument(
+        "--steps", type=_positive_int, default=6, help="update batches to replay"
+    )
+    dynamic.add_argument(
+        "--devices", type=_positive_int, default=100, help="devices tuning in per step"
+    )
+    dynamic.add_argument(
+        "--scenario",
+        default="trickle",
+        choices=sorted(FLEET_SCENARIOS),
+        help="device population generator for each wave",
+    )
+    dynamic.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
+    dynamic.add_argument(
+        "--concurrency", type=_positive_int, default=1, help="worker threads per wave"
     )
     return parser
 
@@ -327,6 +363,72 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_dynamic(args: argparse.Namespace, out) -> int:
+    system = _system(args)
+    network = system.network
+    stream = UPDATE_STREAMS[args.stream](network, steps=args.steps, seed=args.seed)
+    run = simulate_update_stream(
+        system,
+        args.method,
+        stream,
+        devices_per_step=args.devices,
+        scenario=args.scenario,
+        seed=args.seed,
+        loss_rate=args.loss_rate,
+        concurrency=args.concurrency,
+    )
+    rows = []
+    for step in run.steps:
+        refresh = step.refresh
+        mode = (
+            "incremental"
+            if refresh.incremental
+            else "full" if refresh.rebuilt else "none"
+        )
+        latency = step.fleet.latency_percentiles((99,))[99]
+        rows.append(
+            [
+                step.batch.step,
+                step.batch.label,
+                len(step.batch),
+                mode,
+                round(refresh.seconds * 1000.0, 1),
+                step.fleet.cycle_packets,
+                int(latency),
+                step.fleet.mismatches,
+            ]
+        )
+    print(
+        report.format_table(
+            [
+                "Step",
+                "Batch",
+                "Updates",
+                "Refresh",
+                "Refresh (ms)",
+                "Cycle (pkt)",
+                "Latency p99 (pkt)",
+                "Mismatches",
+            ],
+            rows,
+            title=(
+                f"Dynamic stream '{run.stream}' x{len(run.steps)} steps on {run.scheme} "
+                f"({network.name}, {args.devices} devices/step, loss={args.loss_rate:g})"
+            ),
+        ),
+        file=out,
+    )
+    summary = [
+        ["devices served", run.num_devices],
+        ["incremental refreshes / full rebuilds", f"{run.incremental_refreshes} / {run.full_rebuilds}"],
+        ["total refresh seconds", round(run.refresh_seconds, 3)],
+        ["fingerprint lineage depth", len(system.lineage())],
+        ["mismatches vs mutated-network Dijkstra", run.mismatches],
+    ]
+    print(report.format_table(["Quantity", "Value"], summary, title="Stream summary"), file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -338,6 +440,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "query": _command_query,
         "compare": _command_compare,
         "fleet": _command_fleet,
+        "dynamic": _command_dynamic,
     }
     return handlers[args.command](args, out)
 

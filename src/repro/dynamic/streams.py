@@ -1,0 +1,194 @@
+"""Edge-weight update stream generators for time-varying networks.
+
+The paper's evaluation holds the road network fixed; a production broadcast
+server does not get that luxury.  An :class:`UpdateStream` is a finite,
+deterministic sequence of :class:`UpdateBatch` es -- each the set of edge
+weights that change "between device tune-ins" -- feeding
+:func:`repro.dynamic.simulate.simulate_update_stream` and the CLI's
+``dynamic`` sub-command.  Two built-in shapes:
+
+* :func:`congestion_ramp` -- a rush hour: a fixed pool of "hot" edges whose
+  travel costs ramp up to a peak factor mid-stream and ease back down.
+  Because every step touches the *same* edges, later steps tend to affect
+  fewer shortest path trees -- the workload incremental maintenance is
+  built for.
+* :func:`random_closures` -- incidents: every step soft-closes a few random
+  edges (multiplies their cost by a large factor; the edge stays in the
+  graph, so the change remains weight-only and incrementally maintainable)
+  and reopens earlier closures after a fixed number of steps.
+
+Updates carry *absolute* target weights derived from the base weights at
+stream construction, so replaying a stream over a fresh copy of the network
+is deterministic and idempotent per step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.network.delta import EdgeUpdate
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "UpdateBatch",
+    "UpdateStream",
+    "UPDATE_STREAMS",
+    "congestion_ramp",
+    "random_closures",
+]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One step of an update stream: the weights that change together."""
+
+    step: int
+    label: str
+    updates: Tuple[EdgeUpdate, ...]
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass(frozen=True)
+class UpdateStream:
+    """A named, deterministic sequence of update batches."""
+
+    name: str
+    batches: Tuple[UpdateBatch, ...]
+
+    def __iter__(self):
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def num_updates(self) -> int:
+        """Total edge updates across every batch."""
+        return sum(len(batch) for batch in self.batches)
+
+
+def _distinct_edges(network: RoadNetwork, rng: random.Random) -> List[Tuple[int, int, float]]:
+    """Uniquely addressable directed edges with their base weights.
+
+    ``(source, target)`` pairs with parallel duplicates are excluded
+    entirely: ``update_edge_weight`` always targets the *currently* minimal
+    parallel edge, so a stream of absolute target weights cannot address one
+    specific physical edge across batches -- a congest/restore cycle would
+    land on alternating edges and drift away from the base weights.
+    """
+    counts: Dict[Tuple[int, int], int] = {}
+    weights: Dict[Tuple[int, int], float] = {}
+    for edge in network.edges():
+        key = (edge.source, edge.target)
+        counts[key] = counts.get(key, 0) + 1
+        weights[key] = edge.weight
+    items = [
+        (source, target, weight)
+        for (source, target), weight in weights.items()
+        if counts[(source, target)] == 1
+    ]
+    rng.shuffle(items)
+    return items
+
+
+def congestion_ramp(
+    network: RoadNetwork,
+    *,
+    steps: int = 6,
+    seed: int = 0,
+    hot_fraction: float = 0.05,
+    peak_factor: float = 4.0,
+) -> UpdateStream:
+    """A rush-hour ramp: hot edges slow down toward mid-stream, then recover.
+
+    ``hot_fraction`` of the network's edges (at least one) form the hot
+    pool; at step ``k`` their weight is ``base * factor(k)`` where the
+    factor rises linearly from 1 to ``peak_factor`` at the middle step and
+    falls back toward 1 -- a triangular congestion profile.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if peak_factor <= 0:
+        raise ValueError(f"peak_factor must be positive, got {peak_factor}")
+    rng = random.Random(seed)
+    edges = _distinct_edges(network, rng)
+    if not edges:
+        raise ValueError(
+            f"network {network.name!r} has no uniquely addressable edges to congest"
+        )
+    pool = edges[: max(1, int(len(edges) * hot_fraction))]
+
+    batches: List[UpdateBatch] = []
+    for step in range(steps):
+        # A single-step stream is all peak (phase 0.5), not a no-op.
+        phase = step / (steps - 1) if steps > 1 else 0.5
+        factor = 1.0 + (peak_factor - 1.0) * (1.0 - abs(2.0 * phase - 1.0))
+        updates = tuple(
+            EdgeUpdate(source, target, weight * factor)
+            for source, target, weight in pool
+        )
+        batches.append(
+            UpdateBatch(step=step, label=f"congestion x{factor:.2f}", updates=updates)
+        )
+    return UpdateStream(name="congestion", batches=tuple(batches))
+
+
+def random_closures(
+    network: RoadNetwork,
+    *,
+    steps: int = 6,
+    seed: int = 0,
+    closures_per_step: int = 2,
+    closure_factor: float = 25.0,
+    reopen_after: int = 2,
+) -> UpdateStream:
+    """Random incidents: soft-close a few edges per step, reopen them later.
+
+    A closure multiplies the edge's cost by ``closure_factor`` (the edge
+    stays in the graph, so connectivity -- and the weight-only incremental
+    path -- is preserved); after ``reopen_after`` further steps the base
+    weight is restored.  An edge is never closed twice concurrently.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if closure_factor <= 1.0:
+        raise ValueError(f"closure_factor must exceed 1, got {closure_factor}")
+    rng = random.Random(seed)
+    open_edges = _distinct_edges(network, rng)
+    closed: List[Tuple[int, Tuple[int, int, float]]] = []
+
+    batches: List[UpdateBatch] = []
+    for step in range(steps):
+        updates: List[EdgeUpdate] = []
+        reopened = 0
+        while closed and closed[0][0] + reopen_after <= step:
+            _, (source, target, weight) = closed.pop(0)
+            updates.append(EdgeUpdate(source, target, weight))
+            open_edges.append((source, target, weight))
+            reopened += 1
+        closing = 0
+        for _ in range(min(closures_per_step, len(open_edges))):
+            index = rng.randrange(len(open_edges))
+            source, target, weight = open_edges.pop(index)
+            updates.append(EdgeUpdate(source, target, weight * closure_factor))
+            closed.append((step, (source, target, weight)))
+            closing += 1
+        batches.append(
+            UpdateBatch(
+                step=step,
+                label=f"close {closing} / reopen {reopened}",
+                updates=tuple(updates),
+            )
+        )
+    return UpdateStream(name="closures", batches=tuple(batches))
+
+
+#: Stream name -> generator, for the CLI's ``dynamic --stream`` choices.
+UPDATE_STREAMS: Dict[str, Callable[..., UpdateStream]] = {
+    "congestion": congestion_ramp,
+    "closures": random_closures,
+}

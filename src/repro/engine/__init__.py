@@ -9,7 +9,7 @@ point; the scheme zoo underneath stays pluggable via
 """
 
 from repro.air.base import ClientOptions
-from repro.engine.results import MethodRun
+from repro.engine.results import MethodRun, RefreshReport
 from repro.engine.system import AirSystem, CacheInfo, execute_workload
 from repro.fleet import DeviceSpec, FleetRun
 
@@ -20,5 +20,6 @@ __all__ = [
     "DeviceSpec",
     "FleetRun",
     "MethodRun",
+    "RefreshReport",
     "execute_workload",
 ]

@@ -10,11 +10,43 @@ experiment harness share one definition (the harness re-exports it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
 from repro.broadcast.metrics import ClientMetrics, ServerMetrics, average_metrics
 
-__all__ = ["MethodRun"]
+__all__ = ["MethodRun", "RefreshReport"]
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """Outcome of one :meth:`~repro.engine.system.AirSystem.refresh` call.
+
+    Records the fingerprint transition (``parent_fingerprint`` ->
+    ``fingerprint``), what the network delta looked like, and which cached
+    entries took the incremental path versus a full rebuild.  ``dropped``
+    lists entries that were already superseded by a fresh build at the new
+    fingerprint and were simply evicted.
+    """
+
+    parent_fingerprint: str
+    fingerprint: str
+    structural: bool
+    num_changes: int
+    num_dirty_nodes: int
+    incremental: Tuple[str, ...] = ()
+    rebuilt: Tuple[str, ...] = ()
+    dropped: Tuple[str, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def refreshed(self) -> int:
+        """Cache entries brought up to date (either path)."""
+        return len(self.incremental) + len(self.rebuilt)
+
+    @property
+    def noop(self) -> bool:
+        """``True`` when the network had not changed since the last refresh."""
+        return self.parent_fingerprint == self.fingerprint and self.refreshed == 0
 
 
 @dataclass

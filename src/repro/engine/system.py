@@ -24,20 +24,21 @@ clock).
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.air import registry
 from repro.air.base import AirIndexScheme, ClientOptions, QueryResult, is_mismatch
 from repro.broadcast.channel import BroadcastChannel
 from repro.concurrency import run_indexed
-from repro.engine.results import MethodRun
+from repro.engine.results import MethodRun, RefreshReport
 from repro.fleet.devices import DeviceSpec
 from repro.fleet.results import FleetRun
 from repro.fleet.simulator import simulate_fleet as _simulate_fleet
 from repro.network.graph import RoadNetwork
 
-__all__ = ["AirSystem", "CacheInfo", "execute_workload"]
+__all__ = ["AirSystem", "CacheInfo", "RefreshReport", "execute_workload"]
 
 
 @dataclass(frozen=True)
@@ -47,11 +48,21 @@ class CacheInfo:
     hits: int
     misses: int
     entries: int
+    #: Cache entries brought up to date in place by ``refresh()`` (dynamic
+    #: networks) versus reconstructed from scratch during a refresh.
+    incremental_rebuilds: int = 0
+    full_rebuilds: int = 0
 
     @property
     def builds(self) -> int:
-        """Number of scheme/cycle constructions (== cache misses)."""
-        return self.misses
+        """Number of from-scratch scheme/cycle constructions.
+
+        Cold cache misses plus the full rebuilds ``refresh()`` performed for
+        schemes that could not apply a delta incrementally; in-place
+        incremental refreshes are not constructions and are counted
+        separately (:attr:`incremental_rebuilds`).
+        """
+        return self.misses + self.full_rebuilds
 
 
 def _as_query(item: Any) -> Tuple[int, int, Optional[float]]:
@@ -146,6 +157,16 @@ class AirSystem:
         self._channels: Dict[Tuple, BroadcastChannel] = {}
         self._hits = 0
         self._misses = 0
+        self._incremental_rebuilds = 0
+        self._full_rebuilds = 0
+        #: Fingerprint -> the fingerprint it superseded (set by refresh()).
+        self._lineage: Dict[str, str] = {}
+        # The network's own delta tracking is the source of truth for
+        # refresh(); constructors (generators, datasets, copy()) hand over
+        # networks with a clean baseline, and the system deliberately never
+        # clears a delta it did not consume -- another AirSystem sharing the
+        # network may still need it.
+        self._clean_fingerprint = self.network.fingerprint()
 
     @classmethod
     def from_config(cls, config: Any, network_name: Optional[str] = None) -> "AirSystem":
@@ -204,7 +225,13 @@ class AirSystem:
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/entry counts of the cycle cache."""
-        return CacheInfo(hits=self._hits, misses=self._misses, entries=len(self._schemes))
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._schemes),
+            incremental_rebuilds=self._incremental_rebuilds,
+            full_rebuilds=self._full_rebuilds,
+        )
 
     def clear_cache(self) -> None:
         """Drop every cached scheme, cycle and channel."""
@@ -212,6 +239,8 @@ class AirSystem:
         self._channels.clear()
         self._hits = 0
         self._misses = 0
+        self._incremental_rebuilds = 0
+        self._full_rebuilds = 0
 
     def prune_cache(self) -> int:
         """Drop cache entries built for superseded network structures.
@@ -232,6 +261,124 @@ class AirSystem:
         return len(stale_schemes) + len(stale_channels)
 
     # ------------------------------------------------------------------
+    # Dynamic networks: versioned refresh
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Iterable[Any]) -> RefreshReport:
+        """Apply a batch of edge-weight updates and refresh the cache.
+
+        Equivalent to ``system.network.apply_updates(updates)`` followed by
+        :meth:`refresh` -- the one-call path a dynamic workload uses between
+        device waves.
+        """
+        self.network.apply_updates(updates)
+        return self.refresh()
+
+    def refresh(self) -> RefreshReport:
+        """Bring every cached cycle up to date with the mutated network.
+
+        Reads the network's pending delta and, for each entry built for the
+        superseded structure, routes through the scheme's
+        :meth:`~repro.air.base.AirIndexScheme.incremental_rebuild` (weight
+        deltas on schemes that support it) or a full reconstruction, then
+        re-keys the entry under the new fingerprint and records the
+        fingerprint lineage (:meth:`lineage`).  Channels built for any
+        superseded fingerprint are dropped: after an in-place refresh their
+        cycle objects no longer match the scheme's.
+
+        In-place mutations *without* a refresh stay safe -- the fingerprint
+        miss forces a full rebuild on the next ``scheme()`` call -- but pay
+        a from-scratch build per scheme; ``refresh()`` is what makes a
+        mutate/serve loop cheap.
+
+        The incremental path trusts the network's delta to fully explain the
+        fingerprint transition, which holds as long as every mutation since
+        the last refresh went through the network's mutating methods.  If
+        the fingerprint moved while the delta records no changes (someone
+        called ``clear_delta()`` externally), every entry takes the
+        full-rebuild path instead; a *partial* external clear followed by
+        further updates is not detectable -- do not clear a delta an
+        :class:`AirSystem` has not consumed.
+        """
+        started = time.perf_counter()
+        delta = self.network.pending_delta()
+        parent = self._clean_fingerprint
+        current = self.network.fingerprint()
+        if current == parent and delta.empty:
+            return RefreshReport(
+                parent_fingerprint=parent,
+                fingerprint=current,
+                structural=False,
+                num_changes=0,
+                num_dirty_nodes=0,
+                seconds=time.perf_counter() - started,
+            )
+
+        incremental: List[str] = []
+        rebuilt: List[str] = []
+        dropped: List[str] = []
+        # The incremental path is only sound when the delta fully explains
+        # the fingerprint transition.  A moved fingerprint with *no* recorded
+        # changes means the tracking was cleared externally -- fall back to
+        # full rebuilds rather than re-keying stale state as fresh.
+        trust_delta = not delta.structural and bool(delta.changes)
+        for key in [key for key in self._schemes if key[2] == parent and parent != current]:
+            name, params_items, _ = key
+            scheme = self._schemes.pop(key)
+            new_key = (name, params_items, current)
+            if new_key in self._schemes:
+                # Already rebuilt from scratch after the mutation (a query
+                # arrived before this refresh); keep that entry.
+                dropped.append(name)
+                continue
+            if trust_delta and scheme.incremental_rebuild(self.network, delta):
+                incremental.append(name)
+                self._incremental_rebuilds += 1
+            else:
+                scheme = registry.create(name, self.network, **dict(params_items))
+                scheme.cycle  # build the refreshed broadcast cycle now
+                rebuilt.append(name)
+                self._full_rebuilds += 1
+            self._schemes[new_key] = scheme
+        for key in [key for key in self._channels if key[2] != current]:
+            del self._channels[key]
+
+        if current != parent:
+            self._lineage[current] = parent
+        self._clean_fingerprint = current
+        self.network.clear_delta()
+        return RefreshReport(
+            parent_fingerprint=parent,
+            fingerprint=current,
+            structural=delta.structural,
+            num_changes=len(delta.changes),
+            num_dirty_nodes=len(delta.dirty_nodes),
+            incremental=tuple(incremental),
+            rebuilt=tuple(rebuilt),
+            dropped=tuple(dropped),
+            seconds=time.perf_counter() - started,
+        )
+
+    def lineage(self, fingerprint: Optional[str] = None) -> List[str]:
+        """The chain of superseded fingerprints, newest first.
+
+        Starts at ``fingerprint`` (default: the network's current one) and
+        follows the parent links recorded by :meth:`refresh`.  A structure
+        never refreshed from has no parent; reverting mutations can in
+        principle close a cycle in the lineage graph, so the walk stops at
+        the first repeat.
+        """
+        current = fingerprint if fingerprint is not None else self.network.fingerprint()
+        chain = [current]
+        seen = {current}
+        while current in self._lineage:
+            current = self._lineage[current]
+            if current in seen:
+                break
+            chain.append(current)
+            seen.add(current)
+        return chain
+
+    # ------------------------------------------------------------------
     # Clients and channels
     # ------------------------------------------------------------------
     def _options(self, options: Optional[ClientOptions], **overrides: Any) -> ClientOptions:
@@ -240,20 +387,33 @@ class AirSystem:
         return resolved.replace(**changes) if changes else resolved
 
     def channel(
-        self, name: str, loss_rate: float = 0.0, seed: int = 0, **params: Any
+        self,
+        name: str,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        options: Optional[ClientOptions] = None,
+        **params: Any,
     ) -> BroadcastChannel:
         """A (cached) channel carrying the named scheme's cycle.
 
-        The channel is memoized per ``(scheme, loss_rate, seed)`` so repeated
+        The channel is memoized per ``(scheme, client options)`` so repeated
         :meth:`query` calls keep advancing the same session sequence instead
-        of replaying session #1 forever.
+        of replaying session #1 forever.  The key carries the *full*
+        :class:`ClientOptions` -- not just the loss fields -- so clients that
+        differ in any option (e.g. the Section 6.1 memory bound) never share
+        a session sequence: each option set sees the same deterministic
+        sequence it would see alone.
         """
         name = registry.canonical_name(name)
         scheme = self.scheme(name, **params)
         resolved = self._resolve_params(name, params)
-        key = (name, tuple(sorted(resolved.items())), self._fingerprint, loss_rate, seed)
+        if options is None:
+            options = self.default_options.replace(loss_rate=loss_rate, loss_seed=seed)
+        key = (name, tuple(sorted(resolved.items())), self._fingerprint, options)
         if key not in self._channels:
-            self._channels[key] = scheme.channel(loss_rate=loss_rate, seed=seed)
+            self._channels[key] = scheme.channel(
+                loss_rate=options.loss_rate, seed=options.loss_seed
+            )
         return self._channels[key]
 
     def client(self, name: str, options: Optional[ClientOptions] = None, **params: Any):
@@ -273,7 +433,7 @@ class AirSystem:
     ) -> QueryResult:
         """Process one on-air query through the named scheme."""
         options = self._options(options)
-        channel = self.channel(name, options.loss_rate, options.loss_seed, **params)
+        channel = self.channel(name, options=options, **params)
         client = self.scheme(name, **params).client(options=options)
         return client.query(
             source, target, channel=channel, tune_in_offset=options.tune_in_offset
@@ -345,6 +505,19 @@ class AirSystem:
             seed=seed,
             chunk_size=chunk_size,
         )
+
+    def simulate_update_stream(self, name: str, stream: Any, **kwargs: Any):
+        """Run an update stream with a device wave per step (dynamic networks).
+
+        Convenience wrapper around
+        :func:`repro.dynamic.simulate.simulate_update_stream`: each batch of
+        ``stream`` is applied to the network, the cycle cache is refreshed
+        through the incremental path, and a wave of devices tunes into the
+        refreshed broadcast.  See that function for the keyword arguments.
+        """
+        from repro.dynamic.simulate import simulate_update_stream as _simulate_stream
+
+        return _simulate_stream(self, name, stream, **kwargs)
 
     def compare(
         self,

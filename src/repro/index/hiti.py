@@ -78,48 +78,86 @@ class HiTiIndex:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         started = time.perf_counter()
-        region_of = self.partitioning.region_of
 
         # Level 0: one sub-graph per leaf region, super-edges computed on the
         # induced sub-network of the region.
-        level0: Dict[int, HiTiSubgraph] = {}
-        for region in range(self.num_regions):
-            nodes = self.partitioning.nodes_in_region(region)
-            subgraph = HiTiSubgraph(level=0, regions=(region,))
-            subgraph.border_nodes = self.partitioning.border_nodes(region)
-            induced = self.network.subgraph(nodes)
-            subgraph.super_edges = self._all_pairs_border_distances(
-                adjacency={n: induced.neighbors(n) for n in nodes},
-                border_nodes=subgraph.border_nodes,
-            )
-            level0[region] = subgraph
-        self.levels.append(level0)
+        self.levels.append(
+            {region: self._build_leaf(region) for region in range(self.num_regions)}
+        )
 
         # Higher levels: merge contiguous pairs of blocks.
         block = 1
         while block < self.num_regions:
-            previous = self.levels[-1]
             block *= 2
-            current: Dict[int, HiTiSubgraph] = {}
-            for first in range(0, self.num_regions, block):
-                left = previous[first]
-                right = previous[first + block // 2]
-                covered = set(left.regions) | set(right.regions)
-                merged = HiTiSubgraph(
-                    level=len(self.levels), regions=tuple(sorted(covered))
-                )
-                merged.border_nodes = [
-                    node
-                    for node in left.border_nodes + right.border_nodes
-                    if self._is_border_of(node, covered)
-                ]
-                overlay = self._overlay_adjacency(left, right, covered, region_of)
-                merged.super_edges = self._all_pairs_border_distances(
-                    adjacency=overlay, border_nodes=merged.border_nodes
-                )
-                current[first] = merged
-            self.levels.append(current)
+            level_index = len(self.levels)
+            self.levels.append(
+                {
+                    first: self._build_block(level_index, first, block)
+                    for first in range(0, self.num_regions, block)
+                }
+            )
         self.precomputation_seconds = time.perf_counter() - started
+
+    def _build_leaf(self, region: int) -> HiTiSubgraph:
+        """(Re)compute the level-0 sub-graph of one leaf region."""
+        nodes = self.partitioning.nodes_in_region(region)
+        subgraph = HiTiSubgraph(level=0, regions=(region,))
+        subgraph.border_nodes = self.partitioning.border_nodes(region)
+        induced = self.network.subgraph(nodes)
+        subgraph.super_edges = self._all_pairs_border_distances(
+            adjacency={n: induced.neighbors(n) for n in nodes},
+            border_nodes=subgraph.border_nodes,
+        )
+        return subgraph
+
+    def _build_block(self, level_index: int, first: int, block: int) -> HiTiSubgraph:
+        """(Re)compute the level-``level_index`` block starting at leaf ``first``."""
+        previous = self.levels[level_index - 1]
+        left = previous[first]
+        right = previous[first + block // 2]
+        covered = set(left.regions) | set(right.regions)
+        merged = HiTiSubgraph(level=level_index, regions=tuple(sorted(covered)))
+        merged.border_nodes = [
+            node
+            for node in left.border_nodes + right.border_nodes
+            if self._is_border_of(node, covered)
+        ]
+        overlay = self._overlay_adjacency(
+            left, right, covered, self.partitioning.region_of
+        )
+        merged.super_edges = self._all_pairs_border_distances(
+            adjacency=overlay, border_nodes=merged.border_nodes
+        )
+        return merged
+
+    def refresh(self, dirty_regions: Set[int]) -> int:
+        """Recompute only the sub-graphs covering a dirty leaf region.
+
+        Valid for weight-only mutations of the underlying network (border
+        sets depend on structure alone, so they are unchanged): a changed
+        edge is internal to exactly the sub-graphs whose covered region set
+        contains both endpoints' regions, and every such block contains a
+        dirty region.  Untouched blocks see bit-identical inputs, so the
+        refreshed hierarchy equals a from-scratch build.  Returns the number
+        of sub-graphs recomputed.
+        """
+        recomputed = 0
+        for region in sorted(dirty_regions):
+            self.levels[0][region] = self._build_leaf(region)
+            recomputed += 1
+        block = 1
+        level_index = 0
+        while block < self.num_regions:
+            block *= 2
+            level_index += 1
+            for first in range(0, self.num_regions, block):
+                if dirty_regions.isdisjoint(range(first, first + block)):
+                    continue
+                self.levels[level_index][first] = self._build_block(
+                    level_index, first, block
+                )
+                recomputed += 1
+        return recomputed
 
     def _is_border_of(self, node: int, covered_regions: Set[int]) -> bool:
         """Is ``node`` adjacent to any node outside ``covered_regions``?"""

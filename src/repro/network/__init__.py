@@ -1,5 +1,6 @@
 """Road-network substrate: graphs, generators, datasets, and algorithms."""
 
+from repro.network.delta import EdgeUpdate, NetworkDelta, WeightChange
 from repro.network.graph import Edge, Node, RoadNetwork
 from repro.network.generators import (
     GeneratorConfig,
@@ -10,8 +11,11 @@ from repro.network import algorithms, datasets, io
 
 __all__ = [
     "Edge",
+    "EdgeUpdate",
+    "NetworkDelta",
     "Node",
     "RoadNetwork",
+    "WeightChange",
     "GeneratorConfig",
     "generate_grid_network",
     "generate_road_network",

@@ -104,6 +104,7 @@ def generate_grid_network(
             if r + 1 < rows:
                 weight = dy * _noise_factor(rng, weight_noise)
                 network.add_bidirectional_edge(node_id(r, c), node_id(r + 1, c), weight)
+    network.clear_delta()  # construction is not a pending update stream
     return network
 
 

@@ -9,10 +9,21 @@ broadcast schemes serialize on the air.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.network.delta import NetworkDelta, WeightChange
+
 __all__ = ["Node", "Edge", "RoadNetwork"]
+
+#: Modulus of the fingerprint's 128-bit multiset sum (see ``fingerprint()``).
+_FINGERPRINT_MOD = 1 << 128
+
+
+def _element_hash(part: str) -> int:
+    """128-bit hash of one fingerprint element (node or edge record)."""
+    return int.from_bytes(hashlib.sha256(part.encode()).digest()[:16], "big")
 
 
 @dataclass(frozen=True)
@@ -62,6 +73,40 @@ class RoadNetwork:
         self._reverse_adjacency: Dict[int, List[Tuple[int, float]]] = {}
         self._num_edges = 0
         self._fingerprint_cache: Optional[str] = None
+        #: 128-bit multiset sum behind ``fingerprint()``; ``None`` until the
+        #: first full computation, then maintained in O(1) per mutation.
+        self._fingerprint_sum: Optional[int] = None
+        # Pending-change tracking (see pending_delta()): weight changes are
+        # coalesced per directed edge; structural mutations set a flag that
+        # forces consumers onto the full-rebuild path.
+        self._pending_changes: Dict[Tuple[int, int], WeightChange] = {}
+        self._dirty_nodes: set = set()
+        self._structurally_dirty = False
+
+    # ------------------------------------------------------------------
+    # Fingerprint maintenance
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _node_element(node: Node) -> str:
+        return f"n{node.node_id}:{node.x!r}:{node.y!r};"
+
+    @staticmethod
+    def _edge_element(source: int, target: int, weight: float) -> str:
+        return f"e{source}>{target}:{weight!r};"
+
+    def _fingerprint_add(self, part: str) -> None:
+        self._fingerprint_cache = None
+        if self._fingerprint_sum is not None:
+            self._fingerprint_sum = (
+                self._fingerprint_sum + _element_hash(part)
+            ) % _FINGERPRINT_MOD
+
+    def _fingerprint_remove(self, part: str) -> None:
+        self._fingerprint_cache = None
+        if self._fingerprint_sum is not None:
+            self._fingerprint_sum = (
+                self._fingerprint_sum - _element_hash(part)
+            ) % _FINGERPRINT_MOD
 
     # ------------------------------------------------------------------
     # Construction
@@ -69,11 +114,16 @@ class RoadNetwork:
     def add_node(self, node_id: int, x: float, y: float) -> Node:
         """Add (or replace) a node and return it."""
         node = Node(node_id, float(x), float(y))
-        if node_id not in self._nodes:
+        previous = self._nodes.get(node_id)
+        if previous is None:
             self._adjacency[node_id] = []
             self._reverse_adjacency[node_id] = []
+        else:
+            self._fingerprint_remove(self._node_element(previous))
         self._nodes[node_id] = node
-        self._fingerprint_cache = None
+        self._fingerprint_add(self._node_element(node))
+        self._structurally_dirty = True
+        self._dirty_nodes.add(node_id)
         return node
 
     def add_edge(self, source: int, target: int, weight: float) -> Edge:
@@ -87,7 +137,9 @@ class RoadNetwork:
         self._adjacency[source].append((target, float(weight)))
         self._reverse_adjacency[target].append((source, float(weight)))
         self._num_edges += 1
-        self._fingerprint_cache = None
+        self._fingerprint_add(self._edge_element(source, target, float(weight)))
+        self._structurally_dirty = True
+        self._dirty_nodes.update((source, target))
         return Edge(source, target, float(weight))
 
     def add_bidirectional_edge(self, a: int, b: int, weight: float) -> None:
@@ -108,8 +160,106 @@ class RoadNetwork:
         self._adjacency[source].remove((target, weight))
         self._reverse_adjacency[target].remove((source, weight))
         self._num_edges -= 1
-        self._fingerprint_cache = None
+        self._fingerprint_remove(self._edge_element(source, target, weight))
+        self._structurally_dirty = True
+        self._dirty_nodes.update((source, target))
         return Edge(source, target, weight)
+
+    # ------------------------------------------------------------------
+    # Dynamic weight updates
+    # ------------------------------------------------------------------
+    def update_edge_weight(self, source: int, target: int, weight: float) -> WeightChange:
+        """Change the weight of the existing edge ``source -> target``.
+
+        With parallel edges, the minimum-weight one (the one shortest paths
+        use) is updated -- consistent with :meth:`edge_weight` and
+        :meth:`remove_edge`.  Unlike :meth:`add_edge`, the new weight must be
+        strictly positive: dynamic updates model travel costs (congestion,
+        closures), and a non-positive cost would let a "closure" act as a
+        free teleport.  Raises ``KeyError`` if the edge does not exist and
+        ``ValueError`` for a non-positive weight.
+
+        The change is recorded in the network's pending delta (see
+        :meth:`pending_delta`), coalesced per edge, so the engine's
+        incremental refresh knows exactly which edges moved and by how much.
+        """
+        new_weight = float(weight)
+        if new_weight <= 0:
+            raise ValueError(
+                f"updated edge weight must be positive, got {weight}"
+            )
+        neighbors = self._adjacency.get(source)
+        if neighbors is None:
+            raise KeyError(f"no edge {source} -> {target}")
+        candidates = [(w, i) for i, (t, w) in enumerate(neighbors) if t == target]
+        if not candidates:
+            raise KeyError(f"no edge {source} -> {target}")
+        old_weight, index = min(candidates)
+        change = WeightChange(source, target, old_weight, new_weight)
+        if new_weight == old_weight:
+            return change
+        neighbors[index] = (target, new_weight)
+        reverse = self._reverse_adjacency[target]
+        reverse[reverse.index((source, old_weight))] = (source, new_weight)
+        self._fingerprint_remove(self._edge_element(source, target, old_weight))
+        self._fingerprint_add(self._edge_element(source, target, new_weight))
+        self._dirty_nodes.update((source, target))
+        key = (source, target)
+        pending = self._pending_changes.get(key)
+        if pending is None:
+            self._pending_changes[key] = change
+        elif pending.old_weight == new_weight:
+            # The edge is back where the last refresh saw it: net no-op.
+            del self._pending_changes[key]
+        else:
+            self._pending_changes[key] = WeightChange(
+                source, target, pending.old_weight, new_weight
+            )
+        return change
+
+    def apply_updates(self, updates: Iterable) -> List[WeightChange]:
+        """Apply a batch of edge-weight updates and return the changes.
+
+        Each update may be an :class:`~repro.network.delta.EdgeUpdate`, any
+        object with ``source``/``target``/``weight`` attributes, or a plain
+        ``(source, target, weight)`` tuple.  Updates are applied in order
+        through :meth:`update_edge_weight`, so the same validation (and the
+        same pending-delta coalescing) applies to every item.
+        """
+        changes: List[WeightChange] = []
+        for update in updates:
+            if hasattr(update, "source") and hasattr(update, "target"):
+                source, target, weight = update.source, update.target, update.weight
+            else:
+                source, target, weight = update
+            changes.append(self.update_edge_weight(source, target, weight))
+        return changes
+
+    def pending_delta(self) -> NetworkDelta:
+        """A snapshot of everything changed since :meth:`clear_delta`.
+
+        The engine's :meth:`~repro.engine.system.AirSystem.refresh` reads
+        this to route cached schemes through their incremental rebuilds
+        (weight-only deltas) or a full rebuild (structural deltas).
+        """
+        return NetworkDelta(
+            changes=tuple(self._pending_changes.values()),
+            structural=self._structurally_dirty,
+            dirty_nodes=frozenset(self._dirty_nodes),
+        )
+
+    def clear_delta(self) -> None:
+        """Reset pending-change tracking (the current state is the baseline)."""
+        self._pending_changes.clear()
+        self._dirty_nodes.clear()
+        self._structurally_dirty = False
+
+    @property
+    def has_pending_delta(self) -> bool:
+        """``True`` when mutations happened since the last :meth:`clear_delta`."""
+        return bool(
+            self._pending_changes or self._dirty_nodes or self._structurally_dirty
+        )
 
     # ------------------------------------------------------------------
     # Inspection
@@ -233,6 +383,7 @@ class RoadNetwork:
             for target, weight in self._adjacency[node_id]:
                 if target in keep:
                     sub.add_edge(node_id, target, weight)
+        sub.clear_delta()  # a finished artifact, not a pile of pending updates
         return sub
 
     def reversed(self) -> "RoadNetwork":
@@ -243,6 +394,7 @@ class RoadNetwork:
         for source, neighbors in self._adjacency.items():
             for target, weight in neighbors:
                 rev.add_edge(target, source, weight)
+        rev.clear_delta()
         return rev
 
     def copy(self) -> "RoadNetwork":
@@ -253,6 +405,7 @@ class RoadNetwork:
         for source, neighbors in self._adjacency.items():
             for target, weight in neighbors:
                 dup.add_edge(source, target, weight)
+        dup.clear_delta()
         return dup
 
     # ------------------------------------------------------------------
@@ -304,22 +457,26 @@ class RoadNetwork:
         it to key cached broadcast cycles, so a rebuilt-but-identical network
         hits the cache while any topological change misses it.
 
-        The digest is memoized and invalidated by every mutating method
-        (``add_node``/``add_edge``/``remove_edge``), so repeated calls on an
-        unchanged network -- the engine checks staleness on every scheme
-        lookup -- cost a dictionary read, not an O(E log E) hash.
+        The digest is the 128-bit sum, modulo ``2**128``, of one sha256-based
+        hash per element (node records and edge records), i.e. a multiset
+        hash.  That construction is what makes dynamic networks cheap: every
+        mutating method (``add_node``/``add_edge``/``remove_edge``/
+        ``update_edge_weight``) adjusts the sum in O(1) instead of forcing an
+        O(V + E) re-hash, so the engine can re-key its cycle cache after each
+        weight-update batch at constant cost.  The full sum is computed
+        lazily on first use; repeated calls on an unchanged network cost a
+        dictionary read.
         """
         if self._fingerprint_cache is not None:
             return self._fingerprint_cache
-        import hashlib
-
-        digest = hashlib.sha256()
-        for node_id in sorted(self._nodes):
-            node = self._nodes[node_id]
-            digest.update(f"n{node_id}:{node.x!r}:{node.y!r};".encode())
-            for target, weight in sorted(self._adjacency[node_id]):
-                digest.update(f"e{node_id}>{target}:{weight!r};".encode())
-        self._fingerprint_cache = digest.hexdigest()
+        if self._fingerprint_sum is None:
+            total = 0
+            for node in self._nodes.values():
+                total += _element_hash(self._node_element(node))
+                for target, weight in self._adjacency[node.node_id]:
+                    total += _element_hash(self._edge_element(node.node_id, target, weight))
+            self._fingerprint_sum = total % _FINGERPRINT_MOD
+        self._fingerprint_cache = f"{self._fingerprint_sum:032x}"
         return self._fingerprint_cache
 
     # ------------------------------------------------------------------
@@ -366,4 +523,5 @@ def build_network(
         network.add_node(node_id, x, y)
     for source, target, weight in edges:
         network.add_edge(source, target, weight)
+    network.clear_delta()
     return network

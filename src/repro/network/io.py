@@ -49,4 +49,5 @@ def load_network(path: Union[str, os.PathLike], name: str = "") -> RoadNetwork:
                 network.add_edge(int(fields[1]), int(fields[2]), float(fields[3]))
             else:
                 raise ValueError(f"{path}:{line_number}: unrecognized line {line!r}")
+    network.clear_delta()  # a loaded file is a baseline, not pending updates
     return network

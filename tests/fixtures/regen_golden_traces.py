@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under ``tests/fixtures/golden_traces/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/regen_golden_traces.py
+
+Only regenerate when a behaviour change is *intended*: the fixtures exist to
+catch unintended changes to what a client receives or answers, so a diff
+here should be reviewed op by op (the rendering is one JSON object per
+scheme with the full packet stream; see ``tests/test_golden_traces.py`` for
+the exact schema).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# The canonical payload builder lives next to the tests so the fixtures and
+# the assertions can never drift apart.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from test_golden_traces import (  # noqa: E402
+    FIXTURE_DIR,
+    GOLDEN_PARAMS,
+    build_golden_payload,
+    fixture_path,
+    render,
+)
+
+
+def main() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for scheme_name in sorted(GOLDEN_PARAMS):
+        path = fixture_path(scheme_name)
+        path.write_text(render(build_golden_payload(scheme_name)), encoding="utf-8")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,3 +107,33 @@ class TestCompareCommand:
         assert len(lines) == 2
         # Last column is the mismatch count; it must be zero for both.
         assert all(line.split()[-1] == "0" for line in lines)
+
+
+class TestDynamicCommand:
+    def test_congestion_stream_runs_with_zero_mismatches(self):
+        code, output = run_cli(
+            ["dynamic", "--steps", "3", "--devices", "6"] + COMMON
+        )
+        assert code == 0
+        assert "Dynamic stream 'congestion' x3 steps on NR" in output
+        assert "incremental" in output
+        summary = [
+            line for line in output.splitlines()
+            if line.startswith("mismatches vs mutated-network Dijkstra")
+        ]
+        assert summary and summary[0].split()[-1] == "0"
+
+    def test_closures_stream_and_method_selection(self):
+        code, output = run_cli(
+            [
+                "dynamic", "--stream", "closures", "--method", "dj",
+                "--steps", "2", "--devices", "5", "--scenario", "hot-destination",
+            ]
+            + COMMON
+        )
+        assert code == 0
+        assert "'closures' x2 steps on DJ" in output
+
+    def test_unknown_stream_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamic", "--stream", "earthquakes"])

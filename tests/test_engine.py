@@ -419,3 +419,151 @@ class TestConfigValidation:
     def test_valid_config_accepted(self):
         config = ExperimentConfig(network="milan", scale=0.5, num_queries=1)
         assert config.network == "milan"
+
+
+class TestVersionedRefresh:
+    """The dynamic-network refresh path: lineage, counters, edge cases."""
+
+    @pytest.fixture()
+    def fresh_system(self, medium_network, config):
+        network = medium_network.copy()
+        network.clear_delta()
+        return AirSystem(network, config=config)
+
+    @staticmethod
+    def _bump_weight(network, factor=1.5):
+        edge = next(iter(network.edges()))
+        weight = network.edge_weight(edge.source, edge.target)
+        network.update_edge_weight(edge.source, edge.target, weight * factor)
+        return edge
+
+    def test_refresh_on_clean_network_is_a_noop(self, fresh_system):
+        report = fresh_system.refresh()
+        assert report.noop
+        assert report.parent_fingerprint == report.fingerprint
+        assert fresh_system.cache_info().incremental_rebuilds == 0
+
+    def test_weight_update_refreshes_in_place(self, fresh_system):
+        system = fresh_system
+        before = system.scheme("NR")
+        self._bump_weight(system.network)
+        report = system.refresh()
+        assert report.incremental == ("NR",)
+        assert report.rebuilt == ()
+        assert not report.structural
+        assert report.num_changes == 1
+        # In-place refresh: same scheme object, re-keyed to the new structure.
+        assert system.scheme("NR") is before
+        info = system.cache_info()
+        assert info.incremental_rebuilds == 1 and info.full_rebuilds == 0
+        assert info.entries == 1
+
+    def test_structural_mutation_forces_full_rebuild(self, fresh_system):
+        system = fresh_system
+        stale = system.scheme("NR")
+        nodes = system.network.node_ids()
+        system.network.add_edge(nodes[0], nodes[-1], 123.0)
+        report = system.refresh()
+        assert report.structural
+        assert report.rebuilt == ("NR",)
+        assert system.scheme("NR") is not stale
+        assert system.cache_info().full_rebuilds == 1
+
+    def test_lineage_chains_across_refreshes(self, fresh_system):
+        system = fresh_system
+        fingerprints = [system.network.fingerprint()]
+        system.scheme("DJ")
+        for factor in (1.5, 2.5):
+            self._bump_weight(system.network, factor)
+            system.refresh()
+            fingerprints.append(system.network.fingerprint())
+        assert system.lineage() == list(reversed(fingerprints))
+        # An unknown fingerprint has no recorded ancestry.
+        assert system.lineage("no-such-fingerprint") == ["no-such-fingerprint"]
+
+    def test_refresh_drops_entry_already_rebuilt_by_a_query(self, fresh_system):
+        system = fresh_system
+        system.scheme("NR")
+        self._bump_weight(system.network)
+        rebuilt = system.scheme("NR")  # full rebuild at the new fingerprint
+        report = system.refresh()
+        assert report.dropped == ("NR",)
+        assert report.incremental == () and report.rebuilt == ()
+        assert system.cache_info().entries == 1
+        assert system.scheme("NR") is rebuilt
+
+    def test_prune_after_interleaved_mutate_query_refresh(self, fresh_system):
+        """prune_cache() leaves exactly the live structure after a busy loop."""
+        system = fresh_system
+        system.scheme("NR")
+        system.channel("NR")
+        self._bump_weight(system.network, 1.5)
+        system.scheme("NR")  # rebuilt by a query before any refresh
+        self._bump_weight(system.network, 2.0)
+        report = system.refresh()
+        # The oldest entry follows the coalesced delta onto the live
+        # fingerprint; the mid-stream rebuild is now stale.
+        assert report.dropped == () and report.incremental == ("NR",)
+        assert system.cache_info().entries == 2
+        assert system.prune_cache() == 1
+        current = system.network.fingerprint()
+        live = system.scheme("NR")
+        assert all(key[2] == current for key in system._schemes)
+        assert system.scheme("NR") is live
+        assert system.prune_cache() == 0
+
+    def test_apply_updates_applies_and_refreshes_in_one_call(self, fresh_system):
+        system = fresh_system
+        system.scheme("DJ")
+        edge = next(iter(system.network.edges()))
+        weight = system.network.edge_weight(edge.source, edge.target)
+        report = system.apply_updates([(edge.source, edge.target, weight * 3.0)])
+        assert report.incremental == ("DJ",)
+        assert system.network.edge_weight(edge.source, edge.target) == weight * 3.0
+        assert not system.network.has_pending_delta
+
+    def test_refreshed_channels_serve_the_refreshed_cycle(self, fresh_system):
+        system = fresh_system
+        stale_channel = system.channel("NR")
+        self._bump_weight(system.network)
+        system.refresh()
+        fresh_channel = system.channel("NR")
+        assert fresh_channel is not stale_channel
+        assert fresh_channel.cycle is system.scheme("NR").cycle
+
+
+class TestChannelOptionsKeying:
+    """Regression: the channel cache must key on the full client options."""
+
+    @pytest.fixture()
+    def pair(self, query_pairs):
+        return query_pairs[0]
+
+    def test_memory_bound_clients_do_not_share_session_sequences(
+        self, medium_network, config, pair
+    ):
+        source, target = pair
+        bound = ClientOptions(memory_bound=True)
+        plain = ClientOptions()
+
+        alone = AirSystem(medium_network.copy(), config=config).query(
+            "NR", source, target, bound
+        )
+        shared = AirSystem(medium_network.copy(), config=config)
+        shared.query("NR", source, target, plain)  # must not advance bound's channel
+        interleaved = shared.query("NR", source, target, bound)
+
+        assert interleaved.distance == alone.distance
+        assert _deterministic_fields(interleaved.metrics) == _deterministic_fields(
+            alone.metrics
+        )
+
+    def test_channel_cache_distinguishes_option_sets(self, medium_network, config):
+        system = AirSystem(medium_network.copy(), config=config)
+        default = system.channel("NR")
+        assert system.channel("NR") is default
+        bound = system.channel("NR", options=ClientOptions(memory_bound=True))
+        assert bound is not default
+        assert system.channel("NR", options=ClientOptions(memory_bound=True)) is bound
+        lossy = system.channel("NR", loss_rate=0.1, seed=3)
+        assert lossy is not default

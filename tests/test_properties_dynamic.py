@@ -1,0 +1,158 @@
+"""Property tests for dynamic networks: random update sequences.
+
+For random weight-update sequences on random small networks, and for every
+registered scheme, the engine-refreshed state must be indistinguishable from
+throwing everything away and rebuilding:
+
+(a) post-refresh on-air answers equal Dijkstra on the *mutated* network,
+(b) the refreshed broadcast cycle is bit-identical (segment for segment) to
+    a from-scratch build over the mutated network, regardless of whether the
+    scheme took the incremental path or the full-rebuild fallback, and
+(c) for the schemes with real delta rebuilds, the refreshed pre-computation
+    internals equal a scratch pre-computation (NR/EB border aggregates,
+    HiTi super-edge hierarchies).
+
+Like :mod:`test_properties_fleet`, these run on plain seeded-random
+generators rather than hypothesis so the sampled sequences stay identical
+across runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro import air
+from repro.engine import AirSystem
+from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.algorithms.paths import INFINITY
+from repro.network.graph import RoadNetwork
+
+from test_properties_fleet import SMALL_PARAMS, random_network
+
+SEEDS = [3, 17]
+#: Schemes whose incremental_rebuild applies real weight deltas in place.
+INCREMENTAL_SCHEMES = {"DJ", "NR", "EB", "HiTi"}
+
+
+def random_update_batch(
+    network: RoadNetwork, rng: random.Random, size: int = 3
+) -> List[Tuple[int, int, float]]:
+    """``size`` distinct-edge weight updates with positive random targets."""
+    pairs = sorted({(edge.source, edge.target) for edge in network.edges()})
+    batch = []
+    for source, target in rng.sample(pairs, min(size, len(pairs))):
+        weight = network.edge_weight(source, target)
+        batch.append((source, target, weight * rng.uniform(0.3, 3.0)))
+    return batch
+
+
+def assert_answers_match_dijkstra(scheme, network: RoadNetwork, rng: random.Random):
+    nodes = network.node_ids()
+    client = scheme.client()
+    checked = 0
+    while checked < 4:
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        if source == target:
+            continue
+        truth = shortest_path(network, source, target).distance
+        if truth == INFINITY:
+            continue
+        checked += 1
+        result = client.query(source, target)
+        assert result.found
+        assert math.isclose(result.distance, truth, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheme_name", sorted(SMALL_PARAMS))
+def test_refresh_equals_scratch_rebuild_on_random_updates(scheme_name, seed):
+    network = random_network(seed)
+    network.clear_delta()
+    params = SMALL_PARAMS[scheme_name]
+    system = AirSystem(network)
+    system.scheme(scheme_name, **params)
+    rng = random.Random(seed + 71)
+
+    for round_ in range(3):
+        report = system.apply_updates(random_update_batch(network, rng))
+        name = air.canonical_name(scheme_name)
+        if name in INCREMENTAL_SCHEMES:
+            assert report.incremental == (name,)
+        else:
+            assert report.rebuilt == (name,)
+
+        refreshed = system.scheme(scheme_name, **params)
+        scratch = air.create(scheme_name, network, **params)
+
+        # (b) bit-identical cycle layout against a from-scratch build.
+        assert refreshed.cycle.signature() == scratch.cycle.signature()
+
+        # (c) internals for the real delta rebuilds.
+        if name in ("NR", "EB"):
+            assert refreshed.precomputation.min_distance == scratch.precomputation.min_distance
+            assert refreshed.precomputation.max_distance == scratch.precomputation.max_distance
+            assert (
+                refreshed.precomputation.cross_border_nodes
+                == scratch.precomputation.cross_border_nodes
+            )
+            assert (
+                refreshed.precomputation.traversed_regions
+                == scratch.precomputation.traversed_regions
+            )
+            assert (
+                refreshed.precomputation.num_border_pairs
+                == scratch.precomputation.num_border_pairs
+            )
+        if name == "HiTi":
+            for level, scratch_level in zip(refreshed.index.levels, scratch.index.levels):
+                for first, subgraph in scratch_level.items():
+                    assert level[first].super_edges == subgraph.super_edges
+                    assert level[first].border_nodes == subgraph.border_nodes
+
+        # (a) answers equal Dijkstra on the mutated network.
+        assert_answers_match_dijkstra(refreshed, network, rng)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_structural_mutation_routes_through_full_rebuild(seed):
+    network = random_network(seed)
+    network.clear_delta()
+    system = AirSystem(network)
+    system.scheme("NR", **SMALL_PARAMS["NR"])
+    nodes = network.node_ids()
+    network.add_edge(nodes[0], nodes[-1], 7.5)
+    report = system.refresh()
+    assert report.structural
+    assert report.rebuilt == ("NR",)
+    assert report.incremental == ()
+    rng = random.Random(seed)
+    assert_answers_match_dijkstra(
+        system.scheme("NR", **SMALL_PARAMS["NR"]), network, rng
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_interleaved_weight_and_structural_updates_stay_exact(seed):
+    """A mixed mutate/refresh/query loop never serves a stale answer."""
+    network = random_network(seed)
+    network.clear_delta()
+    system = AirSystem(network)
+    rng = random.Random(seed + 5)
+    for round_ in range(4):
+        if round_ == 2:
+            nodes = network.node_ids()
+            network.add_edge(nodes[1], nodes[-2], rng.uniform(1.0, 20.0))
+        else:
+            network.apply_updates(random_update_batch(network, rng, size=2))
+        system.refresh()
+        assert_answers_match_dijkstra(
+            system.scheme("NR", **SMALL_PARAMS["NR"]), network, rng
+        )
+    # The loop accumulated one superseded entry per distinct structure at
+    # most; pruning keeps only the live one.
+    system.prune_cache()
+    assert all(key[2] == network.fingerprint() for key in system._schemes)
