@@ -40,7 +40,7 @@ from repro.experiments import report
 from repro.network.generators import GeneratorConfig, generate_road_network
 from repro.partitioning.kdtree import build_kdtree_partitioning
 
-from conftest import write_report
+from conftest import write_json_report, write_report
 
 #: The 1k-node benchmark network (realized size shrinks slightly because the
 #: generator keeps the largest component).
@@ -178,5 +178,27 @@ def test_dynamic_updates_incremental_vs_full(network, update_batches):
         ),
     )
     write_report("dynamic_updates", table)
+    write_json_report(
+        "dynamic_updates",
+        {
+            "network": {
+                "nodes": network.num_nodes,
+                "edges": network.num_edges,
+                "regions": NUM_REGIONS,
+                "edges_per_batch": EDGES_PER_BATCH,
+            },
+            "by_scheme": [
+                {
+                    "scheme": row[0],
+                    "batches": row[1],
+                    "full_ms_per_refresh": row[2],
+                    "incremental_ms_per_refresh": row[3],
+                    "speedup": row[6],
+                    "cycles_bit_identical": True,
+                }
+                for row in rows
+            ],
+        },
+    )
 
     assert not failures, "; ".join(failures)

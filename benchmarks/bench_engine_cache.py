@@ -22,7 +22,7 @@ from repro import air
 from repro.engine import AirSystem
 from repro.experiments import QueryWorkload, build_network, report
 
-from conftest import write_report
+from conftest import write_json_report, write_report
 
 METHODS = air.comparison_schemes()
 
@@ -75,6 +75,20 @@ def test_engine_cache_hits_skip_rebuilds(benchmark, cache_timings, small_bench_c
         ),
     )
     write_report("engine_cache", table)
+    write_json_report(
+        "engine_cache",
+        {
+            "scale": small_bench_config.scale,
+            "by_scheme": [
+                {
+                    "scheme": method,
+                    "cold_build_ms": round(timings[method][0] * 1000.0, 3),
+                    "cached_ms": round(timings[method][1] * 1000.0, 4),
+                }
+                for method in METHODS
+            ],
+        },
+    )
 
     for method, (cold, warm) in timings.items():
         assert warm < cold, f"{method}: cached access not faster than cold build"

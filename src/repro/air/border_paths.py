@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY
 from repro.network.delta import WeightChange
 from repro.network.graph import RoadNetwork
@@ -108,23 +108,43 @@ class BorderPathPrecomputation:
         ]
         self._border_set = {node for node, _ in self._all_border}
 
+        # One batched kernel sweep covers every border source: the arena's
+        # many-to-many path computes the distance labels of whole source
+        # chunks per accelerated call, and each source's shortest path tree
+        # arrives as flat index arrays the tree walks below iterate.
+        arena = kernel.arena_for(self.network.ensure_csr())
+        sweeps = arena.many_to_many(
+            [source for source, _ in self._all_border], need_predecessors=True
+        )
         self._sources: List[_BorderSource] = [
-            self._compute_source(source, source_region)
-            for source, source_region in self._all_border
+            self._derive_source(sweep, source, source_region)
+            for sweep, (source, source_region) in zip(sweeps, self._all_border)
         ]
         self._aggregate()
         self.precomputation_seconds = time.perf_counter() - started
 
     def _compute_source(self, source: int, source_region: int) -> _BorderSource:
         """Run one border source's Dijkstra and derive its contributions."""
-        result = dijkstra_distances(self.network, source)
-        distances = result.distances
-        predecessors = result.predecessors
+        arena = kernel.arena_for(self.network.ensure_csr())
+        sweep = arena.sssp(source, need_predecessors=True)
+        return self._derive_source(sweep, source, source_region)
+
+    def _derive_source(
+        self, sweep: "kernel.KernelResult", source: int, source_region: int
+    ) -> _BorderSource:
+        """Fold one kernel sweep into the source's published contributions."""
+        distances = sweep.distances_dict()
+        predecessors = sweep.pred
+        ids = sweep.csr.ids
+        index_of = sweep.csr.index_of
+        source_index = sweep.source_index
         record = _BorderSource(node=source, region=source_region, distances=distances)
-        # Nodes already marked on some path from this source; walking a
-        # predecessor chain can stop as soon as it hits a marked node.
-        marked_from_source: Set[int] = {source}
+        # Node indexes already marked on some path from this source; walking
+        # a predecessor chain can stop as soon as it hits a marked node.
+        marked_from_source = bytearray(sweep.csr.num_nodes)
+        marked_from_source[source_index] = 1
         record.cross_nodes.add(source)
+        cross_nodes_add = record.cross_nodes.add
         region_of = self.partitioning.region_of
 
         for target, target_region in self._all_border:
@@ -140,22 +160,23 @@ class BorderPathPrecomputation:
                 record.max_to[target_region] = distance
 
             regions = record.traversed.setdefault(target_region, set())
+            regions_add = regions.add
             # Walk the shortest path tree from target back toward source,
             # marking cross-border nodes and collecting traversed regions.
-            node = target
-            while node is not None:
-                regions.add(region_of(node))
-                if node in marked_from_source:
+            node = index_of[target]
+            while node >= 0:
+                regions_add(region_of(ids[node]))
+                if marked_from_source[node]:
                     # Nodes from here to the source are already marked as
                     # cross-border, but we still need their regions.
-                    node = predecessors.get(node)
-                    while node is not None:
-                        regions.add(region_of(node))
-                        node = predecessors.get(node)
+                    node = -1 if node == source_index else predecessors[node]
+                    while node >= 0:
+                        regions_add(region_of(ids[node]))
+                        node = -1 if node == source_index else predecessors[node]
                     break
-                marked_from_source.add(node)
-                record.cross_nodes.add(node)
-                node = predecessors.get(node)
+                marked_from_source[node] = 1
+                cross_nodes_add(ids[node])
+                node = predecessors[node]
         return record
 
     def _aggregate(self) -> None:

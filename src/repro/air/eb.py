@@ -47,6 +47,7 @@ from repro.broadcast.interleave import optimal_m
 from repro.broadcast.metrics import MemoryTracker
 from repro.broadcast.packet import Segment, SegmentKind, packets_for_bytes
 from repro.network.algorithms.dijkstra import shortest_path
+from repro.network.algorithms.kernel import masked_shortest_path
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import KDTreePartitioner, build_kdtree_partitioning
 
@@ -353,8 +354,18 @@ class EllipticBoundaryClient(AirClient):
                 )
         else:
             with cpu:
-                subgraph = scheme.network.subgraph(received_nodes)
-                local = shortest_path(subgraph, source, target)
+                # Masked kernel search over the network's CSR snapshot
+                # restricted to the received nodes: same answers (and settled
+                # count) as Dijkstra on the induced subgraph, without
+                # materializing a RoadNetwork per query.  The subgraph path
+                # remains as the reference fallback for snapshot-less
+                # networks (e.g. structurally mutated since the build).
+                local = masked_shortest_path(
+                    scheme.network, source, target, received_nodes
+                )
+                if local is None:
+                    subgraph = scheme.network.subgraph(received_nodes)
+                    local = shortest_path(subgraph, source, target)
                 distance, path, settled = local.distance, local.path, local.settled
             memory.allocate(_working_set_bytes(scheme, len(received_nodes)))
 

@@ -43,7 +43,7 @@ __all__ = ["AirSystem", "CacheInfo", "RefreshReport", "execute_workload"]
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Statistics of the system's cycle cache."""
+    """Statistics of the system's cycle cache and the network's CSR snapshot."""
 
     hits: int
     misses: int
@@ -52,6 +52,17 @@ class CacheInfo:
     #: networks) versus reconstructed from scratch during a refresh.
     incremental_rebuilds: int = 0
     full_rebuilds: int = 0
+    #: CSR snapshot compilations of the system's network (see
+    #: :meth:`~repro.network.graph.RoadNetwork.ensure_csr`): every scheme
+    #: build shares one snapshot, so this normally stays at 1 per network
+    #: structure.
+    snapshot_builds: int = 0
+    #: In-place CSR weight patches applied by dynamic updates -- each one
+    #: avoided a full snapshot recompile.
+    snapshot_patches: int = 0
+    #: Whether a fresh snapshot currently backs the array kernel (``False``
+    #: after structural mutations until the next scheme build or search).
+    snapshot_fresh: bool = False
 
     @property
     def builds(self) -> int:
@@ -224,13 +235,17 @@ class AirSystem:
         return scheme
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss/entry counts of the cycle cache."""
+        """Hit/miss/entry counts of the cycle cache, plus snapshot stats."""
+        snapshot = self.network.csr_stats()
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
             entries=len(self._schemes),
             incremental_rebuilds=self._incremental_rebuilds,
             full_rebuilds=self._full_rebuilds,
+            snapshot_builds=snapshot["builds"],
+            snapshot_patches=snapshot["patches"],
+            snapshot_fresh=bool(snapshot["fresh"]),
         )
 
     def clear_cache(self) -> None:

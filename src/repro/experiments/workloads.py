@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fleet.devices import DeviceSpec
-from repro.network.algorithms.dijkstra import dijkstra_distances, shortest_path
+from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY
 from repro.network.graph import RoadNetwork
 
@@ -68,6 +68,10 @@ class QueryWorkload:
         self.seed = seed
         rng = random.Random(seed)
         node_ids = network.node_ids()
+        # Ground truth runs through the kernel's early-terminating
+        # point-to-point search over the network snapshot (identical
+        # distances; no result-dict materialization per draw).
+        arena = kernel.arena_for(network.ensure_csr())
         queries: List[Query] = []
         attempts = 0
         while len(queries) < num_queries and attempts < 50 * num_queries:
@@ -76,7 +80,7 @@ class QueryWorkload:
             target = rng.choice(node_ids)
             if distinct_endpoints and source == target:
                 continue
-            distance = shortest_path(network, source, target).distance
+            distance = arena.point_to_point(source, target).distance_to(target)
             if distance == INFINITY:
                 continue
             queries.append(Query(source, target, distance))
@@ -95,11 +99,12 @@ class QueryWorkload:
         """Estimate the network diameter by a few single-source sweeps."""
         rng = random.Random(self.seed + 1)
         node_ids = self.network.node_ids()
+        arena = kernel.arena_for(self.network.ensure_csr())
         best = 0.0
         for _ in range(max(1, samples)):
             source = rng.choice(node_ids)
-            distances = dijkstra_distances(self.network, source).distances
-            finite = [d for d in distances.values() if d != INFINITY]
+            labels = arena.sssp(source, need_predecessors=False).dist
+            finite = [d for d in labels if d != INFINITY]
             if finite:
                 best = max(best, max(finite))
         return best
@@ -149,11 +154,12 @@ def _connected_pair(
     network: RoadNetwork, rng: random.Random, node_ids: List[int]
 ) -> Tuple[int, int, float]:
     """One random connected source/target pair with its true distance."""
+    arena = kernel.arena_for(network.ensure_csr())
     for _ in range(200):
         source, target = rng.choice(node_ids), rng.choice(node_ids)
         if source == target:
             continue
-        distance = shortest_path(network, source, target).distance
+        distance = arena.point_to_point(source, target).distance_to(target)
         if distance != INFINITY:
             return source, target, distance
     raise ValueError(
@@ -291,9 +297,13 @@ def fleet_hot_destination(
     destinations = rng.sample(node_ids, min(num_destinations, len(node_ids)))
     truth_to: Dict[int, Dict[int, float]] = {}
     if with_ground_truth:
-        reverse = network.reversed()
+        # One reverse distance-only kernel sweep per hot destination over
+        # the forward network's snapshot -- no reversed-copy materialization.
+        arena = kernel.arena_for(network.ensure_csr())
         for destination in destinations:
-            truth_to[destination] = dijkstra_distances(reverse, destination).distances
+            truth_to[destination] = arena.sssp(
+                destination, need_predecessors=False, reverse=True
+            ).distances_dict()
     draw_destination = _rank_weighted_sampler(len(destinations), destination_skew)
     devices: List[DeviceSpec] = []
     for device_id in range(num_devices):

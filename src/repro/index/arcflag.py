@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Tuple
 
+from repro.network.algorithms import kernel
 from repro.network.algorithms.astar import astar_search
 from repro.network.algorithms.dijkstra import dijkstra_distances
 from repro.network.algorithms.paths import PathResult
@@ -45,6 +46,67 @@ class ArcFlagIndex:
     # ------------------------------------------------------------------
     def _build(self) -> None:
         started = time.perf_counter()
+        numpy = kernel.numpy_or_none()
+        if numpy is not None:
+            self._build_vectorized(numpy)
+        else:
+            self._build_reference()
+        self.precomputation_seconds = time.perf_counter() - started
+
+    def _build_vectorized(self, np) -> None:
+        """Batched kernel sweeps plus one vectorized tree test per border.
+
+        The per-edge test is the reference implementation's, evaluated with
+        the same IEEE-754 operations over edge arrays: unreached endpoints
+        carry ``inf``, for which the tolerance comparison is always false
+        (matching the reference's explicit skip), so the resulting flags are
+        bit-identical.  Flag bitmasks accumulate as Python ints, keeping
+        arbitrary region counts exact.
+        """
+        network = self.network
+        region_of = self.partitioning.region_of
+        pairs = list(dict.fromkeys((e.source, e.target) for e in network.edges()))
+        masks = [1 << region_of(target) for _, target in pairs]
+        if pairs:
+            csr = network.ensure_csr()
+            arena = kernel.arena_for(csr)
+            index_of = csr.index_of
+            count = len(pairs)
+            src_idx = np.fromiter((index_of[s] for s, _ in pairs), np.int64, count)
+            tgt_idx = np.fromiter((index_of[t] for _, t in pairs), np.int64, count)
+            min_w = np.fromiter(
+                (network.edge_weight(s, t) for s, t in pairs), np.float64, count
+            )
+            for region in range(self.num_regions):
+                borders = self.partitioning.border_nodes(region)
+                if not borders:
+                    continue
+                bit = 1 << region
+                flagged = np.zeros(count, dtype=bool)
+                sweeps = arena.many_to_many(
+                    borders, need_predecessors=False, reverse=True
+                )
+                for sweep in sweeps:
+                    labels = (
+                        sweep.dist_np
+                        if sweep.dist_np is not None
+                        else np.asarray(sweep.dist)
+                    )
+                    source_dist = labels[src_idx]
+                    target_dist = labels[tgt_idx]
+                    with np.errstate(invalid="ignore"):
+                        on_tree = np.abs(
+                            target_dist + min_w - source_dist
+                        ) <= 1e-9 * np.maximum(1.0, source_dist)
+                    flagged |= (
+                        on_tree & np.isfinite(source_dist) & np.isfinite(target_dist)
+                    )
+                for position in np.flatnonzero(flagged).tolist():
+                    masks[position] |= bit
+        self.flags = dict(zip(pairs, masks))
+
+    def _build_reference(self) -> None:
+        """The dict-based construction (fallback without the accelerator)."""
         flags: Dict[Tuple[int, int], int] = {
             (edge.source, edge.target): 0 for edge in self.network.edges()
         }
@@ -71,7 +133,6 @@ class ArcFlagIndex:
                     if abs(target_dist + weight - source_dist) <= 1e-9 * max(1.0, source_dist):
                         flags[(source, target)] |= bit
         self.flags = flags
-        self.precomputation_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Query

@@ -28,8 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from repro.network.algorithms.dijkstra import dijkstra_multi_target
+from repro.network.algorithms.kernel import KernelArena
 from repro.network.algorithms.paths import INFINITY, PathResult
+from repro.network.csr import CSRGraph
 from repro.network.graph import RoadNetwork
 from repro.partitioning.base import Partitioning
 
@@ -101,11 +102,18 @@ class HiTiIndex:
     def _build_leaf(self, region: int) -> HiTiSubgraph:
         """(Re)compute the level-0 sub-graph of one leaf region."""
         nodes = self.partitioning.nodes_in_region(region)
+        keep = set(nodes)
         subgraph = HiTiSubgraph(level=0, regions=(region,))
         subgraph.border_nodes = self.partitioning.border_nodes(region)
-        induced = self.network.subgraph(nodes)
+        # The induced adjacency, filtered straight off the network's lists
+        # (same per-node edge order as materializing a subgraph, without
+        # building one).
+        neighbors = self.network.adjacency()
+        adjacency = {
+            n: [(t, w) for t, w in neighbors[n] if t in keep] for n in nodes
+        }
         subgraph.super_edges = self._all_pairs_border_distances(
-            adjacency={n: induced.neighbors(n) for n in nodes},
+            adjacency=adjacency,
             border_nodes=subgraph.border_nodes,
         )
         return subgraph
@@ -197,15 +205,29 @@ class HiTiIndex:
     def _all_pairs_border_distances(
         adjacency: Dict[int, List[Tuple[int, float]]], border_nodes: List[int]
     ) -> Dict[Tuple[int, int], float]:
-        """Shortest distances between all ordered border pairs on ``adjacency``."""
+        """Shortest distances between all ordered border pairs on ``adjacency``.
+
+        The overlay is compiled to a small CSR once, then one arena runs an
+        early-terminating multi-target kernel search per border source over
+        it -- the index-addressed buffers replace per-edge dict hashing, and
+        distance labels of settled targets are tie-independent, so the
+        super-edges are bit-identical to the previous dict Dijkstra's.
+        """
+        if not border_nodes:
+            return {}
+        csr = CSRGraph.from_adjacency(
+            adjacency, extra_nodes=border_nodes, name="hiti-overlay"
+        )
+        arena = KernelArena(csr)
         targets = set(border_nodes)
         super_edges: Dict[Tuple[int, int], float] = {}
         for source in border_nodes:
-            distances = _dijkstra_on_adjacency(adjacency, source, targets)
+            result = arena.multi_target(source, targets)
+            distance_to = result.distance_to
             for target in border_nodes:
                 if target == source:
                     continue
-                distance = distances.get(target, INFINITY)
+                distance = distance_to(target)
                 if distance != INFINITY:
                     super_edges[(source, target)] = distance
         return super_edges
@@ -279,29 +301,6 @@ class HiTiIndex:
     def size_bytes(self) -> int:
         """Total bytes of pre-computed super-edge information."""
         return self.num_super_edges() * BYTES_PER_SUPER_EDGE
-
-
-def _dijkstra_on_adjacency(
-    adjacency: Dict[int, List[Tuple[int, float]]], source: int, targets: Set[int]
-) -> Dict[int, float]:
-    """Plain Dijkstra over a raw adjacency dict, stopping when targets settle."""
-    distances: Dict[int, float] = {source: 0.0}
-    remaining = set(targets)
-    remaining.discard(source)
-    settled: Set[int] = set()
-    heap = [(0.0, source)]
-    while heap and remaining:
-        dist, node = heapq.heappop(heap)
-        if node in settled:
-            continue
-        settled.add(node)
-        remaining.discard(node)
-        for neighbor, weight in adjacency.get(node, ()):
-            candidate = dist + weight
-            if candidate < distances.get(neighbor, INFINITY):
-                distances[neighbor] = candidate
-                heapq.heappush(heap, (candidate, neighbor))
-    return distances
 
 
 def _dijkstra_with_predecessors(

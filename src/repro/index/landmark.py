@@ -13,8 +13,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.network.algorithms import kernel
 from repro.network.algorithms.astar import astar_search
-from repro.network.algorithms.dijkstra import dijkstra_distances
 from repro.network.algorithms.paths import INFINITY, PathResult
 from repro.network.graph import RoadNetwork
 
@@ -39,23 +39,27 @@ def select_landmarks_farthest(network: RoadNetwork, count: int, seed_node: Optio
         raise ValueError("cannot select landmarks on an empty network")
     start = seed_node if seed_node is not None else node_ids[0]
 
+    # Distance-only kernel sweeps; the running minimum folds element-wise
+    # over the flat label buffers (``map(min, ...)`` runs at C speed), and
+    # the farthest scan still iterates ``node_ids`` in insertion order so
+    # equal-distance ties pick the same landmark as before.
+    arena = kernel.arena_for(network.ensure_csr())
+    index_of = arena.csr.index_of
     landmarks = [start]
-    min_distance: Dict[int, float] = dijkstra_distances(network, start).distances
+    min_distance: List[float] = arena.sssp(start, need_predecessors=False).dist
     while len(landmarks) < count:
         farthest = None
         farthest_distance = -1.0
         for node_id in node_ids:
-            distance = min_distance.get(node_id, INFINITY)
+            distance = min_distance[index_of[node_id]]
             if distance != INFINITY and distance > farthest_distance:
                 farthest_distance = distance
                 farthest = node_id
         if farthest is None:
             break
         landmarks.append(farthest)
-        new_distances = dijkstra_distances(network, farthest).distances
-        for node_id, distance in new_distances.items():
-            if distance < min_distance.get(node_id, INFINITY):
-                min_distance[node_id] = distance
+        new_distances = arena.sssp(farthest, need_predecessors=False).dist
+        min_distance = list(map(min, min_distance, new_distances))
     return landmarks
 
 
@@ -95,9 +99,17 @@ class LandmarkIndex:
         self.forward: Dict[int, Dict[int, float]] = {}
         #: distance from every node to landmark l: ``backward[l][v]``
         self.backward: Dict[int, Dict[int, float]] = {}
-        for landmark in self.landmarks:
-            self.forward[landmark] = dijkstra_distances(network, landmark).distances
-            self.backward[landmark] = dijkstra_distances(network, landmark, reverse=True).distances
+        # Two batched distance-only kernel sweeps (forward and reverse); the
+        # vectors are materialized as dicts because ``lower_bound`` probes
+        # them per query with missing-key semantics for unreached nodes.
+        arena = kernel.arena_for(network.ensure_csr())
+        forward_sweeps = arena.many_to_many(self.landmarks, need_predecessors=False)
+        backward_sweeps = arena.many_to_many(
+            self.landmarks, need_predecessors=False, reverse=True
+        )
+        for landmark, fwd, bwd in zip(self.landmarks, forward_sweeps, backward_sweeps):
+            self.forward[landmark] = fwd.distances_dict()
+            self.backward[landmark] = bwd.distances_dict()
         self.precomputation_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.network.algorithms.dijkstra import dijkstra_distances
+from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY, PathResult, path_cost
 from repro.network.graph import RoadNetwork
 
@@ -140,19 +140,30 @@ class ShortestPathQuadTreeIndex:
     def _build(self) -> None:
         started = time.perf_counter()
         bounds = self.network.bounding_box()
+        # One full kernel sweep per node: the shortest path tree arrives as
+        # a flat predecessor array, so the per-target first-hop walks below
+        # are index chases instead of dict lookups.  The sweep's discovery
+        # order matches the dict Dijkstra's ``distances`` insertion order,
+        # which keeps the quad-trees' majority-color votes bit-identical.
+        arena = kernel.arena_for(self.network.ensure_csr())
         for source in self.network.node_ids():
-            result = dijkstra_distances(self.network, source)
+            sweep = arena.sssp(source, need_predecessors=True)
+            predecessors = sweep.pred
+            ids = sweep.csr.ids
+            source_index = sweep.source_index
             neighbor_color = {
                 neighbor: color
                 for color, (neighbor, _) in enumerate(self.network.neighbors(source))
             }
             colors: Dict[int, int] = {}
-            for node_id in result.distances:
-                if node_id == source:
+            for node_index in sweep.order:
+                if node_index == source_index:
                     continue
-                first = self._first_hop_on_path(result.predecessors, source, node_id)
-                if first is not None and first in neighbor_color:
-                    colors[node_id] = neighbor_color[first]
+                first = self._first_hop_on_tree(predecessors, source_index, node_index)
+                if first >= 0:
+                    first_id = ids[first]
+                    if first_id in neighbor_color:
+                        colors[ids[node_index]] = neighbor_color[first_id]
             points = [
                 (self.network.node(node_id).x, self.network.node(node_id).y, color)
                 for node_id, color in colors.items()
@@ -164,16 +175,20 @@ class ShortestPathQuadTreeIndex:
         self.precomputation_seconds = time.perf_counter() - started
 
     @staticmethod
-    def _first_hop_on_path(
-        predecessors: Dict[int, Optional[int]], source: int, target: int
-    ) -> Optional[int]:
-        """First node after ``source`` on the shortest path to ``target``."""
-        current = target
-        previous = predecessors.get(current)
-        while previous is not None and previous != source:
+    def _first_hop_on_tree(
+        predecessors: List[int], source_index: int, target_index: int
+    ) -> int:
+        """Index of the first node after the source on the path to the target.
+
+        ``-1`` when the target's predecessor chain does not reach the source
+        (mirrors the old dict walk returning ``None``).
+        """
+        current = target_index
+        previous = predecessors[current]
+        while previous >= 0 and previous != source_index:
             current = previous
-            previous = predecessors.get(current)
-        return current if previous == source else None
+            previous = predecessors[current]
+        return current if previous == source_index else -1
 
     # ------------------------------------------------------------------
     # Query

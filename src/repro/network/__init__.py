@@ -1,5 +1,6 @@
 """Road-network substrate: graphs, generators, datasets, and algorithms."""
 
+from repro.network.csr import CSRGraph
 from repro.network.delta import EdgeUpdate, NetworkDelta, WeightChange
 from repro.network.graph import Edge, Node, RoadNetwork
 from repro.network.generators import (
@@ -10,6 +11,7 @@ from repro.network.generators import (
 from repro.network import algorithms, datasets, io
 
 __all__ = [
+    "CSRGraph",
     "Edge",
     "EdgeUpdate",
     "NetworkDelta",

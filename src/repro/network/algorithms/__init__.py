@@ -10,6 +10,12 @@ from repro.network.algorithms.dijkstra import (
 )
 from repro.network.algorithms.astar import astar_search
 from repro.network.algorithms.bidirectional import bidirectional_dijkstra
+from repro.network.algorithms.kernel import (
+    KernelArena,
+    KernelResult,
+    arena_for,
+    masked_shortest_path,
+)
 from repro.network.algorithms.paths import (
     PathResult,
     path_cost,
@@ -19,10 +25,14 @@ from repro.network.algorithms.paths import (
 
 __all__ = [
     "DijkstraResult",
+    "KernelArena",
+    "KernelResult",
     "PathResult",
+    "arena_for",
     "astar_search",
     "bidirectional_dijkstra",
     "dijkstra_distances",
+    "masked_shortest_path",
     "dijkstra_multi_target",
     "dijkstra_search",
     "path_cost",

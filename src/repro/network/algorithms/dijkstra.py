@@ -10,6 +10,14 @@ Three entry points cover the needs of the broadcast schemes:
 * :func:`dijkstra_multi_target` -- single-source search that stops once a
   given set of targets is settled, used when pre-computing border-to-border
   shortest paths for EB/NR/HiTi.
+
+Dispatch: when the network carries a fresh CSR snapshot
+(:meth:`~repro.network.graph.RoadNetwork.csr_snapshot`), every entry point
+routes through the array kernel (:mod:`repro.network.algorithms.kernel`),
+whose results are bit-identical to the dict implementation below --
+distances, predecessors, settled counts, and even the ``distances`` dict's
+insertion order.  The dict implementation remains the reference fallback
+(and the ground truth the kernel's property suite compares against).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set
 
+from repro.network.algorithms import kernel
 from repro.network.graph import RoadNetwork
 from repro.network.algorithms.paths import INFINITY, PathResult, reconstruct_path
 
@@ -71,6 +80,9 @@ def dijkstra_search(
     """
     if source not in network:
         raise KeyError(f"unknown source node {source}")
+    snapshot = network.csr_snapshot()
+    if snapshot is not None:
+        return _kernel_search(snapshot, source, target, targets, reverse)
     adjacency = network.reverse_adjacency() if reverse else network.adjacency()
 
     distances: Dict[int, float] = {source: 0.0}
@@ -104,6 +116,35 @@ def dijkstra_search(
         distances=distances,
         predecessors=predecessors,
         settled=settled_count,
+    )
+
+
+def _kernel_search(
+    snapshot,
+    source: int,
+    target: Optional[int],
+    targets: Optional[Set[int]],
+    reverse: bool,
+) -> DijkstraResult:
+    """Run the equivalent array-kernel search and materialize the result.
+
+    The kernel tracks the discovery order, so the materialized ``distances``
+    and ``predecessors`` dicts reproduce the dict implementation's key
+    insertion order as well as its values -- consumers sensitive to dict
+    iteration order (e.g. SPQ's majority-color vote) see no difference.
+    """
+    arena = kernel.arena_for(snapshot)
+    if target is None and targets is None:
+        result = arena.sssp(source, need_predecessors=True, reverse=reverse)
+    else:
+        # arena.search honors target and targets together (and treats an
+        # unknown target as never settling), exactly like the loop below.
+        result = arena.search(source, target=target, targets=targets, reverse=reverse)
+    return DijkstraResult(
+        source=source,
+        distances=result.distances_dict(),
+        predecessors=result.predecessors_dict(),
+        settled=result.settled,
     )
 
 

@@ -1,0 +1,661 @@
+"""Array-based shortest path kernel over :class:`~repro.network.csr.CSRGraph`.
+
+The dict Dijkstra in :mod:`repro.network.algorithms.dijkstra` pays a hash
+lookup per distance read, a hash store per relaxation and a set probe per
+pop.  This kernel runs the same algorithm over flat int-indexed buffers --
+one list index per operation -- and, when ``numpy``/``scipy`` are installed,
+routes *full* single-source sweeps through ``scipy.sparse.csgraph.dijkstra``
+(a compiled CSR Dijkstra) with an exact pure-Python/numpy reconstruction of
+everything the dict implementation reports.
+
+**Bit-identity contract.**  Every search result is bit-identical to the
+dict implementation's: identical IEEE-754 distance values, identical
+predecessor choices on equal-distance ties, identical settled counts, and
+an identical node discovery order (the dict implementation's ``distances``
+insertion order).  Two mechanisms deliver this:
+
+* Early-terminated and masked searches (:meth:`KernelArena.point_to_point`,
+  :meth:`KernelArena.multi_target`) run a **faithful simulation** of the
+  dict loop over the CSR arrays -- same heap entries (index order is id
+  order), same relaxation order, same termination tests -- so even the
+  *tentative* frontier labels left behind by an early stop match.
+* Full sweeps (:meth:`KernelArena.sssp`) may use scipy for the distance
+  labels (relaxation order cannot change the converged float values) and
+  then reconstruct predecessors and discovery order from the settle order,
+  which under strictly positive weights provably equals sorting reachable
+  nodes by ``(distance, node id)``.  Graphs with a non-positive edge weight
+  fall back to the faithful loop (see
+  :attr:`~repro.network.csr.CSRGraph.has_nonpositive_weight`).
+
+A :class:`KernelArena` binds the reusable parts -- the accelerator views of
+the CSR arrays, scratch key buffers -- to one snapshot; arenas are cached
+per thread (:func:`arena_for`) so the hundreds of border-source sweeps of a
+pre-computation, or the per-query masked searches of concurrent clients,
+never rebuild them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import weakref
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.csr import CSRGraph
+
+__all__ = [
+    "HAVE_ACCELERATOR",
+    "KernelArena",
+    "KernelResult",
+    "arena_for",
+    "masked_shortest_path",
+    "many_to_many",
+    "point_to_point",
+    "sssp",
+]
+
+try:  # pragma: no cover - exercised implicitly by whichever env runs the suite
+    import numpy as _np
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    HAVE_ACCELERATOR = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_ACCELERATOR = False
+
+#: Module-level switch (primarily for tests and A/B benchmarks): set to
+#: ``False`` to force every search onto the faithful pure-Python loop even
+#: when scipy is installed.
+USE_ACCELERATOR = True
+
+_INF = float("inf")
+
+#: Batched scipy sweeps are chunked so the dense ``sources x nodes``
+#: distance matrix stays bounded (~8 MB of float64 per chunk at 1M nodes).
+_BATCH_CHUNK = 64
+
+
+def numpy_or_none():
+    """The ``numpy`` module when the accelerator is importable *and* enabled.
+
+    Call sites with a vectorized fast path (e.g. ArcFlag's flag
+    construction) use this so their gating stays consistent with the
+    kernel's own -- flipping :data:`USE_ACCELERATOR` affects both.
+    """
+    return _np if (HAVE_ACCELERATOR and USE_ACCELERATOR) else None
+
+
+class KernelResult:
+    """One search's labels, indexed by node *index* (see ``csr.ids``).
+
+    ``dist``/``pred`` cover every node (unreached entries are ``inf`` /
+    ``-1``); ``order`` lists the discovered indexes in the dict
+    implementation's ``distances`` insertion order and is ``None`` for
+    distance-only sweeps (where no consumer observes ordering).  The
+    buffers are owned by the result -- arenas never reclaim them.
+    """
+
+    __slots__ = (
+        "csr",
+        "source",
+        "source_index",
+        "_dist",
+        "dist_np",
+        "pred",
+        "order",
+        "settled",
+        "_reached",
+    )
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        source: int,
+        dist: Optional[List[float]],
+        pred: Optional[List[int]],
+        order: Optional[List[int]],
+        settled: int,
+        dist_np=None,
+    ) -> None:
+        self.csr = csr
+        self.source = source
+        self.source_index = csr.index_of[source]
+        self._dist = dist
+        #: The labels as a float64 vector when the sweep came off the
+        #: accelerator (``None`` on the faithful loop) -- vectorized
+        #: consumers index it without re-boxing the list.
+        self.dist_np = dist_np
+        self.pred = pred
+        self.order = order
+        self.settled = settled
+        self._reached: Optional[List[int]] = None
+
+    # -- reads ---------------------------------------------------------
+    @property
+    def dist(self) -> List[float]:
+        """The labels as a plain list, boxed lazily from ``dist_np``.
+
+        Accelerated sweeps carry their labels as a float64 vector;
+        vectorized consumers (ArcFlag's flag construction) never pay for
+        the list, while list consumers box it once on first access.
+        """
+        if self._dist is None:
+            self._dist = self.dist_np.tolist()
+        return self._dist
+
+    def distance_to(self, node_id: int) -> float:
+        """Distance label of ``node_id`` (``inf`` when unreached/unknown)."""
+        index = self.csr.index_of.get(node_id)
+        return _INF if index is None else self.dist[index]
+
+    def reached_indexes(self) -> List[int]:
+        """Discovered node indexes (discovery order when tracked)."""
+        if self.order is not None:
+            return self.order
+        if self._reached is None:
+            if self.dist_np is not None:
+                self._reached = _np.flatnonzero(_np.isfinite(self.dist_np)).tolist()
+            else:
+                dist = self.dist
+                self._reached = [i for i in range(len(dist)) if dist[i] != _INF]
+        return self._reached
+
+    def distances_dict(self) -> Dict[int, float]:
+        """``{node_id: distance}`` over discovered nodes.
+
+        With ``order`` tracked the key order is the dict implementation's
+        insertion order; distance-only results use index (= id) order --
+        equal as a mapping, only iteration order differs.
+        """
+        ids = self.csr.ids
+        dist = self.dist
+        return {ids[i]: dist[i] for i in self.reached_indexes()}
+
+    def predecessors_dict(self) -> Dict[int, Optional[int]]:
+        """``{node_id: predecessor_id}`` (source maps to ``None``)."""
+        if self.pred is None or self.order is None:
+            raise ValueError("predecessors were not requested for this search")
+        ids = self.csr.ids
+        pred = self.pred
+        source_index = self.source_index
+        return {
+            ids[i]: None if i == source_index else ids[pred[i]] for i in self.order
+        }
+
+    def path_to(self, node_id: int) -> List[int]:
+        """Node-id path from the source (empty when unreached)."""
+        if self.pred is None:
+            raise ValueError("predecessors were not requested for this search")
+        index = self.csr.index_of.get(node_id)
+        if index is None or self.dist[index] == _INF:
+            return []
+        pred = self.pred
+        path = [index]
+        current = index
+        source_index = self.source_index
+        while current != source_index:
+            current = pred[current]
+            if current < 0:
+                return []
+            path.append(current)
+        ids = self.csr.ids
+        return [ids[i] for i in reversed(path)]
+
+
+class _Accel:
+    """Cached numpy/scipy views of one snapshot's arrays.
+
+    The scipy matrices reference the CSR weight buffers directly (``numpy``
+    ``frombuffer`` views), so :meth:`CSRGraph.patch_weight` keeps them
+    fresh for free; the integer structure (offsets/targets, edge source and
+    adjacency-position arrays used by the reconstruction) never changes for
+    a frozen snapshot.
+    """
+
+    __slots__ = (
+        "fwd_matrix",
+        "rev_matrix",
+        "fwd_edges",
+        "rev_edges",
+    )
+
+    def __init__(self, csr: CSRGraph) -> None:
+        n = csr.num_nodes
+        self.fwd_matrix = self._matrix(csr.fwd_offsets, csr.fwd_targets, csr.fwd_weights, n)
+        self.rev_matrix = self._matrix(csr.rev_offsets, csr.rev_targets, csr.rev_weights, n)
+        self.fwd_edges = None  # built lazily: only predecessor sweeps need them
+        self.rev_edges = None
+
+    @staticmethod
+    def _matrix(offsets: array, targets: array, weights: array, n):  # type: ignore[name-defined]
+        indptr = _np.frombuffer(offsets, dtype=_np.int64).astype(_np.int32)
+        if len(targets):
+            indices = _np.frombuffer(targets, dtype=_np.int64).astype(_np.int32)
+            data = _np.frombuffer(weights, dtype=_np.float64)
+        else:
+            indices = _np.empty(0, dtype=_np.int32)
+            data = _np.empty(0, dtype=_np.float64)
+        # scipy treats duplicate (row, col) entries as parallel edges, which
+        # matches RoadNetwork's min-parallel-edge shortest path semantics.
+        return _csr_matrix((data, indices, indptr), shape=(n, n))
+
+    @staticmethod
+    def _edge_arrays(offsets: array, targets: array, weights: array):  # type: ignore[name-defined]
+        indptr = _np.frombuffer(offsets, dtype=_np.int64)
+        degrees = _np.diff(indptr)
+        e_src = _np.repeat(_np.arange(len(degrees), dtype=_np.int64), degrees)
+        if len(targets):
+            e_dst = _np.frombuffer(targets, dtype=_np.int64)
+            e_w = _np.frombuffer(weights, dtype=_np.float64)
+        else:
+            e_dst = _np.empty(0, dtype=_np.int64)
+            e_w = _np.empty(0, dtype=_np.float64)
+        e_adjpos = _np.arange(len(e_src), dtype=_np.int64) - indptr[e_src]
+        return e_src, e_dst, e_w, e_adjpos
+
+    def edges(self, csr: CSRGraph, reverse: bool):
+        if reverse:
+            if self.rev_edges is None:
+                self.rev_edges = self._edge_arrays(
+                    csr.rev_offsets, csr.rev_targets, csr.rev_weights
+                )
+            return self.rev_edges
+        if self.fwd_edges is None:
+            self.fwd_edges = self._edge_arrays(
+                csr.fwd_offsets, csr.fwd_targets, csr.fwd_weights
+            )
+        return self.fwd_edges
+
+
+class KernelArena:
+    """Reusable search state bound to one :class:`CSRGraph` snapshot.
+
+    One arena serves any number of sequential searches; it is *not*
+    thread-safe -- use :func:`arena_for` to get a per-thread instance.
+    """
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        self.num_nodes = csr.num_nodes
+
+    # ------------------------------------------------------------------
+    # Accelerator plumbing
+    # ------------------------------------------------------------------
+    def _accel(self) -> Optional[_Accel]:
+        if not (HAVE_ACCELERATOR and USE_ACCELERATOR):
+            return None
+        accel = self.csr._accel
+        if accel is None:
+            accel = self.csr._accel = _Accel(self.csr)
+        return accel
+
+    # ------------------------------------------------------------------
+    # Public searches
+    # ------------------------------------------------------------------
+    def sssp(
+        self, source: int, need_predecessors: bool = True, reverse: bool = False
+    ) -> KernelResult:
+        """Full single-source sweep (no early termination).
+
+        ``need_predecessors=False`` skips predecessor/discovery-order
+        reconstruction -- the fastest path for the many consumers that only
+        read distance labels.
+        """
+        source_index = self._source_index(source)
+        accel = self._accel()
+        if accel is None or (need_predecessors and self.csr.has_nonpositive_weight):
+            if need_predecessors:
+                return self._faithful(source_index, source, reverse=reverse)
+            return self._faithful_distances(source_index, source, reverse=reverse)
+        matrix = accel.rev_matrix if reverse else accel.fwd_matrix
+        dist_np = _scipy_dijkstra(matrix, directed=True, indices=source_index)
+        return self._from_accel(dist_np, source, source_index, need_predecessors, reverse)
+
+    def point_to_point(
+        self,
+        source: int,
+        target: int,
+        allowed: Optional[Iterable[int]] = None,
+        reverse: bool = False,
+    ) -> KernelResult:
+        """Early-terminating point-to-point search (faithful loop).
+
+        ``allowed`` restricts the search to a node subset -- the relaxation
+        skips any neighbor outside it, which is exactly equivalent to (and
+        replaces) materializing the induced subgraph first, as the EB/NR
+        clients used to.  Both endpoints must belong to the subset.
+        """
+        source_index = self._source_index(source)
+        target_index = self.csr.index_of.get(target)
+        if target_index is None:
+            raise KeyError(f"unknown target node {target}")
+        mask = None
+        if allowed is not None:
+            mask = bytearray(self.num_nodes)
+            index_of = self.csr.index_of
+            for node_id in allowed:
+                mask[index_of[node_id]] = 1
+            if not mask[source_index]:
+                raise KeyError(f"source node {source} is outside the allowed set")
+            if not mask[target_index]:
+                raise KeyError(f"target node {target} is outside the allowed set")
+        return self._faithful(
+            source_index, source, target_index=target_index, mask=mask, reverse=reverse
+        )
+
+    def multi_target(
+        self, source: int, targets: Iterable[int], reverse: bool = False
+    ) -> KernelResult:
+        """Search that stops once every (reachable) target is settled."""
+        source_index = self._source_index(source)
+        return self._faithful(
+            source_index, source, remaining=set(targets), reverse=reverse
+        )
+
+    def search(
+        self,
+        source: int,
+        target: Optional[int] = None,
+        targets: Optional[Iterable[int]] = None,
+        reverse: bool = False,
+    ) -> KernelResult:
+        """General search mirroring ``dijkstra_search``'s termination rules.
+
+        ``target`` and ``targets`` may be combined, exactly like the dict
+        reference loop: the search stops at whichever condition fires first.
+        An unknown ``target`` never settles, so (as in the reference) it
+        does not terminate anything by itself.
+        """
+        source_index = self._source_index(source)
+        target_index = self.csr.index_of.get(target) if target is not None else None
+        remaining = set(targets) if targets is not None else None
+        if target_index is None and remaining is None:
+            # No live termination condition: a full sweep, eligible for the
+            # accelerated path.
+            return self.sssp(source, reverse=reverse)
+        return self._faithful(
+            source_index,
+            source,
+            target_index=target_index,
+            remaining=remaining,
+            reverse=reverse,
+        )
+
+    def many_to_many(
+        self,
+        sources: Sequence[int],
+        need_predecessors: bool = False,
+        reverse: bool = False,
+    ) -> List[KernelResult]:
+        """Batched full sweeps, one per source, in source order.
+
+        With the accelerator available the distance labels of up to
+        ``_BATCH_CHUNK`` sources are computed by a single scipy call.
+        """
+        sources = list(sources)
+        accel = self._accel()
+        if accel is None or (need_predecessors and self.csr.has_nonpositive_weight):
+            return [
+                self.sssp(source, need_predecessors=need_predecessors, reverse=reverse)
+                for source in sources
+            ]
+        index_of = self.csr.index_of
+        matrix = accel.rev_matrix if reverse else accel.fwd_matrix
+        results: List[KernelResult] = []
+        for start in range(0, len(sources), _BATCH_CHUNK):
+            chunk = sources[start : start + _BATCH_CHUNK]
+            chunk_indexes = [self._source_index(source) for source in chunk]
+            dist_block = _scipy_dijkstra(matrix, directed=True, indices=chunk_indexes)
+            if len(chunk) == 1:
+                dist_block = dist_block.reshape(1, -1)
+            for row, source in enumerate(chunk):
+                results.append(
+                    self._from_accel(
+                        dist_block[row],
+                        source,
+                        index_of[source],
+                        need_predecessors,
+                        reverse,
+                    )
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Accelerated full sweep: distances from scipy, exact reconstruction
+    # ------------------------------------------------------------------
+    def _from_accel(
+        self,
+        dist_np,
+        source: int,
+        source_index: int,
+        need_predecessors: bool,
+        reverse: bool,
+    ) -> KernelResult:
+        finite = _np.isfinite(dist_np)
+        if not need_predecessors:
+            settled = int(_np.count_nonzero(finite))
+            return KernelResult(
+                self.csr, source, None, None, None, settled, dist_np=dist_np
+            )
+        pred, order = self._reconstruct(dist_np, finite, source_index, reverse)
+        return KernelResult(
+            self.csr, source, None, pred, order, len(order), dist_np=dist_np
+        )
+
+    def _reconstruct(
+        self, dist_np, finite, source_index: int, reverse: bool
+    ) -> Tuple[List[int], List[int]]:
+        """Predecessors and discovery order of the faithful heap replay.
+
+        Under strictly positive weights the dict heap settles reachable
+        nodes exactly in ``(distance, id)`` order.  Replaying relaxations in
+        (settle order of the tail node, position within its adjacency list)
+        order therefore reproduces, for every node, both its first
+        discovery (first relaxation of any kind) and its final predecessor
+        (first relaxation achieving the converged distance).  Both replays
+        reduce to per-node minima of a combined ``rank * K + position`` key,
+        computed vectorized over the edge arrays.
+        """
+        n = self.num_nodes
+        e_src, e_dst, e_w, e_adjpos = self.csr._accel.edges(self.csr, reverse)
+        reachable = _np.flatnonzero(finite)
+        settle = reachable[_np.lexsort((reachable, dist_np[reachable]))]
+        rank = _np.full(n, n, dtype=_np.int64)
+        rank[settle] = _np.arange(len(settle), dtype=_np.int64)
+
+        stride = len(e_src) + 1
+        sentinel = (n + 1) * stride
+        ekey = rank[e_src] * stride + e_adjpos
+        valid = finite[e_src]
+
+        # Discovery: first relaxation into each node, of any kind.
+        discovery_key = _np.full(n, sentinel, dtype=_np.int64)
+        _np.minimum.at(discovery_key, e_dst[valid], ekey[valid])
+        others = reachable[reachable != source_index]
+        order_tail = others[_np.argsort(discovery_key[others])]
+        order = [source_index] + order_tail.tolist()
+
+        # Predecessor: first relaxation achieving the converged distance.
+        achieves = valid & (dist_np[e_src] + e_w == dist_np[e_dst])
+        best_key = _np.full(n, sentinel, dtype=_np.int64)
+        _np.minimum.at(best_key, e_dst[achieves], ekey[achieves])
+        chosen = achieves & (ekey == best_key[e_dst])
+        pred_np = _np.full(n, -1, dtype=_np.int64)
+        pred_np[e_dst[chosen]] = e_src[chosen]
+        pred_np[source_index] = -1
+        return pred_np.tolist(), order
+
+    # ------------------------------------------------------------------
+    # Faithful simulation of the dict Dijkstra over the flat arrays
+    # ------------------------------------------------------------------
+    def _source_index(self, source: int) -> int:
+        index = self.csr.index_of.get(source)
+        if index is None:
+            raise KeyError(f"unknown source node {source}")
+        return index
+
+    def _faithful_distances(
+        self, source_index: int, source: int, reverse: bool = False
+    ) -> KernelResult:
+        """Distance-only full sweep: the faithful loop minus tree tracking.
+
+        Settled counts still match the dict implementation's; predecessor
+        and discovery-order buffers are simply not produced (the result
+        raises if they are read), which is what the distance-only consumers
+        -- landmark vectors, ArcFlag trees, fleet ground truth -- want.
+        """
+        csr = self.csr
+        adjacency = csr.rev_adj if reverse else csr.fwd_adj
+        dist = [_INF] * self.num_nodes
+        dist[source_index] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source_index)]
+        pop = heapq.heappop
+        push = heapq.heappush
+        settled = 0
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            settled += 1
+            for v, w in adjacency[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        return KernelResult(csr, source, dist, None, None, settled)
+
+    def _faithful(
+        self,
+        source_index: int,
+        source: int,
+        target_index: Optional[int] = None,
+        remaining: Optional[set] = None,
+        mask: Optional[bytearray] = None,
+        reverse: bool = False,
+    ) -> KernelResult:
+        csr = self.csr
+        adjacency = csr.rev_adj if reverse else csr.fwd_adj
+        ids = csr.ids
+        dist = [_INF] * self.num_nodes
+        pred = [-1] * self.num_nodes
+        order = [source_index]
+        dist[source_index] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source_index)]
+        pop = heapq.heappop
+        push = heapq.heappush
+        append = order.append
+        settled = 0
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                # A better entry for u already settled it (entries per node
+                # carry strictly decreasing labels, so this test is exactly
+                # the dict implementation's settled-set membership probe).
+                continue
+            settled += 1
+            if u == target_index:
+                break
+            if remaining is not None:
+                remaining.discard(ids[u])
+                if not remaining:
+                    break
+            if mask is None:
+                for v, w in adjacency[u]:
+                    nd = d + w
+                    if nd < dist[v]:
+                        if dist[v] == _INF:
+                            append(v)
+                        dist[v] = nd
+                        pred[v] = u
+                        push(heap, (nd, v))
+            else:
+                for v, w in adjacency[u]:
+                    if not mask[v]:
+                        continue
+                    nd = d + w
+                    if nd < dist[v]:
+                        if dist[v] == _INF:
+                            append(v)
+                        dist[v] = nd
+                        pred[v] = u
+                        push(heap, (nd, v))
+        return KernelResult(csr, source, dist, pred, order, settled)
+
+
+# ----------------------------------------------------------------------
+# Per-thread arena registry
+# ----------------------------------------------------------------------
+_thread_arenas = threading.local()
+
+
+def arena_for(csr: CSRGraph) -> KernelArena:
+    """The calling thread's arena for ``csr`` (created on first use).
+
+    Arenas hold no cross-search mutable state beyond caches, but handing
+    each thread its own keeps the kernel safe under the engine's
+    thread-pool batch runner without any locking.
+    """
+    registry = getattr(_thread_arenas, "registry", None)
+    if registry is None:
+        registry = _thread_arenas.registry = weakref.WeakKeyDictionary()
+    arena = registry.get(csr)
+    if arena is None:
+        arena = registry[csr] = KernelArena(csr)
+    return arena
+
+
+# ----------------------------------------------------------------------
+# Network-level conveniences
+# ----------------------------------------------------------------------
+def _network_arena(network) -> Optional[KernelArena]:
+    csr = network.csr_snapshot()
+    return None if csr is None else arena_for(csr)
+
+
+def sssp(network, source: int, need_predecessors: bool = True, reverse: bool = False):
+    """Full single-source sweep over ``network``'s snapshot (built if absent)."""
+    return arena_for(network.ensure_csr()).sssp(
+        source, need_predecessors=need_predecessors, reverse=reverse
+    )
+
+
+def point_to_point(network, source: int, target: int):
+    """Early-terminating point-to-point search over the network snapshot."""
+    return arena_for(network.ensure_csr()).point_to_point(source, target)
+
+
+def many_to_many(
+    network, sources: Sequence[int], need_predecessors: bool = False, reverse: bool = False
+):
+    """Batched full sweeps over the network snapshot, in source order."""
+    return arena_for(network.ensure_csr()).many_to_many(
+        sources, need_predecessors=need_predecessors, reverse=reverse
+    )
+
+
+def masked_shortest_path(network, source: int, target: int, allowed: Iterable[int]):
+    """Point-to-point search restricted to ``allowed``, as a ``PathResult``.
+
+    Returns ``None`` when the network has no fresh snapshot (the caller
+    falls back to the reference subgraph search); otherwise the result --
+    distance, path, settled count -- is bit-identical to running
+    :func:`~repro.network.algorithms.dijkstra.shortest_path` on
+    ``network.subgraph(allowed)``.
+    """
+    from repro.network.algorithms.paths import PathResult
+
+    arena = _network_arena(network)
+    if arena is None:
+        return None
+    result = arena.point_to_point(source, target, allowed=allowed)
+    distance = result.distance_to(target)
+    path = result.path_to(target) if distance != _INF else []
+    return PathResult(
+        source=source,
+        target=target,
+        distance=distance,
+        path=path,
+        settled=result.settled,
+    )

@@ -1,0 +1,246 @@
+"""Frozen CSR (compressed sparse row) snapshots of a road network.
+
+:class:`CSRGraph` compiles the dict-of-lists adjacency of a
+:class:`~repro.network.graph.RoadNetwork` (or any raw adjacency mapping)
+into contiguous int-indexed arrays: ``array('l')`` offsets/targets and
+``array('d')`` weights, forward *and* reverse, plus id <-> index maps.  The
+array kernel (:mod:`repro.network.algorithms.kernel`) runs its shortest
+path searches over this layout instead of chasing per-node dict entries.
+
+Two invariants make kernel results bit-identical to the dict Dijkstra:
+
+* **Index order is node-id order.**  Node index ``i`` is the rank of its id
+  among all sorted ids, so a heap ordered by ``(distance, index)`` pops in
+  exactly the same sequence as the dict implementation's
+  ``(distance, node_id)`` heap -- equal-distance ties settle identically.
+* **Edge order is adjacency order.**  Each node's CSR span lists its edges
+  in the same order as the network's adjacency list, so relaxations (and
+  therefore predecessor assignment on ties) replay in the same sequence.
+
+Snapshots are frozen: the owning network caches one per
+:meth:`~repro.network.graph.RoadNetwork.fingerprint` and keeps it fresh by
+**patching weights in place** on dynamic weight updates
+(:meth:`patch_weight`) while invalidating it on any structural mutation
+(adding/removing nodes or edges changes the index maps and spans).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable-topology CSR view of a directed weighted graph.
+
+    Build through :meth:`from_network` or :meth:`from_adjacency`; the
+    constructor itself only wires pre-compiled arrays together.
+    """
+
+    def __init__(
+        self,
+        ids: List[int],
+        fwd_offsets: array,
+        fwd_targets: array,
+        fwd_weights: array,
+        rev_offsets: array,
+        rev_targets: array,
+        rev_weights: array,
+        name: str = "csr",
+    ) -> None:
+        self.name = name
+        #: Node ids in index order (ascending -- see module docstring).
+        self.ids = ids
+        #: node id -> node index.
+        self.index_of: Dict[int, int] = {nid: i for i, nid in enumerate(ids)}
+        self.fwd_offsets = fwd_offsets
+        self.fwd_targets = fwd_targets
+        self.fwd_weights = fwd_weights
+        self.rev_offsets = rev_offsets
+        self.rev_targets = rev_targets
+        self.rev_weights = rev_weights
+        #: Per-index adjacency view (tuples of ``(neighbor_index, weight)``)
+        #: derived from the flat arrays; this is what the kernel's inner loop
+        #: iterates -- one list index instead of one dict hash per node.
+        self.fwd_adj: List[Tuple[Tuple[int, float], ...]] = self._zip_adjacency(
+            fwd_offsets, fwd_targets, fwd_weights
+        )
+        self.rev_adj: List[Tuple[Tuple[int, float], ...]] = self._zip_adjacency(
+            rev_offsets, rev_targets, rev_weights
+        )
+        #: ``True`` when some edge weight is ``<= 0``.  The kernel's
+        #: accelerated SSSP path reconstructs predecessors from the settle
+        #: order, which is only provably identical to the dict heap's under
+        #: strictly positive weights; this flag routes such graphs onto the
+        #: faithful simulation loop.  Weight patches are validated positive,
+        #: so the flag can only stay or clear at the next full build.
+        self.has_nonpositive_weight = bool(fwd_weights) and min(fwd_weights) <= 0.0
+        #: Accelerator cache slot (numpy/scipy views built lazily by the
+        #: kernel; ``None`` until first use, shared by reference so in-place
+        #: weight patches propagate without rebuilding).
+        self._accel = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zip_adjacency(
+        offsets: array, targets: array, weights: array
+    ) -> List[Tuple[Tuple[int, float], ...]]:
+        return [
+            tuple(zip(targets[offsets[i] : offsets[i + 1]], weights[offsets[i] : offsets[i + 1]]))
+            for i in range(len(offsets) - 1)
+        ]
+
+    @classmethod
+    def _compile(
+        cls,
+        ids: List[int],
+        index_of: Dict[int, int],
+        neighbor_lists: Iterable[Sequence[Tuple[int, float]]],
+    ) -> Tuple[array, array, array]:
+        offsets = array("l", [0])
+        targets = array("l")
+        weights = array("d")
+        for neighbors in neighbor_lists:
+            for target, weight in neighbors:
+                targets.append(index_of[target])
+                weights.append(weight)
+            offsets.append(len(targets))
+        return offsets, targets, weights
+
+    @classmethod
+    def from_network(cls, network) -> "CSRGraph":
+        """Compile a :class:`~repro.network.graph.RoadNetwork` snapshot.
+
+        Per-node edge order follows the network's adjacency lists exactly
+        (forward lists for the forward arrays, the incrementally maintained
+        reverse lists for the reverse arrays), preserving relaxation order.
+        """
+        ids = sorted(network.node_ids())
+        index_of = {nid: i for i, nid in enumerate(ids)}
+        adjacency = network.adjacency()
+        reverse = network.reverse_adjacency()
+        fwd = cls._compile(ids, index_of, (adjacency[nid] for nid in ids))
+        rev = cls._compile(ids, index_of, (reverse[nid] for nid in ids))
+        return cls(ids, *fwd, *rev, name=f"{network.name}-csr")
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Mapping[int, Sequence[Tuple[int, float]]],
+        extra_nodes: Iterable[int] = (),
+        name: str = "adjacency-csr",
+    ) -> "CSRGraph":
+        """Compile a raw ``{node: [(target, weight), ...]}`` mapping.
+
+        Used for overlay graphs (HiTi's super-edge blocks) that never
+        materialize a :class:`RoadNetwork`.  Nodes appearing only as edge
+        targets, plus any ``extra_nodes``, are included with empty spans so
+        a search may start from them.
+        """
+        node_set = set(adjacency)
+        node_set.update(extra_nodes)
+        for neighbors in adjacency.values():
+            node_set.update(target for target, _ in neighbors)
+        ids = sorted(node_set)
+        index_of = {nid: i for i, nid in enumerate(ids)}
+        fwd = cls._compile(ids, index_of, (adjacency.get(nid, ()) for nid in ids))
+        reverse: Dict[int, List[Tuple[int, float]]] = {nid: [] for nid in ids}
+        for nid in ids:
+            for target, weight in adjacency.get(nid, ()):
+                reverse[target].append((nid, weight))
+        rev = cls._compile(ids, index_of, (reverse[nid] for nid in ids))
+        return cls(ids, *fwd, *rev, name=name)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.fwd_targets)
+
+    def size_bytes(self) -> int:
+        """Approximate memory of the flat arrays (not the derived views)."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (
+                self.fwd_offsets,
+                self.fwd_targets,
+                self.fwd_weights,
+                self.rev_offsets,
+                self.rev_targets,
+                self.rev_weights,
+            )
+        )
+
+    def adjacency_of(self, node_id: int) -> Tuple[Tuple[int, float], ...]:
+        """Forward ``(neighbor_index, weight)`` pairs of ``node_id``."""
+        return self.fwd_adj[self.index_of[node_id]]
+
+    # ------------------------------------------------------------------
+    # In-place weight patching (dynamic networks)
+    # ------------------------------------------------------------------
+    def patch_weight(
+        self, source: int, target: int, old_weight: float, new_weight: float
+    ) -> None:
+        """Update one directed edge's weight without recompiling.
+
+        Mirrors :meth:`RoadNetwork.update_edge_weight`'s choice among
+        parallel edges: the patched entry is the *first* occurrence of
+        ``(target, old_weight)`` in the source's span (adjacency order is
+        preserved by construction, so this is the same physical edge the
+        network updated).  Raises ``KeyError`` when no such entry exists --
+        the snapshot would be silently stale otherwise.
+        """
+        u = self.index_of[source]
+        v = self.index_of[target]
+        self._patch_span(
+            self.fwd_offsets, self.fwd_targets, self.fwd_weights, u, v, old_weight, new_weight
+        )
+        self.fwd_adj[u] = self._rezip(self.fwd_offsets, self.fwd_targets, self.fwd_weights, u)
+        self._patch_span(
+            self.rev_offsets, self.rev_targets, self.rev_weights, v, u, old_weight, new_weight
+        )
+        self.rev_adj[v] = self._rezip(self.rev_offsets, self.rev_targets, self.rev_weights, v)
+        if new_weight <= 0.0:  # update_edge_weight validates > 0; stay safe
+            self.has_nonpositive_weight = True
+        # The accelerator's numpy views share the arrays' buffers, so the
+        # weight change is already visible there; nothing to rebuild.
+
+    @staticmethod
+    def _patch_span(
+        offsets: array,
+        targets: array,
+        weights: array,
+        node: int,
+        other: int,
+        old_weight: float,
+        new_weight: float,
+    ) -> None:
+        for position in range(offsets[node], offsets[node + 1]):
+            if targets[position] == other and weights[position] == old_weight:
+                weights[position] = new_weight
+                return
+        raise KeyError(
+            f"no CSR entry for edge {node} -> {other} with weight {old_weight!r}"
+        )
+
+    @staticmethod
+    def _rezip(
+        offsets: array, targets: array, weights: array, node: int
+    ) -> Tuple[Tuple[int, float], ...]:
+        start, end = offsets[node], offsets[node + 1]
+        return tuple(zip(targets[start:end], weights[start:end]))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CSRGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

@@ -13,6 +13,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.network.csr import CSRGraph
 from repro.network.delta import NetworkDelta, WeightChange
 
 __all__ = ["Node", "Edge", "RoadNetwork"]
@@ -82,6 +83,13 @@ class RoadNetwork:
         self._pending_changes: Dict[Tuple[int, int], WeightChange] = {}
         self._dirty_nodes: set = set()
         self._structurally_dirty = False
+        # CSR snapshot cache (see csr_snapshot()): one compiled CSRGraph per
+        # fingerprint, patched in place on weight updates and invalidated by
+        # structural mutations, which change index maps and adjacency spans.
+        self._csr: Optional[CSRGraph] = None
+        self._csr_fingerprint: Optional[str] = None
+        self._csr_builds = 0
+        self._csr_patches = 0
 
     # ------------------------------------------------------------------
     # Fingerprint maintenance
@@ -123,6 +131,7 @@ class RoadNetwork:
         self._nodes[node_id] = node
         self._fingerprint_add(self._node_element(node))
         self._structurally_dirty = True
+        self._csr = None
         self._dirty_nodes.add(node_id)
         return node
 
@@ -139,6 +148,7 @@ class RoadNetwork:
         self._num_edges += 1
         self._fingerprint_add(self._edge_element(source, target, float(weight)))
         self._structurally_dirty = True
+        self._csr = None
         self._dirty_nodes.update((source, target))
         return Edge(source, target, float(weight))
 
@@ -162,6 +172,7 @@ class RoadNetwork:
         self._num_edges -= 1
         self._fingerprint_remove(self._edge_element(source, target, weight))
         self._structurally_dirty = True
+        self._csr = None
         self._dirty_nodes.update((source, target))
         return Edge(source, target, weight)
 
@@ -203,6 +214,12 @@ class RoadNetwork:
         reverse[reverse.index((source, old_weight))] = (source, new_weight)
         self._fingerprint_remove(self._edge_element(source, target, old_weight))
         self._fingerprint_add(self._edge_element(source, target, new_weight))
+        if self._csr is not None:
+            # Weight-only delta: keep the snapshot fresh by patching the one
+            # CSR entry in place instead of recompiling the arrays.
+            self._csr.patch_weight(source, target, old_weight, new_weight)
+            self._csr_patches += 1
+            self._csr_fingerprint = self.fingerprint()
         self._dirty_nodes.update((source, target))
         key = (source, target)
         pending = self._pending_changes.get(key)
@@ -478,6 +495,41 @@ class RoadNetwork:
             self._fingerprint_sum = total % _FINGERPRINT_MOD
         self._fingerprint_cache = f"{self._fingerprint_sum:032x}"
         return self._fingerprint_cache
+
+    # ------------------------------------------------------------------
+    # CSR snapshots (the array kernel's input)
+    # ------------------------------------------------------------------
+    def csr_snapshot(self) -> Optional[CSRGraph]:
+        """The cached CSR snapshot, or ``None`` when absent or stale.
+
+        The cache is keyed by :meth:`fingerprint`: structural mutations drop
+        the snapshot outright (index maps and spans change), while
+        :meth:`update_edge_weight` patches it in place and re-keys it, so a
+        weight-only update stream never pays a recompile.  The shortest path
+        entry points in :mod:`repro.network.algorithms.dijkstra` dispatch to
+        the array kernel exactly when this returns a snapshot.
+        """
+        if self._csr is not None and self._csr_fingerprint == self.fingerprint():
+            return self._csr
+        return None
+
+    def ensure_csr(self) -> CSRGraph:
+        """The fresh CSR snapshot, compiling one if absent or stale."""
+        snapshot = self.csr_snapshot()
+        if snapshot is None:
+            snapshot = CSRGraph.from_network(self)
+            self._csr = snapshot
+            self._csr_fingerprint = self.fingerprint()
+            self._csr_builds += 1
+        return snapshot
+
+    def csr_stats(self) -> Dict[str, int]:
+        """Snapshot cache counters (surfaced by ``AirSystem.cache_info``)."""
+        return {
+            "builds": self._csr_builds,
+            "patches": self._csr_patches,
+            "fresh": int(self.csr_snapshot() is not None),
+        }
 
     # ------------------------------------------------------------------
     # Representation

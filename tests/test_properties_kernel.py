@@ -1,0 +1,469 @@
+"""Property suite for the CSR snapshot layer and the array SP kernel.
+
+The contract under test (see ``docs/api.md``): with a fresh snapshot, every
+kernel search -- and therefore every dispatched ``dijkstra_*`` call -- is
+**bit-identical** to the dict reference implementation: same IEEE-754
+distance values, same predecessor choices on equal-distance ties, same
+settled counts, and the same ``distances``/``predecessors`` dict insertion
+order.  That must hold on static networks, after random weight-update
+streams (in-place snapshot patching), through the pure-Python fallback, and
+for the masked search that replaced the EB/NR clients' per-query subgraphs.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import AirSystem
+from repro.index.arcflag import ArcFlagIndex
+from repro.network.algorithms import kernel
+from repro.network.algorithms.dijkstra import (
+    dijkstra_distances,
+    dijkstra_multi_target,
+    dijkstra_search,
+    shortest_path,
+)
+from repro.network.algorithms.paths import INFINITY
+from repro.network.csr import CSRGraph
+from repro.network.generators import GeneratorConfig, generate_road_network
+from repro.network.graph import RoadNetwork, build_network
+from repro.partitioning.kdtree import build_kdtree_partitioning
+
+SEEDS = [3, 11, 29]
+
+
+@pytest.fixture(params=[True, False], ids=["accel", "pure"])
+def accel_mode(request, monkeypatch):
+    """Run each property in both kernel modes (scipy path and faithful loop)."""
+    if request.param and not kernel.HAVE_ACCELERATOR:
+        pytest.skip("accelerator not installed")
+    monkeypatch.setattr(kernel, "USE_ACCELERATOR", request.param)
+    return request.param
+
+
+def make_network(seed: int, num_nodes: int = 90, num_edges: int = 230) -> RoadNetwork:
+    network = generate_road_network(
+        GeneratorConfig(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
+    )
+    network.clear_delta()
+    return network
+
+
+def reference_copy(network: RoadNetwork) -> RoadNetwork:
+    """A snapshot-less copy: searches on it take the dict reference path."""
+    copy = network.copy()
+    assert copy.csr_snapshot() is None
+    return copy
+
+
+def assert_same_result(kernel_result, reference_result):
+    """Full bit-identity: values, tie choices, counts, and dict key order."""
+    assert kernel_result.distances == reference_result.distances
+    assert list(kernel_result.distances) == list(reference_result.distances)
+    assert kernel_result.predecessors == reference_result.predecessors
+    assert list(kernel_result.predecessors) == list(reference_result.predecessors)
+    assert kernel_result.settled == reference_result.settled
+
+
+# ----------------------------------------------------------------------
+# Dispatch bit-identity on static networks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sssp_bit_identical_forward_and_reverse(seed, accel_mode):
+    network = make_network(seed)
+    reference = reference_copy(network)
+    network.ensure_csr()
+    rng = random.Random(seed)
+    for source in rng.sample(network.node_ids(), 12):
+        for reverse in (False, True):
+            assert_same_result(
+                dijkstra_distances(network, source, reverse=reverse),
+                dijkstra_distances(reference, source, reverse=reverse),
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_point_to_point_bit_identical_including_frontier(seed, accel_mode):
+    """Early termination leaves tentative frontier labels; they must match too."""
+    network = make_network(seed)
+    reference = reference_copy(network)
+    network.ensure_csr()
+    rng = random.Random(seed + 1)
+    ids = network.node_ids()
+    for _ in range(15):
+        source, target = rng.choice(ids), rng.choice(ids)
+        assert_same_result(
+            dijkstra_search(network, source, target=target),
+            dijkstra_search(reference, source, target=target),
+        )
+        got = shortest_path(network, source, target)
+        want = shortest_path(reference, source, target)
+        assert (got.distance, got.path, got.settled) == (
+            want.distance,
+            want.path,
+            want.settled,
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multi_target_bit_identical(seed, accel_mode):
+    network = make_network(seed)
+    reference = reference_copy(network)
+    network.ensure_csr()
+    rng = random.Random(seed + 2)
+    ids = network.node_ids()
+    for size in (0, 1, 4, 9):
+        source = rng.choice(ids)
+        targets = rng.sample(ids, size)
+        assert_same_result(
+            dijkstra_multi_target(network, source, targets),
+            dijkstra_multi_target(reference, source, targets),
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_combined_target_and_targets_bit_identical(seed, accel_mode):
+    """`target` and `targets` together terminate exactly like the dict loop."""
+    network = make_network(seed, num_nodes=60, num_edges=150)
+    reference = reference_copy(network)
+    network.ensure_csr()
+    rng = random.Random(seed + 7)
+    ids = network.node_ids()
+    for _ in range(10):
+        source, target = rng.choice(ids), rng.choice(ids)
+        targets = set(rng.sample(ids, rng.randint(1, 5)))
+        assert_same_result(
+            dijkstra_search(network, source, target=target, targets=targets),
+            dijkstra_search(reference, source, target=target, targets=targets),
+        )
+    # Unknown target alongside live targets: only the targets terminate.
+    source = ids[0]
+    assert_same_result(
+        dijkstra_search(network, source, target=10**9, targets={ids[-1]}),
+        dijkstra_search(reference, source, target=10**9, targets={ids[-1]}),
+    )
+
+
+def test_unknown_target_degenerates_to_full_sweep(accel_mode):
+    network = make_network(7)
+    reference = reference_copy(network)
+    network.ensure_csr()
+    source = network.node_ids()[0]
+    assert_same_result(
+        dijkstra_search(network, source, target=10**9),
+        dijkstra_search(reference, source, target=10**9),
+    )
+
+
+def test_zero_weight_edges_stay_exact(accel_mode):
+    """A zero-weight edge routes predecessor sweeps onto the faithful loop."""
+    network = build_network(
+        nodes=[(i, float(i), 0.0) for i in range(6)],
+        edges=[
+            (0, 1, 2.0),
+            (1, 2, 0.0),
+            (0, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 0.0),
+            (1, 4, 3.0),
+            (4, 5, 1.0),
+        ],
+    )
+    reference = reference_copy(network)
+    snapshot = network.ensure_csr()
+    assert snapshot.has_nonpositive_weight
+    for source in network.node_ids():
+        assert_same_result(
+            dijkstra_distances(network, source),
+            dijkstra_distances(reference, source),
+        )
+
+
+def test_parallel_edges_stay_exact(accel_mode):
+    network = build_network(
+        nodes=[(i, float(i), 0.0) for i in range(4)],
+        edges=[
+            (0, 1, 5.0),
+            (0, 1, 2.0),  # parallel, cheaper: shortest paths must use it
+            (0, 1, 2.0),  # parallel duplicate weight
+            (1, 2, 1.0),
+            (0, 2, 9.0),
+            (2, 3, 1.0),
+        ],
+    )
+    reference = reference_copy(network)
+    network.ensure_csr()
+    for source in network.node_ids():
+        assert_same_result(
+            dijkstra_distances(network, source),
+            dijkstra_distances(reference, source),
+        )
+
+
+# ----------------------------------------------------------------------
+# Masked search (the EB/NR client path)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_masked_search_equals_subgraph_search(seed, accel_mode):
+    network = make_network(seed, num_nodes=70, num_edges=180)
+    network.ensure_csr()
+    rng = random.Random(seed + 3)
+    ids = network.node_ids()
+    for _ in range(12):
+        allowed = set(rng.sample(ids, rng.randint(2, len(ids))))
+        inside = sorted(allowed)
+        source, target = rng.choice(inside), rng.choice(inside)
+        got = kernel.masked_shortest_path(network, source, target, allowed)
+        want = shortest_path(network.subgraph(allowed), source, target)
+        assert (got.distance, got.path, got.settled) == (
+            want.distance,
+            want.path,
+            want.settled,
+        )
+
+
+def test_masked_search_requires_endpoints_inside_the_mask():
+    network = make_network(5, num_nodes=30, num_edges=70)
+    arena = kernel.arena_for(network.ensure_csr())
+    ids = network.node_ids()
+    allowed = set(ids[:10])
+    outside = next(node for node in ids if node not in allowed)
+    with pytest.raises(KeyError):
+        arena.point_to_point(outside, ids[0], allowed=allowed)
+    with pytest.raises(KeyError):
+        arena.point_to_point(ids[0], outside, allowed=allowed)
+
+
+def test_masked_search_returns_none_without_snapshot():
+    network = make_network(6, num_nodes=20, num_edges=50)
+    assert network.csr_snapshot() is None
+    assert kernel.masked_shortest_path(network, 0, 1, {0, 1}) is None
+
+
+# ----------------------------------------------------------------------
+# Dynamic updates: in-place snapshot patching
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_patched_snapshot_bit_identical_after_update_stream(seed, accel_mode):
+    network = make_network(seed)
+    network.ensure_csr()
+    rng = random.Random(seed + 4)
+    edges = list(network.edges())
+    for _ in range(4):  # four batches, snapshot patched through all of them
+        for _ in range(8):
+            edge = rng.choice(edges)
+            factor = rng.uniform(0.4, 2.5)
+            try:
+                network.update_edge_weight(
+                    edge.source, edge.target, max(1e-3, edge.weight * factor)
+                )
+            except KeyError:
+                continue
+        stats = network.csr_stats()
+        assert stats["builds"] == 1 and stats["fresh"] == 1
+        reference = reference_copy(network)
+        for source in rng.sample(network.node_ids(), 6):
+            assert_same_result(
+                dijkstra_distances(network, source),
+                dijkstra_distances(reference, source),
+            )
+            assert_same_result(
+                dijkstra_distances(network, source, reverse=True),
+                dijkstra_distances(reference, source, reverse=True),
+            )
+    assert network.csr_stats()["patches"] > 0
+
+
+def test_structural_mutation_invalidates_and_rebuild_recovers():
+    network = make_network(9, num_nodes=40, num_edges=100)
+    first = network.ensure_csr()
+    ids = network.node_ids()
+    network.add_edge(ids[0], ids[-1], 0.25)
+    assert network.csr_snapshot() is None
+    second = network.ensure_csr()
+    assert second is not first
+    assert second.num_edges == first.num_edges + 1
+    reference = reference_copy(network)
+    assert_same_result(
+        dijkstra_distances(network, ids[0]), dijkstra_distances(reference, ids[0])
+    )
+    assert network.csr_stats()["builds"] == 2
+
+
+def test_noop_weight_update_does_not_patch():
+    network = make_network(10, num_nodes=20, num_edges=50)
+    network.ensure_csr()
+    edge = next(network.edges())
+    network.update_edge_weight(edge.source, edge.target, edge.weight)
+    assert network.csr_stats()["patches"] == 0
+    assert network.csr_snapshot() is not None
+
+
+def test_patch_weight_rejects_unknown_entries():
+    snapshot = CSRGraph.from_network(make_network(11, num_nodes=12, num_edges=30))
+    with pytest.raises(KeyError):
+        snapshot.patch_weight(snapshot.ids[0], snapshot.ids[1], -123.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# CSR compilation details
+# ----------------------------------------------------------------------
+def test_from_adjacency_includes_targets_and_extra_nodes():
+    snapshot = CSRGraph.from_adjacency({1: [(2, 1.0)]}, extra_nodes=[7])
+    assert snapshot.ids == [1, 2, 7]
+    assert snapshot.num_edges == 1
+    arena = kernel.KernelArena(snapshot)
+    isolated = arena.multi_target(7, {1, 2})
+    assert isolated.distance_to(1) == INFINITY
+    assert arena.multi_target(1, {2}).distance_to(2) == 1.0
+
+
+def test_snapshot_index_order_is_id_order():
+    network = RoadNetwork()
+    for node_id in (44, 2, 17):  # deliberately unsorted insertion
+        network.add_node(node_id, 0.0, 0.0)
+    network.add_edge(44, 2, 1.0)
+    snapshot = network.ensure_csr()
+    assert snapshot.ids == [2, 17, 44]
+    assert snapshot.size_bytes() > 0
+    assert snapshot.adjacency_of(44) == ((0, 1.0),)
+
+
+def test_kernel_result_api_edges():
+    network = make_network(12, num_nodes=25, num_edges=60)
+    arena = kernel.arena_for(network.ensure_csr())
+    source = network.node_ids()[0]
+    distance_only = arena.sssp(source, need_predecessors=False)
+    assert distance_only.distance_to(10**9) == INFINITY
+    assert set(distance_only.distances_dict()) == set(
+        arena.sssp(source).distances_dict()
+    )
+    with pytest.raises(ValueError):
+        distance_only.predecessors_dict()
+    with pytest.raises(ValueError):
+        distance_only.path_to(source)
+    full = arena.sssp(source)
+    assert full.path_to(source) == [source]
+    assert full.path_to(10**9) == []
+    with pytest.raises(KeyError):
+        arena.sssp(10**9)
+
+
+def test_arena_is_cached_per_thread_and_snapshot():
+    network = make_network(13, num_nodes=20, num_edges=50)
+    snapshot = network.ensure_csr()
+    assert kernel.arena_for(snapshot) is kernel.arena_for(snapshot)
+
+
+def test_distance_only_sweep_matches_reference(accel_mode):
+    """The lean distance-only loop: same labels and settled count, no tree."""
+    network = make_network(15, num_nodes=50, num_edges=130)
+    reference = reference_copy(network)
+    arena = kernel.arena_for(network.ensure_csr())
+    for source in network.node_ids()[:6]:
+        for reverse in (False, True):
+            sweep = arena.sssp(source, need_predecessors=False, reverse=reverse)
+            want = dijkstra_distances(reference, source, reverse=reverse)
+            assert sweep.distances_dict() == want.distances
+            assert sweep.settled == want.settled
+            assert sweep.pred is None and sweep.order is None
+
+
+def test_network_level_convenience_functions(accel_mode):
+    network = make_network(16, num_nodes=40, num_edges=100)
+    reference = reference_copy(network)
+    source, target = network.node_ids()[0], network.node_ids()[-1]
+    assert (
+        kernel.sssp(network, source).distances_dict()
+        == dijkstra_distances(reference, source).distances
+    )
+    assert kernel.point_to_point(network, source, target).distance_to(
+        target
+    ) == shortest_path(reference, source, target).distance
+    single = kernel.many_to_many(network, [source], need_predecessors=True)
+    assert len(single) == 1
+    assert single[0].predecessors_dict() == dijkstra_distances(
+        reference, source
+    ).predecessors
+    with pytest.raises(KeyError):
+        kernel.arena_for(network.ensure_csr()).point_to_point(source, 10**9)
+
+
+def test_kernel_handles_edgeless_network(accel_mode):
+    network = RoadNetwork()
+    for node_id in range(3):
+        network.add_node(node_id, float(node_id), 0.0)
+    network.clear_delta()
+    sweep = kernel.sssp(network, 0)
+    assert sweep.distances_dict() == {0: 0.0}
+    assert sweep.settled == 1
+    assert kernel.point_to_point(network, 0, 2).distance_to(2) == INFINITY
+
+
+def test_path_to_guards_against_broken_chains():
+    snapshot = CSRGraph.from_adjacency({0: [(1, 1.0)], 1: [(2, 1.0)]})
+    broken = kernel.KernelResult(
+        snapshot, 0, dist=[0.0, 1.0, 2.0], pred=[-1, -1, 1], order=[0, 1, 2], settled=3
+    )
+    assert broken.path_to(1) == []  # discovered but its chain never reaches 0
+    assert broken.path_to(0) == [0]
+
+
+# ----------------------------------------------------------------------
+# Rewired precomputations agree across kernel modes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_arcflag_vectorized_equals_reference_flags(seed):
+    if not kernel.HAVE_ACCELERATOR:
+        pytest.skip("accelerator not installed")
+    network = make_network(seed, num_nodes=60, num_edges=150)
+    partitioning = build_kdtree_partitioning(network, 4)
+    vectorized = ArcFlagIndex(network, partitioning)
+    reference = ArcFlagIndex.__new__(ArcFlagIndex)
+    reference.network = network
+    reference.partitioning = partitioning
+    reference.num_regions = partitioning.num_regions
+    reference._build_reference()
+    assert vectorized.flags == reference.flags
+    assert list(vectorized.flags) == list(reference.flags)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_border_precomputation_identical_across_kernel_modes(seed):
+    if not kernel.HAVE_ACCELERATOR:
+        pytest.skip("accelerator not installed")
+    from repro.air.border_paths import BorderPathPrecomputation
+
+    network = make_network(seed, num_nodes=60, num_edges=150)
+    partitioning = build_kdtree_partitioning(network, 4)
+    accel = BorderPathPrecomputation(network, partitioning)
+    kernel.USE_ACCELERATOR = False
+    try:
+        pure = BorderPathPrecomputation(network, partitioning)
+    finally:
+        kernel.USE_ACCELERATOR = True
+    assert accel.min_distance == pure.min_distance
+    assert accel.max_distance == pure.max_distance
+    assert accel.cross_border_nodes == pure.cross_border_nodes
+    assert accel.traversed_regions == pure.traversed_regions
+    assert accel.num_border_pairs == pure.num_border_pairs
+
+
+# ----------------------------------------------------------------------
+# Engine surface
+# ----------------------------------------------------------------------
+def test_cache_info_reports_snapshot_stats():
+    network = make_network(14, num_nodes=40, num_edges=100)
+    system = AirSystem(network)
+    system.scheme("DJ")
+    info = system.cache_info()
+    assert info.snapshot_builds == 1
+    assert info.snapshot_fresh
+    assert info.snapshot_patches == 0
+    edge = next(network.edges())
+    system.apply_updates([(edge.source, edge.target, edge.weight + 1.0)])
+    info = system.cache_info()
+    assert info.snapshot_patches == 1
+    assert info.snapshot_fresh
+    network.add_node(10**6, 0.0, 0.0)
+    assert not system.cache_info().snapshot_fresh

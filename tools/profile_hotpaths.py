@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""cProfile harness over a registered scheme's build / query / refresh paths.
+
+The SP-kernel PR found its wins by profiling exactly these three phases;
+this tool packages that workflow so the next perf PR starts from data, not
+guesses.  For any registered scheme it profiles:
+
+* **build** -- scheme construction through the registry (pre-computation
+  plus cycle layout),
+* **query** -- a deterministic on-air workload through the scheme's client,
+* **refresh** -- weight-update batches routed through the engine's
+  incremental rebuild path.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/profile_hotpaths.py --scheme NR
+    PYTHONPATH=src python tools/profile_hotpaths.py --scheme HiTi \
+        --network milan --scale 0.02 --queries 32 --top 25 --sort tottime
+
+Pass ``--phases build,query`` to skip phases, and ``--no-accelerator`` to
+pin the kernel to its pure-Python loops (handy for isolating how much of a
+hot path is scipy-bound versus interpreter-bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import random
+import sys
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--scheme", default="NR", help="registered scheme name (see `repro schemes`)")
+    parser.add_argument("--network", default="germany", help="paper network name")
+    parser.add_argument("--scale", type=float, default=0.02, help="network down-scaling factor")
+    parser.add_argument("--seed", type=int, default=13, help="generator / workload seed")
+    parser.add_argument("--queries", type=int, default=16, help="queries in the profiled workload")
+    parser.add_argument("--update-batches", type=int, default=4, help="weight-update batches to refresh through")
+    parser.add_argument("--edges-per-batch", type=int, default=3, help="edges mutated per update batch")
+    parser.add_argument("--top", type=int, default=20, help="rows of the profile table to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+    parser.add_argument(
+        "--phases",
+        default="build,query,refresh",
+        help="comma-separated subset of build,query,refresh",
+    )
+    parser.add_argument(
+        "--no-accelerator",
+        action="store_true",
+        help="disable the scipy accelerator (kernel runs its pure-Python loops)",
+    )
+    return parser.parse_args(argv)
+
+
+def profile_phase(title: str, func, sort: str, top: int) -> None:
+    print(f"\n{'=' * 72}\n  {title}\n{'=' * 72}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    func()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    from repro import air
+    from repro.engine import AirSystem
+    from repro.experiments import ExperimentConfig, QueryWorkload
+    from repro.network import datasets
+    from repro.network.algorithms import kernel
+
+    if args.no_accelerator:
+        kernel.USE_ACCELERATOR = False
+    phases = {phase.strip() for phase in args.phases.split(",") if phase.strip()}
+    unknown = phases - {"build", "query", "refresh"}
+    if unknown:
+        raise SystemExit(f"unknown phases: {', '.join(sorted(unknown))}")
+
+    scheme_name = air.canonical_name(args.scheme)
+    config = ExperimentConfig(network=args.network, scale=args.scale, seed=args.seed)
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    print(
+        f"profiling {scheme_name} on {network.name} "
+        f"({network.num_nodes} nodes, {network.num_edges} edges, "
+        f"accelerator={'off' if args.no_accelerator else 'auto'})"
+    )
+
+    system = AirSystem(network, config=config)
+    if "build" in phases:
+        profile_phase(
+            f"build: {scheme_name} pre-computation + cycle layout",
+            lambda: system.scheme(scheme_name),
+            args.sort,
+            args.top,
+        )
+    else:
+        system.scheme(scheme_name)
+
+    if "query" in phases:
+        workload = QueryWorkload(network, args.queries, seed=args.seed)
+        profile_phase(
+            f"query: {len(workload)} on-air queries",
+            lambda: system.query_batch(scheme_name, workload),
+            args.sort,
+            args.top,
+        )
+
+    if "refresh" in phases:
+        rng = random.Random(args.seed)
+        edges = list(network.edges())
+
+        def run_refreshes() -> None:
+            for _ in range(args.update_batches):
+                batch = []
+                for _ in range(args.edges_per_batch):
+                    edge = rng.choice(edges)
+                    batch.append(
+                        (
+                            edge.source,
+                            edge.target,
+                            max(1e-3, edge.weight * rng.uniform(0.5, 2.0)),
+                        )
+                    )
+                system.apply_updates(batch)
+
+        profile_phase(
+            f"refresh: {args.update_batches} weight-update batches "
+            f"x {args.edges_per_batch} edges",
+            run_refreshes,
+            args.sort,
+            args.top,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
