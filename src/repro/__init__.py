@@ -41,13 +41,26 @@ Quickstart -- the engine facade (cycles built once, workloads batched)::
 schemes`` prints the same from the command line.
 """
 
-from repro import air, broadcast, dynamic, engine, experiments, index, network, partitioning, spatial
-from repro.engine import AirSystem, ClientOptions
+from repro import (
+    air,
+    broadcast,
+    dynamic,
+    engine,
+    experiments,
+    index,
+    network,
+    partitioning,
+    serialize,
+    spatial,
+    store,
+)
+from repro.engine import AirSystem, ArtifactStore, ClientOptions
 from repro.network import datasets
 from repro.version import __version__
 
 __all__ = [
     "AirSystem",
+    "ArtifactStore",
     "ClientOptions",
     "__version__",
     "air",
@@ -59,5 +72,7 @@ __all__ = [
     "index",
     "network",
     "partitioning",
+    "serialize",
     "spatial",
+    "store",
 ]

@@ -20,6 +20,7 @@ from repro.network.algorithms.paths import PathResult
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+from repro.serialize.graphs import partitioning_state, restore_partitioning
 
 __all__ = ["ArcFlagBroadcastScheme", "AFParams"]
 
@@ -49,10 +50,25 @@ class ArcFlagBroadcastScheme(FullCycleScheme):
         layout: RecordLayout = DEFAULT_LAYOUT,
     ) -> None:
         super().__init__(network, layout)
-        self.num_regions = num_regions
-        self.partitioning = build_kdtree_partitioning(network, num_regions)
-        self.index = ArcFlagIndex(network, self.partitioning)
+        self._configure(num_regions=num_regions)
+        self._build_state()
+
+    def _build_state(self) -> None:
+        self.partitioning = build_kdtree_partitioning(self.network, self.num_regions)
+        self.index = ArcFlagIndex(self.network, self.partitioning)
         self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {
+            "partitioning": partitioning_state(self.partitioning),
+            "index": self.index.state(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self.partitioning = restore_partitioning(self.network, state["partitioning"])
+        self.index = ArcFlagIndex.from_state(
+            self.network, self.partitioning, state["index"]
+        )
 
     def _precomputed_segments(self) -> List[Segment]:
         flag_bytes = self.network.num_edges * self.layout.arcflag_bytes_per_edge(

@@ -16,7 +16,7 @@ import abc
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.broadcast.channel import BroadcastChannel, ClientSession
 from repro.broadcast.cycle import BroadcastCycle
@@ -25,6 +25,9 @@ from repro.broadcast.metrics import ClientMetrics, MemoryTracker, ServerMetrics
 from repro.broadcast.packet import SegmentKind
 from repro.network.graph import RoadNetwork
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+from repro.serialize.artifacts import ArtifactMismatchError, BuildArtifact
+from repro.serialize.codec import decode_value, encode_value
+from repro.serialize.graphs import cycle_layout
 
 __all__ = [
     "ClientOptions",
@@ -178,6 +181,129 @@ class AirIndexScheme(abc.ABC):
         self.refresh_count += 1
         self.refresh_seconds += time.perf_counter() - started
         return True
+
+    # ------------------------------------------------------------------
+    # Build/serve split: versioned artifacts
+    # ------------------------------------------------------------------
+    def _configure(self, **params: Any) -> None:
+        """Apply the scheme's parameter-derived configuration (cheap).
+
+        Every scheme's ``__init__`` is split into *configure* (parameters
+        and everything derivable from them in O(1)) and *build*
+        (:meth:`_build_state`, the expensive pre-computation), so that
+        :meth:`from_artifact` can run configure and then *restore* instead
+        of build.  The default stores each parameter as an attribute of the
+        same name, which is also what :meth:`artifact` reads back.
+        """
+        for name, value in params.items():
+            setattr(self, name, value)
+
+    def _build_state(self) -> None:
+        """Run the scheme's pre-computation from scratch (may be expensive)."""
+
+    def _artifact_state(self) -> Dict[str, Any]:
+        """The scheme's built state as plain values; ``{}`` when stateless."""
+        return {}
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Install previously built state (inverse of :meth:`_artifact_state`)."""
+
+    def _artifact_params(self) -> Dict[str, Any]:
+        """The full parameter set, read back off the registered dataclass."""
+        from repro.air import registry
+
+        info = registry.get_scheme(self.short_name)
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(info.params)
+        }
+
+    def artifact(self) -> BuildArtifact:
+        """Detach the built state into a versioned :class:`BuildArtifact`.
+
+        The artifact carries the scheme name, the full parameter set, the
+        network fingerprint the state was computed over, the scheme state,
+        and the broadcast cycle's on-air layout (used as an integrity check
+        on restore).  Together with the network, it is everything a serving
+        process needs: ``Scheme.from_artifact(network, artifact)`` answers
+        queries, refreshes, and replays bit-identically to this instance.
+        """
+        payload = {
+            "state": self._artifact_state(),
+            "precomputation_seconds": self.precomputation_seconds,
+            "cycle": cycle_layout(self.cycle),
+            # Record sizing shapes every segment's byte count, so it is part
+            # of the built state: restore re-creates the same layout unless
+            # the caller explicitly overrides it.
+            "layout": dataclasses.asdict(self.layout),
+        }
+        return BuildArtifact(
+            scheme=self.short_name,
+            params=self._artifact_params(),
+            network_fingerprint=self.network.fingerprint(),
+            payload=encode_value(payload),
+        )
+
+    @classmethod
+    def from_artifact(
+        cls,
+        network: RoadNetwork,
+        artifact: BuildArtifact,
+        layout: Optional[RecordLayout] = None,
+    ) -> "AirIndexScheme":
+        """Reconstruct a serving-ready scheme from a build artifact.
+
+        Callable on a concrete scheme class (the artifact must name it) or
+        on :class:`AirIndexScheme` itself, which resolves the class through
+        the registry.  The artifact must have been built over a network with
+        the same fingerprint as ``network`` -- built state is only valid for
+        the exact structure and weights it was computed from.  The record
+        layout defaults to the one recorded in the artifact (it shapes every
+        on-air byte count); pass ``layout`` only to override it knowingly.
+        The broadcast cycle is re-laid from the restored state (layout is
+        cheap relative to pre-computation) and verified against the cycle
+        layout recorded at build time, so silent drift between writer and
+        reader code raises instead of serving a subtly different cycle.
+        """
+        from repro.air import registry
+
+        if cls is AirIndexScheme:
+            target = registry.get_scheme(artifact.scheme).cls
+        else:
+            if artifact.scheme != cls.short_name:
+                raise ArtifactMismatchError(
+                    f"artifact is for scheme {artifact.scheme!r}, "
+                    f"not {cls.short_name!r}"
+                )
+            target = cls
+        fingerprint = network.fingerprint()
+        if artifact.network_fingerprint != fingerprint:
+            raise ArtifactMismatchError(
+                f"artifact was built over network {artifact.network_fingerprint}, "
+                f"but the given network fingerprints as {fingerprint}"
+            )
+        payload = decode_value(artifact.payload)
+        if layout is None:
+            layout = RecordLayout(**payload["layout"])
+        scheme = object.__new__(target)
+        AirIndexScheme.__init__(scheme, network, layout)
+        scheme._configure(**dict(artifact.params))
+        scheme._restore_state(payload["state"])
+        scheme.precomputation_seconds = payload["precomputation_seconds"]
+        scheme._cycle = scheme.build_cycle()
+        # The recorded cycle layout was laid under the build-time record
+        # sizing; with an explicitly overridden layout the byte counts are
+        # *expected* to differ, so drift detection only applies when the
+        # effective layout is the recorded one.
+        if dataclasses.asdict(layout) == payload["layout"]:
+            rebuilt = cycle_layout(scheme._cycle)
+            if rebuilt != payload["cycle"]:
+                raise ArtifactMismatchError(
+                    f"restored {artifact.scheme} state re-lays a different cycle "
+                    "than the one recorded at build time (format drift without a "
+                    "version bump?)"
+                )
+        return scheme
 
     def server_metrics(self) -> ServerMetrics:
         """Cycle size and pre-computation cost (paper Tables 1 and 3)."""

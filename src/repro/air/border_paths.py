@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY
@@ -90,6 +90,10 @@ class BorderPathPrecomputation:
         self.traversed_regions: Dict[Tuple[int, int], Set[int]] = {}
         self.num_border_pairs = 0
         self.precomputation_seconds = 0.0
+        #: Backing storage of the ``_sources`` property; a restore keeps the
+        #: records encoded in ``_sources_blob`` until a refresh needs them.
+        self._source_records: List[_BorderSource] = []
+        self._sources_blob = None
 
         self._compute()
 
@@ -116,7 +120,7 @@ class BorderPathPrecomputation:
         sweeps = arena.many_to_many(
             [source for source, _ in self._all_border], need_predecessors=True
         )
-        self._sources: List[_BorderSource] = [
+        self._source_records = [
             self._derive_source(sweep, source, source_region)
             for sweep, (source, source_region) in zip(sweeps, self._all_border)
         ]
@@ -212,6 +216,202 @@ class BorderPathPrecomputation:
             for j in range(n):
                 if max_seen[i][j] >= 0.0:
                     self.max_distance[i][j] = max_seen[i][j]
+
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The computed state as plain values (see :mod:`repro.serialize`).
+
+        Two parts with different service lives: the published *aggregates*
+        (what query processing reads) are stored eagerly, while the heavy
+        per-source records (only :meth:`refresh` needs them) are packed
+        columnar -- a handful of flat int/float arrays instead of thousands
+        of small dicts -- and nested as one pre-encoded blob that
+        :meth:`from_state` defers decoding until the first refresh.  That
+        keeps a warm start independent of the per-source table size without
+        giving up bit-identical refreshes.
+        """
+        from repro.serialize.codec import encode_value
+
+        if self._source_records is None:
+            # Restored and never refreshed: the records are still encoded;
+            # re-publish the blob as-is instead of a decode/encode round.
+            sources_blob = self._sources_blob
+        else:
+            sources_blob = encode_value(self._sources_columnar())
+        flat_min = [value for row in self.min_distance for value in row]
+        flat_max = [value for row in self.max_distance for value in row]
+        trav_items: List[int] = []
+        trav_offsets: List[int] = [0]
+        trav_keys_i: List[int] = []
+        trav_keys_j: List[int] = []
+        for (i, j), regions in self.traversed_regions.items():
+            trav_keys_i.append(i)
+            trav_keys_j.append(j)
+            trav_items.extend(sorted(regions))
+            trav_offsets.append(len(trav_items))
+        return {
+            "all_border": {
+                "nodes": [node for node, _ in self._all_border],
+                "regions": [region for _, region in self._all_border],
+            },
+            "aggregates": {
+                "min_distance": flat_min,
+                "max_distance": flat_max,
+                "cross_border_nodes": sorted(self.cross_border_nodes),
+                "trav_keys_i": trav_keys_i,
+                "trav_keys_j": trav_keys_j,
+                "trav_offsets": trav_offsets,
+                "trav_items": trav_items,
+                "num_border_pairs": self.num_border_pairs,
+            },
+            "sources_blob": sources_blob,
+            "seconds": self.precomputation_seconds,
+        }
+
+    def _sources_columnar(self) -> Dict[str, Any]:
+        """The per-source records as flat columns (orders preserved).
+
+        Every per-record container is concatenated into one array with an
+        offsets column, so the codec stores a fixed number of bulk arrays
+        however many border sources exist.  Dict insertion orders (settle
+        order for ``distances``, encounter order for ``min_to``/``max_to``/
+        ``traversed``) survive the concatenation; sets are stored sorted.
+        """
+        columns: Dict[str, List] = {
+            "node": [],
+            "region": [],
+            "finite_pairs": [],
+            "dist_offsets": [0],
+            "dist_keys": [],
+            "dist_values": [],
+            "cross_offsets": [0],
+            "cross_items": [],
+            "min_offsets": [0],
+            "min_keys": [],
+            "min_values": [],
+            "max_offsets": [0],
+            "max_keys": [],
+            "max_values": [],
+            "trav_offsets": [0],
+            "trav_keys": [],
+            "trav_set_offsets": [0],
+            "trav_set_items": [],
+        }
+        for record in self._sources:
+            columns["node"].append(record.node)
+            columns["region"].append(record.region)
+            columns["finite_pairs"].append(record.finite_pairs)
+            columns["dist_keys"].extend(record.distances.keys())
+            columns["dist_values"].extend(record.distances.values())
+            columns["dist_offsets"].append(len(columns["dist_keys"]))
+            columns["cross_items"].extend(sorted(record.cross_nodes))
+            columns["cross_offsets"].append(len(columns["cross_items"]))
+            columns["min_keys"].extend(record.min_to.keys())
+            columns["min_values"].extend(record.min_to.values())
+            columns["min_offsets"].append(len(columns["min_keys"]))
+            columns["max_keys"].extend(record.max_to.keys())
+            columns["max_values"].extend(record.max_to.values())
+            columns["max_offsets"].append(len(columns["max_keys"]))
+            for region, regions in record.traversed.items():
+                columns["trav_keys"].append(region)
+                columns["trav_set_items"].extend(sorted(regions))
+                columns["trav_set_offsets"].append(len(columns["trav_set_items"]))
+            columns["trav_offsets"].append(len(columns["trav_keys"]))
+        return columns
+
+    @staticmethod
+    def _sources_from_columnar(columns: Dict[str, Any]) -> List[_BorderSource]:
+        """Inverse of :meth:`_sources_columnar`."""
+        records: List[_BorderSource] = []
+        for index, (node, region, finite) in enumerate(
+            zip(columns["node"], columns["region"], columns["finite_pairs"])
+        ):
+            d0, d1 = columns["dist_offsets"][index : index + 2]
+            c0, c1 = columns["cross_offsets"][index : index + 2]
+            m0, m1 = columns["min_offsets"][index : index + 2]
+            x0, x1 = columns["max_offsets"][index : index + 2]
+            t0, t1 = columns["trav_offsets"][index : index + 2]
+            traversed: Dict[int, Set[int]] = {}
+            for position in range(t0, t1):
+                s0, s1 = columns["trav_set_offsets"][position : position + 2]
+                traversed[columns["trav_keys"][position]] = set(
+                    columns["trav_set_items"][s0:s1]
+                )
+            records.append(
+                _BorderSource(
+                    node=node,
+                    region=region,
+                    distances=dict(
+                        zip(
+                            columns["dist_keys"][d0:d1],
+                            columns["dist_values"][d0:d1],
+                        )
+                    ),
+                    cross_nodes=set(columns["cross_items"][c0:c1]),
+                    finite_pairs=finite,
+                    min_to=dict(
+                        zip(columns["min_keys"][m0:m1], columns["min_values"][m0:m1])
+                    ),
+                    max_to=dict(
+                        zip(columns["max_keys"][x0:x1], columns["max_values"][x0:x1])
+                    ),
+                    traversed=traversed,
+                )
+            )
+        return records
+
+    @classmethod
+    def from_state(
+        cls, network: RoadNetwork, partitioning: Partitioning, state: Dict[str, Any]
+    ) -> "BorderPathPrecomputation":
+        """Reconstruct from :meth:`state` output without re-running Dijkstra.
+
+        The published aggregates install directly; the per-source blob stays
+        encoded until the first :meth:`refresh`/:meth:`affected_sources`
+        call touches :attr:`_sources` (serving queries never does).
+        """
+        self = object.__new__(cls)
+        self.network = network
+        self.partitioning = partitioning
+        n = partitioning.num_regions
+        self.num_regions = n
+        roster = state["all_border"]
+        self._all_border = list(zip(roster["nodes"], roster["regions"]))
+        self._border_set = set(roster["nodes"])
+        aggregates = state["aggregates"]
+        flat_min = aggregates["min_distance"]
+        flat_max = aggregates["max_distance"]
+        self.min_distance = [flat_min[i * n : (i + 1) * n] for i in range(n)]
+        self.max_distance = [flat_max[i * n : (i + 1) * n] for i in range(n)]
+        self.cross_border_nodes = set(aggregates["cross_border_nodes"])
+        self.traversed_regions = {
+            (i, j): set(aggregates["trav_items"][start:end])
+            for i, j, start, end in zip(
+                aggregates["trav_keys_i"],
+                aggregates["trav_keys_j"],
+                aggregates["trav_offsets"],
+                aggregates["trav_offsets"][1:],
+            )
+        }
+        self.num_border_pairs = aggregates["num_border_pairs"]
+        self._source_records = None
+        self._sources_blob = state["sources_blob"]
+        self.precomputation_seconds = state["seconds"]
+        return self
+
+    @property
+    def _sources(self) -> List[_BorderSource]:
+        """The per-source records, decoding the deferred blob on first use."""
+        if self._source_records is None:
+            from repro.serialize.codec import decode_value
+
+            self._source_records = self._sources_from_columnar(
+                decode_value(self._sources_blob)
+            )
+            self._sources_blob = None
+        return self._source_records
 
     # ------------------------------------------------------------------
     # Incremental refresh

@@ -50,6 +50,7 @@ from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.algorithms.kernel import masked_shortest_path
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import KDTreePartitioner, build_kdtree_partitioning
+from repro.serialize.graphs import partitioning_state, restore_partitioning
 
 __all__ = ["EllipticBoundaryScheme", "EllipticBoundaryClient", "EBParams"]
 
@@ -84,12 +85,12 @@ class EllipticBoundaryScheme(AirIndexScheme):
         square_packing: bool = True,
     ) -> None:
         super().__init__(network, layout)
+        self._configure(num_regions=num_regions, square_packing=square_packing)
+        self._build_state()
+
+    def _configure(self, num_regions: int = 32, square_packing: bool = True) -> None:
         self.num_regions = num_regions
         self.square_packing = square_packing
-        self.partitioning = build_kdtree_partitioning(network, num_regions)
-        self.precomputation = BorderPathPrecomputation(network, self.partitioning)
-        self.precomputation_seconds = self.precomputation.precomputation_seconds
-
         # Packet layout of the index segment: kd splits and the offset column
         # occupy the leading packets, then the A-matrix cells follow, packed
         # into squares (or row-major for the ablation baseline).
@@ -107,6 +108,23 @@ class EllipticBoundaryScheme(AirIndexScheme):
         from repro.broadcast.packet import PACKET_PAYLOAD_BYTES
 
         self.index_air_bytes = self.index_packets * PACKET_PAYLOAD_BYTES
+
+    def _build_state(self) -> None:
+        self.partitioning = build_kdtree_partitioning(self.network, self.num_regions)
+        self.precomputation = BorderPathPrecomputation(self.network, self.partitioning)
+        self.precomputation_seconds = self.precomputation.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {
+            "partitioning": partitioning_state(self.partitioning),
+            "border_paths": self.precomputation.state(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self.partitioning = restore_partitioning(self.network, state["partitioning"])
+        self.precomputation = BorderPathPrecomputation.from_state(
+            self.network, self.partitioning, state["border_paths"]
+        )
 
     # ------------------------------------------------------------------
     # Cycle construction

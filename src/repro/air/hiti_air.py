@@ -28,6 +28,7 @@ from repro.index.hiti import HiTiIndex
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
 from repro.air.records import DEFAULT_LAYOUT, RecordLayout
+from repro.serialize.graphs import partitioning_state, restore_partitioning
 
 __all__ = ["HiTiBroadcastScheme", "HiTiParams"]
 
@@ -58,10 +59,23 @@ class HiTiBroadcastScheme(AirIndexScheme):
         layout: RecordLayout = DEFAULT_LAYOUT,
     ) -> None:
         super().__init__(network, layout)
-        self.num_regions = num_regions
-        self.partitioning = build_kdtree_partitioning(network, num_regions)
-        self.index = HiTiIndex(network, self.partitioning)
+        self._configure(num_regions=num_regions)
+        self._build_state()
+
+    def _build_state(self) -> None:
+        self.partitioning = build_kdtree_partitioning(self.network, self.num_regions)
+        self.index = HiTiIndex(self.network, self.partitioning)
         self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {
+            "partitioning": partitioning_state(self.partitioning),
+            "index": self.index.state(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self.partitioning = restore_partitioning(self.network, state["partitioning"])
+        self.index = HiTiIndex.from_state(self.network, self.partitioning, state["index"])
 
     def _index_segment(self) -> Segment:
         # Crossing (inter-region) edges are part of the index: the client

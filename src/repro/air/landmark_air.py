@@ -49,9 +49,18 @@ class LandmarkBroadcastScheme(FullCycleScheme):
         layout: RecordLayout = DEFAULT_LAYOUT,
     ) -> None:
         super().__init__(network, layout)
-        self.num_landmarks = num_landmarks
-        self.index = LandmarkIndex(network, num_landmarks=num_landmarks)
+        self._configure(num_landmarks=num_landmarks)
+        self._build_state()
+
+    def _build_state(self) -> None:
+        self.index = LandmarkIndex(self.network, num_landmarks=self.num_landmarks)
         self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {"index": self.index.state()}
+
+    def _restore_state(self, state: dict) -> None:
+        self.index = LandmarkIndex.from_state(self.network, state["index"])
 
     def _precomputed_segments(self) -> List[Segment]:
         vector_bytes = self.network.num_nodes * self.layout.landmark_vector_bytes(

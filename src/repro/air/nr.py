@@ -45,6 +45,7 @@ from repro.network.algorithms.dijkstra import shortest_path
 from repro.network.algorithms.kernel import masked_shortest_path
 from repro.network.graph import RoadNetwork
 from repro.partitioning.kdtree import build_kdtree_partitioning
+from repro.serialize.graphs import partitioning_state, restore_partitioning
 
 __all__ = ["NextRegionScheme", "NextRegionClient", "NRParams"]
 
@@ -75,11 +76,11 @@ class NextRegionScheme(AirIndexScheme):
         layout: RecordLayout = DEFAULT_LAYOUT,
     ) -> None:
         super().__init__(network, layout)
-        self.num_regions = num_regions
-        self.partitioning = build_kdtree_partitioning(network, num_regions)
-        self.precomputation = BorderPathPrecomputation(network, self.partitioning)
-        self.precomputation_seconds = self.precomputation.precomputation_seconds
+        self._configure(num_regions=num_regions)
+        self._build_state()
 
+    def _configure(self, num_regions: int = 32) -> None:
+        self.num_regions = num_regions
         #: Informational content of one local index (what the client stores).
         self.local_index_bytes = self.layout.nr_local_index_bytes(num_regions)
         self._header_packets = packets_for_bytes(self.layout.kd_split_bytes(num_regions))
@@ -92,6 +93,23 @@ class NextRegionScheme(AirIndexScheme):
 
         self.local_index_air_bytes = self.local_index_packets * PACKET_PAYLOAD_BYTES
         self._needed_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    def _build_state(self) -> None:
+        self.partitioning = build_kdtree_partitioning(self.network, self.num_regions)
+        self.precomputation = BorderPathPrecomputation(self.network, self.partitioning)
+        self.precomputation_seconds = self.precomputation.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {
+            "partitioning": partitioning_state(self.partitioning),
+            "border_paths": self.precomputation.state(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        self.partitioning = restore_partitioning(self.network, state["partitioning"])
+        self.precomputation = BorderPathPrecomputation.from_state(
+            self.network, self.partitioning, state["border_paths"]
+        )
 
     # ------------------------------------------------------------------
     # Index semantics

@@ -50,8 +50,18 @@ class SPQBroadcastScheme(FullCycleScheme):
         layout: RecordLayout = DEFAULT_LAYOUT,
     ) -> None:
         super().__init__(network, layout)
-        self.index = ShortestPathQuadTreeIndex(network, max_depth=max_depth)
+        self._configure(max_depth=max_depth)
+        self._build_state()
+
+    def _build_state(self) -> None:
+        self.index = ShortestPathQuadTreeIndex(self.network, max_depth=self.max_depth)
         self.precomputation_seconds = self.index.precomputation_seconds
+
+    def _artifact_state(self) -> dict:
+        return {"index": self.index.state()}
+
+    def _restore_state(self, state: dict) -> None:
+        self.index = ShortestPathQuadTreeIndex.from_state(self.network, state["index"])
 
     def _precomputed_segments(self) -> List[Segment]:
         return [

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.broadcast.packet import Segment, SegmentKind
+from repro.broadcast.packet import PACKET_SIZE_BYTES, Segment, SegmentKind
 
 __all__ = ["BroadcastCycle"]
 
@@ -50,8 +50,6 @@ class BroadcastCycle:
 
     def duration_seconds(self, bits_per_second: float) -> float:
         """Time to broadcast one full cycle at the given channel rate."""
-        from repro.broadcast.packet import PACKET_SIZE_BYTES
-
         return self._total_packets * PACKET_SIZE_BYTES * 8 / bits_per_second
 
     def __len__(self) -> int:

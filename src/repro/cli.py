@@ -1,14 +1,16 @@
 """Command-line interface.
 
-Six sub-commands cover the common ways of poking at the system without
-writing code::
+Seven sub-commands cover the common ways of poking at the system without
+writing code (installed as the ``repro`` console script; ``python -m
+repro`` works identically)::
 
-    python -m repro schemes
-    python -m repro cycle    --network germany --scale 0.02 --method NR
-    python -m repro query    --network germany --scale 0.02 --method NR --queries 5
-    python -m repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
-    python -m repro fleet    --network germany --scale 0.02 --method NR --devices 500
-    python -m repro dynamic  --network germany --scale 0.02 --method NR --steps 6
+    repro schemes
+    repro cycle    --network germany --scale 0.02 --method NR
+    repro query    --network germany --scale 0.02 --method NR --queries 5
+    repro compare  --network milan   --scale 0.02 --methods NR,EB,DJ
+    repro fleet    --network germany --scale 0.02 --method NR --devices 500
+    repro dynamic  --network germany --scale 0.02 --method NR --steps 6
+    repro store    --dir /var/cache/repro build --network germany --scale 0.02
 
 * ``schemes`` -- list every registered air-index scheme with its parameters
   and defaults, straight from the registry.
@@ -24,6 +26,10 @@ writing code::
 * ``dynamic`` -- replay an edge-weight update stream (congestion ramp or
   random closures) against one scheme, refreshing the cycle incrementally
   between device waves, and print the per-step refresh/answer statistics.
+* ``store``   -- manage an on-disk artifact store (the build/serve split):
+  ``build`` pre-computes schemes into it, ``ls`` lists its contents,
+  ``verify`` checksum-verifies every artifact (quarantining corrupted
+  ones), and ``gc`` enforces a byte cap / purges the quarantine.
 
 Every command constructs its schemes through an
 :class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
@@ -180,6 +186,37 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument("--loss-rate", type=float, default=0.0, help="packet loss probability")
     dynamic.add_argument(
         "--concurrency", type=_positive_int, default=1, help="worker threads per wave"
+    )
+
+    store = subparsers.add_parser(
+        "store", help="manage the on-disk artifact store (build/serve split)"
+    )
+    store.add_argument("--dir", required=True, help="store root directory")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_build = store_sub.add_parser(
+        "build", help="pre-compute scheme artifacts into the store"
+    )
+    add_common(store_build)
+    store_build.add_argument(
+        "--methods",
+        default=",".join(air.available_schemes()),
+        type=_scheme_list,
+        help="comma-separated method list (default: every registered scheme)",
+    )
+    store_sub.add_parser("ls", help="list stored artifacts")
+    store_sub.add_parser(
+        "verify", help="checksum-verify every artifact (exit 1 if any corrupt)"
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used artifacts down to a byte cap"
+    )
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None, help="byte cap to enforce"
+    )
+    store_gc.add_argument(
+        "--purge-quarantine",
+        action="store_true",
+        help="also delete quarantined (corrupt) files",
     )
     return parser
 
@@ -429,6 +466,83 @@ def _command_dynamic(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_store(args: argparse.Namespace, out) -> int:
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.dir)
+    if args.store_command == "build":
+        system = AirSystem.from_config(_config(args), store=store)
+        network = system.network
+        rows = []
+        for method in args.methods:
+            hits_before = store.hits
+            scheme = system.scheme(method)
+            # scheme() already published (or restored) the artifact; read
+            # its on-disk size instead of re-encoding the state to measure.
+            path = store.object_path(
+                method, scheme._artifact_params(), network.fingerprint()
+            )
+            rows.append(
+                [
+                    method,
+                    scheme.cycle.total_packets,
+                    round(path.stat().st_size / 1024.0, 1) if path.exists() else "-",
+                    "restored" if store.hits > hits_before else "built",
+                ]
+            )
+        print(
+            report.format_table(
+                ["Method", "Cycle (pkt)", "Artifact (KB)", "Source"],
+                rows,
+                title=(
+                    f"Store build: {network.name} ({network.num_nodes} nodes) "
+                    f"-> {store.root}"
+                ),
+            ),
+            file=out,
+        )
+        return 0
+    if args.store_command == "ls":
+        entries = store.entries()
+        rows = [
+            [
+                entry.scheme,
+                ", ".join(f"{k}={v}" for k, v in sorted(entry.params.items())) or "-",
+                entry.network_fingerprint[:12],
+                entry.format_version,
+                round(entry.size_bytes / 1024.0, 1),
+            ]
+            for entry in entries
+        ]
+        total_kb = round(sum(e.size_bytes for e in entries) / 1024.0, 1)
+        print(
+            report.format_table(
+                ["Scheme", "Parameters", "Network", "Fmt", "Size (KB)"],
+                rows,
+                title=f"Artifact store {store.root} ({len(entries)} entries, {total_kb} KB)",
+            ),
+            file=out,
+        )
+        return 0
+    if args.store_command == "verify":
+        outcome = store.verify()
+        rows = [[key, value] for key, value in outcome.items()]
+        print(
+            report.format_table(
+                ["Quantity", "Value"], rows, title=f"Store verify: {store.root}"
+            ),
+            file=out,
+        )
+        return 1 if outcome["quarantined"] else 0
+    outcome = store.gc(max_bytes=args.max_bytes, purge_quarantine=args.purge_quarantine)
+    rows = [[key, value] for key, value in outcome.items()]
+    print(
+        report.format_table(["Quantity", "Value"], rows, title=f"Store gc: {store.root}"),
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -441,6 +555,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "compare": _command_compare,
         "fleet": _command_fleet,
         "dynamic": _command_dynamic,
+        "store": _command_store,
     }
     return handlers[args.command](args, out)
 

@@ -9,17 +9,20 @@ point; the scheme zoo underneath stays pluggable via
 """
 
 from repro.air.base import ClientOptions
-from repro.engine.results import MethodRun, RefreshReport
+from repro.engine.results import MethodRun, RefreshReport, WarmStartReport
 from repro.engine.system import AirSystem, CacheInfo, execute_workload
 from repro.fleet import DeviceSpec, FleetRun
+from repro.store import ArtifactStore
 
 __all__ = [
     "AirSystem",
+    "ArtifactStore",
     "CacheInfo",
     "ClientOptions",
     "DeviceSpec",
     "FleetRun",
     "MethodRun",
     "RefreshReport",
+    "WarmStartReport",
     "execute_workload",
 ]

@@ -14,7 +14,7 @@ from typing import List, Tuple
 
 from repro.broadcast.metrics import ClientMetrics, ServerMetrics, average_metrics
 
-__all__ = ["MethodRun", "RefreshReport"]
+__all__ = ["MethodRun", "RefreshReport", "WarmStartReport"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,12 @@ class RefreshReport:
     rebuilt: Tuple[str, ...] = ()
     dropped: Tuple[str, ...] = ()
     seconds: float = 0.0
+    #: Refreshed artifacts re-published to the disk tier (0 without a store).
+    #: A refresh changes built state, so the previously stored artifacts --
+    #: keyed by the superseded network fingerprint -- no longer apply; the
+    #: refreshed state is stored under the new fingerprint and the stale
+    #: entries await :meth:`~repro.engine.system.AirSystem.prune_cache`.
+    artifacts_stored: int = 0
 
     @property
     def refreshed(self) -> int:
@@ -47,6 +53,26 @@ class RefreshReport:
     def noop(self) -> bool:
         """``True`` when the network had not changed since the last refresh."""
         return self.parent_fingerprint == self.fingerprint and self.refreshed == 0
+
+
+@dataclass(frozen=True)
+class WarmStartReport:
+    """Outcome of one :meth:`~repro.engine.system.AirSystem.warm_start` call.
+
+    ``loaded`` names the schemes restored from the disk tier into the memory
+    cache (plus any already cached in memory), ``missing`` the ones without
+    a valid stored artifact -- those build from scratch on first use, which
+    is the cold path warm start exists to avoid.
+    """
+
+    loaded: Tuple[str, ...] = ()
+    missing: Tuple[str, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """``True`` when every requested scheme came out of the store."""
+        return not self.missing
 
 
 @dataclass

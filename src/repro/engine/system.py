@@ -32,13 +32,21 @@ from repro.air import registry
 from repro.air.base import AirIndexScheme, ClientOptions, QueryResult, is_mismatch
 from repro.broadcast.channel import BroadcastChannel
 from repro.concurrency import run_indexed
-from repro.engine.results import MethodRun, RefreshReport
+from repro.engine.results import MethodRun, RefreshReport, WarmStartReport
 from repro.fleet.devices import DeviceSpec
 from repro.fleet.results import FleetRun
 from repro.fleet.simulator import simulate_fleet as _simulate_fleet
 from repro.network.graph import RoadNetwork
+from repro.serialize.artifacts import ArtifactError
+from repro.store import ArtifactStore
 
-__all__ = ["AirSystem", "CacheInfo", "RefreshReport", "execute_workload"]
+__all__ = [
+    "AirSystem",
+    "CacheInfo",
+    "RefreshReport",
+    "WarmStartReport",
+    "execute_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -63,17 +71,33 @@ class CacheInfo:
     #: Whether a fresh snapshot currently backs the array kernel (``False``
     #: after structural mutations until the next scheme build or search).
     snapshot_fresh: bool = False
+    #: Memory-cache misses of *this system* served by restoring a stored
+    #: artifact instead of building from scratch (``warm_start`` loads are
+    #: not misses and are not counted here).
+    disk_restores: int = 0
+    #: Disk-tier (artifact store) statistics; all zero without a store.
+    #: ``disk_hits`` counts store reads that returned an artifact (including
+    #: ``warm_start`` and other systems sharing the store instance),
+    #: ``disk_misses`` the reads that found nothing servable.
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    disk_evictions: int = 0
+    disk_quarantined: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
 
     @property
     def builds(self) -> int:
         """Number of from-scratch scheme/cycle constructions.
 
-        Cold cache misses plus the full rebuilds ``refresh()`` performed for
-        schemes that could not apply a delta incrementally; in-place
-        incremental refreshes are not constructions and are counted
-        separately (:attr:`incremental_rebuilds`).
+        Cold cache misses that actually built (misses served by a disk-tier
+        restore are not constructions) plus the full rebuilds ``refresh()``
+        performed for schemes that could not apply a delta incrementally;
+        in-place incremental refreshes are not constructions either and are
+        counted separately (:attr:`incremental_rebuilds`).
         """
-        return self.misses + self.full_rebuilds
+        return self.misses - self.disk_restores + self.full_rebuilds
 
 
 def _as_query(item: Any) -> Tuple[int, int, Optional[float]]:
@@ -150,6 +174,14 @@ class AirSystem:
         Base :class:`ClientOptions` for every client the system creates;
         defaults to ``ClientOptions(device=config.device)`` when a
         configuration is given.
+    store:
+        Optional disk tier: an :class:`~repro.store.ArtifactStore` (or a
+        path, wrapped into one).  With a store attached the cycle cache is
+        two-tiered -- a memory miss first tries to restore the scheme from
+        a stored :class:`~repro.serialize.BuildArtifact` (bit-identical to
+        a scratch build, orders of magnitude cheaper), and every scratch
+        build publishes its artifact so the next process (or the next
+        restart) warm-starts instead of re-running Table 3.
     """
 
     def __init__(
@@ -157,9 +189,13 @@ class AirSystem:
         network: RoadNetwork,
         config: Any = None,
         default_options: Optional[ClientOptions] = None,
+        store: Optional[Any] = None,
     ) -> None:
         self.network = network
         self.config = config
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store: Optional[ArtifactStore] = store
         if default_options is None:
             device = getattr(config, "device", None)
             default_options = ClientOptions(device=device) if device else ClientOptions()
@@ -168,6 +204,7 @@ class AirSystem:
         self._channels: Dict[Tuple, BroadcastChannel] = {}
         self._hits = 0
         self._misses = 0
+        self._disk_restores = 0
         self._incremental_rebuilds = 0
         self._full_rebuilds = 0
         #: Fingerprint -> the fingerprint it superseded (set by refresh()).
@@ -180,14 +217,19 @@ class AirSystem:
         self._clean_fingerprint = self.network.fingerprint()
 
     @classmethod
-    def from_config(cls, config: Any, network_name: Optional[str] = None) -> "AirSystem":
+    def from_config(
+        cls,
+        config: Any,
+        network_name: Optional[str] = None,
+        store: Optional[Any] = None,
+    ) -> "AirSystem":
         """Build the configured (scaled) evaluation network and wrap it."""
         from repro.network import datasets
 
         network = datasets.load(
             network_name or config.network, scale=config.scale, seed=config.seed
         )
-        return cls(network, config=config)
+        return cls(network, config=config, store=store)
 
     # ------------------------------------------------------------------
     # Scheme cache
@@ -217,26 +259,115 @@ class AirSystem:
     def scheme(self, name: str, **params: Any) -> AirIndexScheme:
         """The (cached) scheme instance for ``name`` with the given parameters.
 
-        On a cache miss the scheme is constructed through the registry and
-        its broadcast cycle is built immediately, so everything returned by
-        this method is ready to serve queries without further pre-computation.
+        On a memory miss with a store attached, the disk tier is consulted
+        first: a stored artifact restores in milliseconds and is
+        bit-identical to a scratch build.  Only when that also misses is the
+        scheme constructed through the registry (cycle built immediately),
+        and its artifact is then published to the store.  Either way,
+        everything returned by this method is ready to serve queries without
+        further pre-computation.
         """
         name = registry.canonical_name(name)
         resolved = self._resolve_params(name, params)
-        key = (name, tuple(sorted(resolved.items())), self._fingerprint)
+        key = self._cache_key(name, resolved)
         scheme = self._schemes.get(key)
         if scheme is not None:
             self._hits += 1
             return scheme
         self._misses += 1
-        scheme = registry.create(name, self.network, **resolved)
-        scheme.cycle  # build (and thereby cache) the broadcast cycle now
+        scheme = self._restore_from_store(name, resolved)
+        if scheme is None:
+            scheme = registry.create(name, self.network, **resolved)
+            scheme.cycle  # build (and thereby cache) the broadcast cycle now
+            self._publish_to_store(scheme)
+        else:
+            self._disk_restores += 1
         self._schemes[key] = scheme
         return scheme
+
+    def _cache_key(self, name: str, resolved: Mapping[str, Any]) -> Tuple:
+        """The memory-cache key shared by every lookup and warm-start path."""
+        return (name, tuple(sorted(resolved.items())), self._fingerprint)
+
+    def _restore_from_store(
+        self, name: str, resolved: Mapping[str, Any]
+    ) -> Optional[AirIndexScheme]:
+        """Try the disk tier for an already-built scheme; ``None`` on miss.
+
+        The disk tier is a cache: *anything* going wrong here -- a stored
+        artifact whose payload schema drifted without a version bump (shows
+        up as codec/shape errors out of ``_restore_state``), a mismatch
+        slipping past the store's own validation, or plain I/O trouble --
+        degrades to a miss, and the caller rebuilds from scratch (which
+        also re-publishes a good artifact).
+        """
+        if self.store is None:
+            return None
+        try:
+            artifact = self.store.get(name, resolved, self._fingerprint)
+        except OSError:
+            return None
+        if artifact is None:
+            return None
+        try:
+            return AirIndexScheme.from_artifact(self.network, artifact)
+        except (ArtifactError, KeyError, IndexError, TypeError, ValueError, AttributeError):
+            return None
+
+    def _publish_to_store(self, scheme: AirIndexScheme) -> bool:
+        """Best-effort artifact publication; never breaks the serving path.
+
+        A full disk or a read-only store directory must not fail a
+        ``scheme()`` call whose in-memory build already succeeded -- the
+        write is retried naturally the next time a cold build happens.
+        """
+        if self.store is None:
+            return False
+        try:
+            self.store.put(scheme.artifact())
+        except OSError:
+            return False
+        return True
+
+    def warm_start(self, names: Optional[Sequence[str]] = None) -> WarmStartReport:
+        """Populate the memory cache from the disk tier without building.
+
+        The restart path of a production server: instead of paying the full
+        Table 3 pre-computation per scheme on every deploy, restore every
+        stored artifact for the current network (under the system's resolved
+        default parameters).  ``names`` defaults to every registered scheme;
+        schemes without a valid stored artifact are reported ``missing`` and
+        left to build lazily (publishing their artifact) on first use.
+        Requires a store.
+        """
+        if self.store is None:
+            raise ValueError("warm_start() requires an AirSystem with a store")
+        started = time.perf_counter()
+        loaded: List[str] = []
+        missing: List[str] = []
+        for name in names if names is not None else registry.available_schemes():
+            name = registry.canonical_name(name)
+            resolved = self._resolve_params(name, {})
+            key = self._cache_key(name, resolved)
+            if key in self._schemes:
+                loaded.append(name)
+                continue
+            scheme = self._restore_from_store(name, resolved)
+            if scheme is None:
+                missing.append(name)
+                continue
+            self._schemes[key] = scheme
+            loaded.append(name)
+        return WarmStartReport(
+            loaded=tuple(loaded),
+            missing=tuple(missing),
+            seconds=time.perf_counter() - started,
+        )
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/entry counts of the cycle cache, plus snapshot stats."""
         snapshot = self.network.csr_stats()
+        disk = self.store.stats() if self.store is not None else {}
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
@@ -246,6 +377,14 @@ class AirSystem:
             snapshot_builds=snapshot["builds"],
             snapshot_patches=snapshot["patches"],
             snapshot_fresh=bool(snapshot["fresh"]),
+            disk_restores=self._disk_restores,
+            disk_hits=disk.get("hits", 0),
+            disk_misses=disk.get("misses", 0),
+            disk_writes=disk.get("writes", 0),
+            disk_evictions=disk.get("evictions", 0),
+            disk_quarantined=disk.get("quarantined", 0),
+            disk_entries=disk.get("entries", 0),
+            disk_bytes=disk.get("bytes", 0),
         )
 
     def clear_cache(self) -> None:
@@ -254,6 +393,7 @@ class AirSystem:
         self._channels.clear()
         self._hits = 0
         self._misses = 0
+        self._disk_restores = 0
         self._incremental_rebuilds = 0
         self._full_rebuilds = 0
 
@@ -263,8 +403,12 @@ class AirSystem:
         In-place mutation keeps older-fingerprint entries around so that
         reverting a mutation hits the original entry again, but a long-lived
         system in a mutate/re-query loop would accumulate one dead cycle per
-        structure.  This evicts every entry whose fingerprint differs from
-        the network's current one and returns the number dropped.
+        structure.  This evicts every memory entry whose fingerprint differs
+        from the network's current one, and -- when a store is attached --
+        every *disk* entry built over a fingerprint this system superseded
+        (the :meth:`lineage` chain; entries for unrelated networks sharing
+        the store are deliberately left alone).  Returns the total number of
+        entries dropped across both tiers.
         """
         current = self._fingerprint
         stale_schemes = [key for key in self._schemes if key[2] != current]
@@ -273,7 +417,17 @@ class AirSystem:
         stale_channels = [key for key in self._channels if key[2] != current]
         for key in stale_channels:
             del self._channels[key]
-        return len(stale_schemes) + len(stale_channels)
+        dropped = len(stale_schemes) + len(stale_channels)
+        if self.store is not None:
+            # Every fingerprint ever refreshed *from* is dead -- unless the
+            # network was reverted back onto it and it is current again.
+            superseded = set(self._lineage.values()) - {current}
+            if superseded:
+                try:
+                    dropped += self.store.prune(superseded)
+                except OSError:
+                    pass  # cache-tier housekeeping must not break serving
+        return dropped
 
     # ------------------------------------------------------------------
     # Dynamic networks: versioned refresh
@@ -331,6 +485,7 @@ class AirSystem:
         incremental: List[str] = []
         rebuilt: List[str] = []
         dropped: List[str] = []
+        artifacts_stored = 0
         # The incremental path is only sound when the delta fully explains
         # the fingerprint transition.  A moved fingerprint with *no* recorded
         # changes means the tracking was cleared externally -- fall back to
@@ -354,6 +509,11 @@ class AirSystem:
                 rebuilt.append(name)
                 self._full_rebuilds += 1
             self._schemes[new_key] = scheme
+            # The refreshed state belongs to the new fingerprint; the old
+            # fingerprint's stored artifact is now superseded (see
+            # prune_cache) and must never be served for this network.
+            if self._publish_to_store(scheme):
+                artifacts_stored += 1
         for key in [key for key in self._channels if key[2] != current]:
             del self._channels[key]
 
@@ -371,6 +531,7 @@ class AirSystem:
             rebuilt=tuple(rebuilt),
             dropped=tuple(dropped),
             seconds=time.perf_counter() - started,
+            artifacts_stored=artifacts_stored,
         )
 
     def lineage(self, fingerprint: Optional[str] = None) -> List[str]:
@@ -424,7 +585,7 @@ class AirSystem:
         resolved = self._resolve_params(name, params)
         if options is None:
             options = self.default_options.replace(loss_rate=loss_rate, loss_seed=seed)
-        key = (name, tuple(sorted(resolved.items())), self._fingerprint, options)
+        key = (*self._cache_key(name, resolved), options)
         if key not in self._channels:
             self._channels[key] = scheme.channel(
                 loss_rate=options.loss_rate, seed=options.loss_seed

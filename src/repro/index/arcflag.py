@@ -17,7 +17,7 @@ construction used by practical ArcFlag implementations.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.network.algorithms import kernel
 from repro.network.algorithms.astar import astar_search
@@ -133,6 +133,26 @@ class ArcFlagIndex:
                     if abs(target_dist + weight - source_dist) <= 1e-9 * max(1.0, source_dist):
                         flags[(source, target)] |= bit
         self.flags = flags
+
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The flag table as plain values (edge order preserved)."""
+        return {"flags": self.flags, "seconds": self.precomputation_seconds}
+
+    @classmethod
+    def from_state(
+        cls, network: RoadNetwork, partitioning: Partitioning, state: Dict[str, Any]
+    ) -> "ArcFlagIndex":
+        """Reconstruct from :meth:`state` output without re-running the sweeps."""
+        self = object.__new__(cls)
+        self.network = network
+        self.partitioning = partitioning
+        self.num_regions = partitioning.num_regions
+        self.flags = {tuple(key): value for key, value in state["flags"].items()}
+        self.precomputation_seconds = state["seconds"]
+        return self
 
     # ------------------------------------------------------------------
     # Query

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from repro.network.algorithms.kernel import KernelArena
 from repro.network.algorithms.paths import INFINITY, PathResult
@@ -137,6 +137,59 @@ class HiTiIndex:
             adjacency=overlay, border_nodes=merged.border_nodes
         )
         return merged
+
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The hierarchy as plain values (see :mod:`repro.serialize`).
+
+        Super-edge dicts keep their insertion order -- the query overlay is
+        assembled by iterating them, so order is part of the bit-identity
+        contract.
+        """
+        return {
+            "levels": [
+                {
+                    first: {
+                        "level": subgraph.level,
+                        "regions": list(subgraph.regions),
+                        "border_nodes": list(subgraph.border_nodes),
+                        "super_edges": subgraph.super_edges,
+                    }
+                    for first, subgraph in level.items()
+                }
+                for level in self.levels
+            ],
+            "seconds": self.precomputation_seconds,
+        }
+
+    @classmethod
+    def from_state(
+        cls, network: RoadNetwork, partitioning: Partitioning, state: Dict[str, Any]
+    ) -> "HiTiIndex":
+        """Reconstruct from :meth:`state` output without recomputing levels."""
+        self = object.__new__(cls)
+        self.network = network
+        self.partitioning = partitioning
+        self.num_regions = partitioning.num_regions
+        self.levels = [
+            {
+                first: HiTiSubgraph(
+                    level=entry["level"],
+                    regions=tuple(entry["regions"]),
+                    border_nodes=list(entry["border_nodes"]),
+                    super_edges={
+                        tuple(key): value
+                        for key, value in entry["super_edges"].items()
+                    },
+                )
+                for first, entry in level.items()
+            }
+            for level in state["levels"]
+        ]
+        self.precomputation_seconds = state["seconds"]
+        return self
 
     def refresh(self, dirty_regions: Set[int]) -> int:
         """Recompute only the sub-graphs covering a dirty leaf region.

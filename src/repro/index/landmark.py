@@ -11,7 +11,7 @@ graph distance between any two nodes, which A* uses to guide the search:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.network.algorithms import kernel
 from repro.network.algorithms.astar import astar_search
@@ -111,6 +111,29 @@ class LandmarkIndex:
             self.forward[landmark] = fwd.distances_dict()
             self.backward[landmark] = bwd.distances_dict()
         self.precomputation_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Landmarks and distance vectors as plain values."""
+        return {
+            "landmarks": list(self.landmarks),
+            "forward": self.forward,
+            "backward": self.backward,
+            "seconds": self.precomputation_seconds,
+        }
+
+    @classmethod
+    def from_state(cls, network: RoadNetwork, state: Dict[str, Any]) -> "LandmarkIndex":
+        """Reconstruct from :meth:`state` output without re-running selection."""
+        self = object.__new__(cls)
+        self.network = network
+        self.landmarks = list(state["landmarks"])
+        self.forward = state["forward"]
+        self.backward = state["backward"]
+        self.precomputation_seconds = state["seconds"]
+        return self
 
     # ------------------------------------------------------------------
     # Lower bound and query

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY, PathResult, path_cost
@@ -124,6 +124,43 @@ class ColoredQuadTree:
             node = node.children[self._quadrant_of(x, y, mid_x, mid_y)]
         return node.color if node.color is not None else -1
 
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    @classmethod
+    def _node_state(cls, node: _QuadNode) -> tuple:
+        children = (
+            None
+            if node.children is None
+            else [cls._node_state(child) for child in node.children]
+        )
+        return (tuple(node.bounds), node.color, children)
+
+    @classmethod
+    def _restore_node(cls, state: tuple) -> _QuadNode:
+        bounds, color, children = state
+        return _QuadNode(
+            bounds=tuple(bounds),
+            color=color,
+            children=(
+                None
+                if children is None
+                else [cls._restore_node(child) for child in children]
+            ),
+        )
+
+    def state(self) -> tuple:
+        """The tree as nested plain values (one triple per quad node)."""
+        return self._node_state(self.root)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "ColoredQuadTree":
+        """Reconstruct from :meth:`state` output without re-inserting points."""
+        self = object.__new__(cls)
+        self.root = cls._restore_node(state)
+        self.num_blocks = self._count_leaves(self.root)
+        return self
+
 
 class ShortestPathQuadTreeIndex:
     """Per-node colored quad-trees plus the hop-by-hop routing query."""
@@ -189,6 +226,36 @@ class ShortestPathQuadTreeIndex:
             current = previous
             previous = predecessors[current]
         return current if previous == source_index else -1
+
+    # ------------------------------------------------------------------
+    # Build/serve split: separable state
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Quad-trees and first-hop tables as plain values."""
+        return {
+            "max_depth": self.max_depth,
+            "quadtrees": {
+                source: tree.state() for source, tree in self.quadtrees.items()
+            },
+            "first_hop": self.first_hop,
+            "seconds": self.precomputation_seconds,
+        }
+
+    @classmethod
+    def from_state(
+        cls, network: RoadNetwork, state: Dict[str, Any]
+    ) -> "ShortestPathQuadTreeIndex":
+        """Reconstruct from :meth:`state` output without re-running Dijkstra."""
+        self = object.__new__(cls)
+        self.network = network
+        self.max_depth = state["max_depth"]
+        self.quadtrees = {
+            source: ColoredQuadTree.from_state(tree_state)
+            for source, tree_state in state["quadtrees"].items()
+        }
+        self.first_hop = state["first_hop"]
+        self.precomputation_seconds = state["seconds"]
+        return self
 
     # ------------------------------------------------------------------
     # Query

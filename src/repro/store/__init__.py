@@ -1,0 +1,12 @@
+"""Content-addressed on-disk store for build artifacts (the disk tier).
+
+:class:`ArtifactStore` persists :class:`~repro.serialize.BuildArtifact`
+files keyed by ``(scheme, params fingerprint, network fingerprint, format
+version)`` so that every process serving the same network shares one set of
+pre-computed indexes: the engine's :class:`~repro.engine.AirSystem` uses it
+as the second tier of its cycle cache (memory -> disk -> build).
+"""
+
+from repro.store.store import ArtifactStore, StoreEntry
+
+__all__ = ["ArtifactStore", "StoreEntry"]

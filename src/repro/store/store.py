@@ -1,0 +1,419 @@
+"""The content-addressed artifact store.
+
+Layout on disk (everything under one root directory)::
+
+    <root>/objects/<k0k1>/<key>.artifact     one file per store key
+    <root>/quarantine/<name>.<n>             corrupted files, moved aside
+
+The store key is the sha256 digest of ``scheme | params fingerprint |
+network fingerprint | format version``: content addressing over the *build
+inputs*, so identical builds land on identical paths and two processes
+racing to publish the same artifact are idempotent.  Durability and
+concurrency come from write-then-rename: an artifact is staged as a unique
+temporary file in the final directory and atomically ``os.replace``d into
+place, so readers only ever observe complete files and the last of several
+concurrent writers wins with an equivalent artifact.
+
+Failure handling on read is three-way, mirroring the exception taxonomy of
+:mod:`repro.serialize.artifacts`:
+
+* **corruption** (bad magic, truncation, checksum mismatch) quarantines the
+  file -- it is moved to ``quarantine/`` for post-mortem rather than
+  deleted, and the read reports a miss so the caller rebuilds;
+* **format-version mismatch** deletes the stale file and reports a miss --
+  a clean rebuild re-publishes under the current version's key anyway;
+* **key mismatch** (a file whose header does not match the requested key)
+  is treated as corruption.
+
+The byte-size cap is LRU over *use*: every hit bumps the file's mtime, and
+:meth:`put`/:meth:`gc` evict oldest-used entries until the store fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pathlib
+import uuid
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.serialize.artifacts import (
+    FORMAT_VERSION,
+    ArtifactChecksumError,
+    ArtifactError,
+    ArtifactVersionError,
+    BuildArtifact,
+    params_fingerprint,
+)
+
+__all__ = ["ArtifactStore", "StoreEntry"]
+
+_SUFFIX = ".artifact"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored artifact (header only, checksum unverified)."""
+
+    key: str
+    path: pathlib.Path
+    scheme: str
+    params: Dict[str, Any]
+    network_fingerprint: str
+    format_version: int
+    size_bytes: int
+    #: Last-use time in nanoseconds (mtime; bumped on every store hit).
+    used_ns: int
+
+
+class ArtifactStore:
+    """A directory of build artifacts with an LRU byte-size cap.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first write.
+    max_bytes:
+        Soft cap on the total size of stored objects.  ``None`` (default)
+        disables eviction; otherwise every :meth:`put` evicts least
+        recently *used* entries until the store fits.
+    """
+
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
+        self.objects_dir = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        # Per-instance counters, surfaced through AirSystem.cache_info().
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.quarantined = 0
+        self.stale_versions = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        scheme: str,
+        params_fp: str,
+        network_fingerprint: str,
+        format_version: int = FORMAT_VERSION,
+    ) -> str:
+        """The store key (content address) for a build-input tuple."""
+        material = f"{scheme}|{params_fp}|{network_fingerprint}|{format_version}"
+        return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+    @staticmethod
+    def key_of(artifact: BuildArtifact) -> str:
+        """The store key an artifact files under."""
+        return ArtifactStore.key_for(
+            artifact.scheme,
+            artifact.params_fingerprint(),
+            artifact.network_fingerprint,
+            artifact.format_version,
+        )
+
+    def _path_for(self, key: str) -> pathlib.Path:
+        return self.objects_dir / key[:2] / f"{key}{_SUFFIX}"
+
+    def object_path(
+        self, scheme: str, params: Mapping[str, Any], network_fingerprint: str
+    ) -> pathlib.Path:
+        """Where the object for this key lives (whether or not it exists)."""
+        return self._path_for(
+            self.key_for(scheme, params_fingerprint(params), network_fingerprint)
+        )
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+    def put(self, artifact: BuildArtifact) -> pathlib.Path:
+        """Publish an artifact; atomic and idempotent per key.
+
+        The bytes are staged under a unique temporary name in the final
+        directory and renamed into place, so concurrent writers of the same
+        key never expose a partial file.  Returns the object path.
+        """
+        key = self.key_of(artifact)
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        staging = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            staging.write_bytes(artifact.to_bytes())
+            os.replace(staging, path)
+        finally:
+            if staging.exists():  # pragma: no cover - only on a failed replace
+                staging.unlink()
+        self.writes += 1
+        if self.max_bytes is not None:
+            self._evict_to(self.max_bytes, keep={path})
+        return path
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        scheme: str,
+        params: Mapping[str, Any],
+        network_fingerprint: str,
+    ) -> Optional[BuildArtifact]:
+        """Look up the artifact for ``(scheme, params, network)``.
+
+        Returns ``None`` on any miss: absent key, stale format version
+        (file deleted, clean rebuild), or corruption (file quarantined).
+        A hit verifies the checksum, bumps the entry's LRU clock, and
+        cross-checks the decoded header against the requested key.
+        """
+        key = self.key_for(scheme, params_fingerprint(params), network_fingerprint)
+        path = self._path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            # Absent key, but also any read failure (permissions, transient
+            # I/O): the disk tier degrades to a miss, never to a crash.
+            self.misses += 1
+            return None
+        try:
+            artifact = BuildArtifact.from_bytes(data)
+        except ArtifactVersionError:
+            # Written by another format version; its key embeds that
+            # version, so this is a hash collision across versions only in
+            # theory -- but either way the file cannot serve this reader.
+            self._discard(path)
+            self.stale_versions += 1
+            self.misses += 1
+            return None
+        except ArtifactError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if artifact.scheme != scheme or artifact.network_fingerprint != network_fingerprint:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self._touch(path)
+        self.hits += 1
+        return artifact
+
+    def contains(
+        self, scheme: str, params: Mapping[str, Any], network_fingerprint: str
+    ) -> bool:
+        """Whether an object file exists for the key (no validation)."""
+        key = self.key_for(scheme, params_fingerprint(params), network_fingerprint)
+        return self._path_for(key).exists()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def _object_paths(self) -> List[pathlib.Path]:
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(self.objects_dir.glob(f"*/*{_SUFFIX}"))
+
+    #: Bounded per-entry read for listings; real headers are well under 64
+    #: KB (scheme name, params, fingerprints).  A header that somehow grows
+    #: past this falls back to a full read before being judged corrupt.
+    _HEADER_READ_BYTES = 64 * 1024
+
+    def entries(self) -> List[StoreEntry]:
+        """Metadata of every stored object, oldest-used first.
+
+        Reads a bounded header prefix per object (no payload, no checksum
+        verification -- see :meth:`verify`).  Corrupt files are quarantined
+        as they are encountered; files written by a *foreign format
+        version* are skipped but left in place -- they are valid for their
+        own version's readers and their header encoding is not ours to
+        interpret.
+        """
+        entries: List[StoreEntry] = []
+        for path in self._object_paths():
+            try:
+                stat = path.stat()
+                with path.open("rb") as handle:
+                    prefix = handle.read(self._HEADER_READ_BYTES)
+                try:
+                    header = BuildArtifact.read_header(prefix, total_size=stat.st_size)
+                except ArtifactChecksumError:
+                    if stat.st_size <= len(prefix):
+                        raise
+                    # Oversized header: judge the full bytes, not a prefix.
+                    header = BuildArtifact.read_header(path.read_bytes())
+            except ArtifactVersionError:
+                continue
+            except (OSError, ArtifactChecksumError):
+                self._quarantine(path)
+                continue
+            entries.append(
+                StoreEntry(
+                    key=path.stem,
+                    path=path,
+                    scheme=header["scheme"],
+                    params=header["params"],
+                    network_fingerprint=header["network_fingerprint"],
+                    format_version=header["format_version"],
+                    size_bytes=stat.st_size,
+                    used_ns=stat.st_mtime_ns,
+                )
+            )
+        entries.sort(key=lambda entry: (entry.used_ns, entry.key))
+        return entries
+
+    @staticmethod
+    def _size_of(path: pathlib.Path) -> int:
+        """File size, 0 when a concurrent process removed it meanwhile."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def total_bytes(self) -> int:
+        """Total size of all stored object files."""
+        return sum(self._size_of(path) for path in self._object_paths())
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus current occupancy (for ``AirSystem.cache_info``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "stale_versions": self.stale_versions,
+            "entries": len(self._object_paths()),
+            "bytes": self.total_bytes(),
+        }
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def verify(self) -> Dict[str, int]:
+        """Checksum-verify every object; quarantine the ones that fail.
+
+        Version-stale files are left in place (they are valid for their own
+        version's readers).  Returns ``{"checked": n, "ok": n, "stale": n,
+        "quarantined": n}``.
+        """
+        checked = ok = stale = quarantined = 0
+        for path in self._object_paths():
+            checked += 1
+            try:
+                BuildArtifact.from_bytes(path.read_bytes())
+            except ArtifactVersionError:
+                stale += 1
+            except (OSError, ArtifactError):
+                self._quarantine(path)
+                quarantined += 1
+            else:
+                ok += 1
+        return {"checked": checked, "ok": ok, "stale": stale, "quarantined": quarantined}
+
+    def gc(self, max_bytes: Optional[int] = None, purge_quarantine: bool = False) -> Dict[str, int]:
+        """Enforce a byte cap (default: the store's own) and tidy up.
+
+        Evicts least recently used objects until the store fits, optionally
+        deletes quarantined files, and removes empty shard directories.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        evicted = self._evict_to(cap) if cap is not None else 0
+        purged = 0
+        if purge_quarantine and self.quarantine_dir.is_dir():
+            for path in sorted(self.quarantine_dir.iterdir()):
+                path.unlink()
+                purged += 1
+        if self.objects_dir.is_dir():
+            for shard in sorted(self.objects_dir.iterdir()):
+                if shard.is_dir() and not any(shard.iterdir()):
+                    try:
+                        shard.rmdir()
+                    except OSError:  # pragma: no cover - concurrent writer
+                        pass
+        return {
+            "evicted": evicted,
+            "purged_quarantine": purged,
+            "remaining_entries": len(self._object_paths()),
+            "remaining_bytes": self.total_bytes(),
+        }
+
+    def prune(self, network_fingerprints: Iterable[str]) -> int:
+        """Drop every object built over one of the given network fingerprints.
+
+        The engine calls this with its superseded-fingerprint lineage so a
+        long-lived mutate/refresh loop does not accumulate one dead artifact
+        set per network version.  Returns the number of objects removed.
+        """
+        doomed = set(network_fingerprints)
+        removed = 0
+        for entry in self.entries():
+            if entry.network_fingerprint in doomed:
+                self._discard(entry.path)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: pathlib.Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupted file aside (never delete evidence).
+
+        Best effort: on a read-only or failing filesystem the move is
+        abandoned -- reporting the miss to the caller matters more than the
+        post-mortem copy.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_dir / path.name
+            counter = 0
+            while destination.exists():
+                counter += 1
+                destination = self.quarantine_dir / f"{path.name}.{counter}"
+            os.replace(path, destination)
+        except OSError:  # pragma: no cover - racing deletion / read-only fs
+            return
+        self.quarantined += 1
+
+    def _evict_to(self, max_bytes: int, keep: Set[pathlib.Path] = frozenset()) -> int:
+        """Evict oldest-used objects until total size fits ``max_bytes``.
+
+        Paths in ``keep`` (the just-written artifact) are spared, so a cap
+        smaller than a single artifact degrades to keeping the newest one.
+        """
+        sizes: List[Tuple[int, str, pathlib.Path, int]] = []
+        for path in self._object_paths():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent deletion
+                continue
+            sizes.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+        total = sum(size for _, _, _, size in sizes)
+        evicted = 0
+        for _, _, path, size in sorted(sizes):
+            if total <= max_bytes:
+                break
+            if path in keep:
+                continue
+            self._discard(path)
+            self.evictions += 1
+            evicted += 1
+            total -= size
+        return evicted

@@ -137,3 +137,74 @@ class TestDynamicCommand:
     def test_unknown_stream_rejected_at_parse_time(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dynamic", "--stream", "earthquakes"])
+
+
+class TestStoreCommand:
+    def test_build_then_rebuild_restores_from_store(self, tmp_path):
+        argv = ["store", "--dir", str(tmp_path), "build", "--methods", "NR,DJ"] + COMMON
+        code, output = run_cli(argv)
+        assert code == 0
+        assert "built" in output
+        code, output = run_cli(argv)
+        assert code == 0
+        # Second pass restores every scheme from disk instead of rebuilding.
+        assert output.count("restored") == 2 and "built" not in output
+
+    def test_ls_lists_stored_artifacts(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR"] + COMMON)
+        code, output = run_cli(["store", "--dir", str(tmp_path), "ls"])
+        assert code == 0
+        assert "NR" in output and "num_regions=8" in output
+        assert "1 entries" in output
+
+    def test_verify_flags_corruption_with_exit_code(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "DJ"] + COMMON)
+        code, output = run_cli(["store", "--dir", str(tmp_path), "verify"])
+        assert code == 0
+        from repro.store import ArtifactStore
+
+        (entry,) = ArtifactStore(tmp_path).entries()
+        entry.path.write_bytes(entry.path.read_bytes()[:-4])
+        code, output = run_cli(["store", "--dir", str(tmp_path), "verify"])
+        assert code == 1
+        assert "quarantined" in output
+
+    def test_gc_enforces_byte_cap(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR,DJ"] + COMMON)
+        code, output = run_cli(
+            ["store", "--dir", str(tmp_path), "gc", "--max-bytes", "0"]
+        )
+        assert code == 0
+        rows = dict(
+            line.split(None, 1)
+            for line in output.splitlines()
+            if line.startswith(("evicted", "remaining_"))
+        )
+        assert rows["evicted"].strip() == "2"
+        assert rows["remaining_entries"].strip() == "0"
+        code, output = run_cli(["store", "--dir", str(tmp_path), "ls"])
+        assert "0 entries" in output
+
+    def test_store_requires_dir_and_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "ls"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "--dir", "/tmp/x"])
+
+
+class TestConsoleScriptEntryPoint:
+    def test_pyproject_declares_the_repro_script(self):
+        import pathlib
+
+        # tomllib is stdlib only from 3.11; the project supports 3.10.
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+        assert data["project"]["scripts"]["repro"] == "repro.cli:main"
+
+    def test_entry_point_target_is_the_cli_main(self):
+        # The console script resolves to the same callable `python -m repro`
+        # uses, so both front doors behave identically.
+        import repro.cli
+
+        assert repro.cli.main is main
