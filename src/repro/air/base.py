@@ -250,6 +250,8 @@ class AirIndexScheme(abc.ABC):
         network: RoadNetwork,
         artifact: BuildArtifact,
         layout: Optional[RecordLayout] = None,
+        *,
+        zero_copy: bool = False,
     ) -> "AirIndexScheme":
         """Reconstruct a serving-ready scheme from a build artifact.
 
@@ -264,6 +266,13 @@ class AirIndexScheme(abc.ABC):
         cheap relative to pre-computation) and verified against the cycle
         layout recorded at build time, so silent drift between writer and
         reader code raises instead of serving a subtly different cycle.
+
+        ``zero_copy=True`` decodes the payload with byte blobs as views into
+        ``artifact.payload`` (see :func:`repro.serialize.codec.decode_value`);
+        with a payload that is itself a memoryview over a shared segment,
+        deferred blobs -- the border-path source records, notably -- are then
+        referenced in place rather than copied per process.  The views stay
+        valid only while the payload's underlying buffer stays mapped.
         """
         from repro.air import registry
 
@@ -282,7 +291,7 @@ class AirIndexScheme(abc.ABC):
                 f"artifact was built over network {artifact.network_fingerprint}, "
                 f"but the given network fingerprints as {fingerprint}"
             )
-        payload = decode_value(artifact.payload)
+        payload = decode_value(artifact.payload, bytes_views=zero_copy)
         if layout is None:
             layout = RecordLayout(**payload["layout"])
         scheme = object.__new__(target)

@@ -29,7 +29,14 @@ repro`` works identically)::
 * ``store``   -- manage an on-disk artifact store (the build/serve split):
   ``build`` pre-computes schemes into it, ``ls`` lists its contents,
   ``verify`` checksum-verifies every artifact (quarantining corrupted
-  ones), and ``gc`` enforces a byte cap / purges the quarantine.
+  ones), ``gc`` enforces a byte cap / purges the quarantine, ``prune``
+  drops artifacts by network fingerprint (prefixes accepted), and
+  ``stats`` prints the store's hit/miss/occupancy counters.
+* ``serve``   -- run the broadcast serving daemon: build the configured
+  schemes once, publish them into a shared-memory segment and serve
+  query/batch/fleet/refresh requests from a pool of worker processes.
+* ``bench-client`` -- drive a running daemon with a query burst and print
+  client-side throughput and latency percentiles.
 
 Every command constructs its schemes through an
 :class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
@@ -217,6 +224,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--purge-quarantine",
         action="store_true",
         help="also delete quarantined (corrupt) files",
+    )
+    store_prune = store_sub.add_parser(
+        "prune", help="drop artifacts built over the given network fingerprints"
+    )
+    store_prune.add_argument(
+        "--fingerprints",
+        required=True,
+        help="comma-separated network fingerprints (unique prefixes accepted)",
+    )
+    store_sub.add_parser("stats", help="print hit/miss/occupancy counters")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the broadcast serving daemon (shared-memory worker pool)"
+    )
+    add_common(serve)
+    serve.add_argument(
+        "--methods",
+        default="NR",
+        type=_scheme_list,
+        help="comma-separated schemes to build and serve",
+    )
+    serve.add_argument("--workers", type=_positive_int, default=2, help="worker processes")
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=32,
+        help="per-worker in-flight bound (backpressure)",
+    )
+    serve.add_argument(
+        "--pace-packet-us",
+        type=float,
+        default=0.0,
+        help="emulated on-air microseconds per broadcast packet",
+    )
+    serve.add_argument(
+        "--routing",
+        default="round_robin",
+        choices=["round_robin", "region"],
+        help="request routing policy",
+    )
+    serve.add_argument("--socket", default=None, help="unix socket path to listen on")
+    serve.add_argument(
+        "--port", type=int, default=None, help="TCP port instead of a unix socket (0=ephemeral)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--store-dir", default=None, help="artifact store for build warm starts"
+    )
+
+    bench = subparsers.add_parser(
+        "bench-client", help="drive a running serving daemon with a query burst"
+    )
+    add_common(bench)
+    bench.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
+    bench.add_argument("--socket", default=None, help="daemon's unix socket path")
+    bench.add_argument("--port", type=int, default=None, help="daemon's TCP port")
+    bench.add_argument("--host", default="127.0.0.1", help="daemon's TCP host")
+    bench.add_argument(
+        "--requests", type=_positive_int, default=100, help="queries to issue"
+    )
+    bench.add_argument(
+        "--concurrency", type=_positive_int, default=4, help="client connections"
+    )
+    bench.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown request once the burst completes",
     )
     return parser
 
@@ -524,6 +600,36 @@ def _command_store(args: argparse.Namespace, out) -> int:
             file=out,
         )
         return 0
+    if args.store_command == "prune":
+        prefixes = [part.strip() for part in args.fingerprints.split(",") if part.strip()]
+        known = {entry.network_fingerprint for entry in store.entries()}
+        doomed = {
+            fingerprint
+            for fingerprint in known
+            if any(fingerprint.startswith(prefix) for prefix in prefixes)
+        }
+        removed = store.prune(doomed)
+        rows = [[fingerprint[:12], "pruned"] for fingerprint in sorted(doomed)] or [
+            ["-", "no matching artifacts"]
+        ]
+        print(
+            report.format_table(
+                ["Network", "Outcome"],
+                rows,
+                title=f"Store prune: {store.root} ({removed} objects removed)",
+            ),
+            file=out,
+        )
+        return 0
+    if args.store_command == "stats":
+        rows = [[key, value] for key, value in store.stats().items()]
+        print(
+            report.format_table(
+                ["Quantity", "Value"], rows, title=f"Store stats: {store.root}"
+            ),
+            file=out,
+        )
+        return 0
     if args.store_command == "verify":
         outcome = store.verify()
         rows = [[key, value] for key, value in outcome.items()]
@@ -543,6 +649,110 @@ def _command_store(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.serving import ServeConfig
+
+    return ServeConfig(
+        network=args.network,
+        scale=args.scale,
+        seed=args.seed,
+        regions=args.regions,
+        landmarks=args.landmarks,
+        methods=tuple(args.methods),
+        workers=args.workers,
+        max_pending=args.max_pending,
+        pace_packet_us=args.pace_packet_us,
+        routing=args.routing,
+        socket_path=args.socket,
+        port=args.port,
+        host=args.host,
+        store_dir=args.store_dir,
+    )
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.serving import AirServer
+
+    server = AirServer(_serve_config(args))
+
+    async def _run() -> int:
+        address = await server.start()
+        if address[0] == "unix":
+            print(f"serving on unix:{address[1]}", file=out, flush=True)
+        else:
+            print(f"serving on tcp:{address[1]}:{address[2]}", file=out, flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.stop())
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-main thread (tests) or unsupported platform: clients
+                # can still stop the daemon with a shutdown request.
+                pass
+        await server.wait_stopped()
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _bench_address(args: argparse.Namespace):
+    if args.port is not None:
+        return ("tcp", args.host, args.port)
+    if args.socket is None:
+        raise SystemExit("bench-client needs --socket or --port")
+    return ("unix", args.socket)
+
+
+def _command_bench_client(args: argparse.Namespace, out) -> int:
+    from repro.serving import ServingClient, run_load
+
+    address = _bench_address(args)
+    # Sampling query endpoints needs node ids; loading the (scaled) network
+    # is cheap and keeps the wire protocol free of bulk id transfers.
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    rng = random.Random(args.seed)
+    nodes = network.node_ids()
+    pairs = [
+        (rng.choice(nodes), rng.choice(nodes)) for _ in range(args.requests)
+    ]
+    load = run_load(
+        address, pairs, method=args.method, concurrency=args.concurrency
+    )
+    latency = load.latency_ms
+    rows = [
+        ["requests ok / errors", f"{load.requests} / {load.errors}"],
+        ["busy retries", load.busy_retries],
+        ["duration (s)", round(load.duration_s, 3)],
+        ["throughput (qps)", round(load.qps, 1)],
+        ["latency p50/p90/p99 (ms)", "/".join(
+            f"{latency.get(key, 0.0):.2f}" for key in ("p50", "p90", "p99")
+        )],
+        ["workers hit", ", ".join(
+            f"{worker}:{count}" for worker, count in sorted(load.workers.items())
+        ) or "-"],
+    ]
+    print(
+        report.format_table(
+            ["Quantity", "Value"],
+            rows,
+            title=(
+                f"Serving burst: {args.requests} x {args.method} via "
+                f"{args.concurrency} connections"
+            ),
+        ),
+        file=out,
+    )
+    if args.shutdown:
+        with ServingClient(address) as client:
+            client.shutdown()
+    return 0 if load.errors == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -556,6 +766,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "fleet": _command_fleet,
         "dynamic": _command_dynamic,
         "store": _command_store,
+        "serve": _command_serve,
+        "bench-client": _command_bench_client,
     }
     return handlers[args.command](args, out)
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -10,23 +9,9 @@ from repro.broadcast.device import CHANNEL_2MBPS, ChannelRate, DeviceProfile, J2
 from repro.broadcast.metrics import ClientMetrics
 
 from repro.fleet.devices import DeviceSpec
+from repro.stats import percentile
 
 __all__ = ["DeviceOutcome", "FleetRun", "percentile"]
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation).
-
-    ``q`` is in ``[0, 100]``; an empty sequence yields ``0.0`` so aggregate
-    tables stay printable for degenerate fleets.
-    """
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(len(ordered) * q / 100.0))
-    return float(ordered[min(rank, len(ordered)) - 1])
 
 
 @dataclass(frozen=True)

@@ -277,8 +277,20 @@ class KernelArena:
     """
 
     def __init__(self, csr: CSRGraph) -> None:
-        self.csr = csr
+        # Weak, because arenas are cached in a WeakKeyDictionary keyed by
+        # the snapshot: a strong value->key reference would keep the entry
+        # (and with it every buffer the arena exported) alive forever.
+        # Callers necessarily hold the snapshot while searching, so the
+        # dereference never dangles mid-use.
+        self._csr_ref = weakref.ref(csr)
         self.num_nodes = csr.num_nodes
+
+    @property
+    def csr(self) -> CSRGraph:
+        csr = self._csr_ref()
+        if csr is None:  # pragma: no cover - caller dropped the snapshot
+            raise ReferenceError("the arena's CSR snapshot has been collected")
+        return csr
 
     # ------------------------------------------------------------------
     # Accelerator plumbing

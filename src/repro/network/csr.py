@@ -61,15 +61,13 @@ class CSRGraph:
         self.rev_offsets = rev_offsets
         self.rev_targets = rev_targets
         self.rev_weights = rev_weights
-        #: Per-index adjacency view (tuples of ``(neighbor_index, weight)``)
-        #: derived from the flat arrays; this is what the kernel's inner loop
-        #: iterates -- one list index instead of one dict hash per node.
-        self.fwd_adj: List[Tuple[Tuple[int, float], ...]] = self._zip_adjacency(
-            fwd_offsets, fwd_targets, fwd_weights
-        )
-        self.rev_adj: List[Tuple[Tuple[int, float], ...]] = self._zip_adjacency(
-            rev_offsets, rev_targets, rev_weights
-        )
+        #: ``True`` when the flat arrays live in externally owned buffers
+        #: (a :class:`~repro.serving.shm.SharedArtifactSegment` mapping).
+        #: Buffer-backed snapshots are strictly read-only: an in-place weight
+        #: patch would silently mutate every process mapping the segment.
+        self.buffer_backed = False
+        self._fwd_adj: Optional[List[Tuple[Tuple[int, float], ...]]] = None
+        self._rev_adj: Optional[List[Tuple[Tuple[int, float], ...]]] = None
         #: ``True`` when some edge weight is ``<= 0``.  The kernel's
         #: accelerated SSSP path reconstructs predecessors from the settle
         #: order, which is only provably identical to the dict heap's under
@@ -81,6 +79,39 @@ class CSRGraph:
         #: kernel; ``None`` until first use, shared by reference so in-place
         #: weight patches propagate without rebuilding).
         self._accel = None
+
+    # ------------------------------------------------------------------
+    # Adjacency views
+    # ------------------------------------------------------------------
+    @property
+    def fwd_adj(self):
+        """Per-index forward adjacency (tuples of ``(neighbor_index, weight)``).
+
+        This is what the kernel's faithful inner loop iterates -- one list
+        index instead of one dict hash per node.  Materialized lazily from
+        the flat arrays; buffer-backed snapshots get a non-materializing
+        :class:`_FlatAdjacency` view instead, so N serving workers mapping
+        one shared segment never build N tuple copies of the edge list.
+        """
+        if self._fwd_adj is None:
+            self._fwd_adj = self._adjacency_view(
+                self.fwd_offsets, self.fwd_targets, self.fwd_weights
+            )
+        return self._fwd_adj
+
+    @property
+    def rev_adj(self):
+        """Per-index reverse adjacency (see :attr:`fwd_adj`)."""
+        if self._rev_adj is None:
+            self._rev_adj = self._adjacency_view(
+                self.rev_offsets, self.rev_targets, self.rev_weights
+            )
+        return self._rev_adj
+
+    def _adjacency_view(self, offsets, targets, weights):
+        if self.buffer_backed:
+            return _FlatAdjacency(offsets, targets, weights)
+        return self._zip_adjacency(offsets, targets, weights)
 
     # ------------------------------------------------------------------
     # Construction
@@ -155,6 +186,51 @@ class CSRGraph:
         rev = cls._compile(ids, index_of, (reverse[nid] for nid in ids))
         return cls(ids, *fwd, *rev, name=name)
 
+    @classmethod
+    def from_buffers(
+        cls,
+        ids: Sequence[int],
+        fwd_offsets,
+        fwd_targets,
+        fwd_weights,
+        rev_offsets,
+        rev_targets,
+        rev_weights,
+        name: str = "csr",
+    ) -> "CSRGraph":
+        """Wire a snapshot directly over externally owned array buffers.
+
+        The six flat arrays may be any buffer-protocol objects with int64
+        offsets/targets and float64 weights -- in practice ``memoryview``
+        casts over one :class:`multiprocessing.shared_memory.SharedMemory`
+        segment, so N worker processes share a single physical copy of the
+        index.  No array data is copied: only the id list and the
+        id -> index map are per-process.  The resulting snapshot is
+        read-only (:attr:`buffer_backed`); :meth:`patch_weight` refuses to
+        touch it because a write would leak into every mapping process.
+
+        Bit-identity with a locally compiled snapshot holds because both the
+        faithful kernel loop and the accelerated path read the same values
+        in the same order -- index order, adjacency order and weight bytes
+        are exactly those the build process serialized.
+        """
+        graph = cls.__new__(cls)
+        graph.name = name
+        graph.ids = list(ids)
+        graph.index_of = {nid: i for i, nid in enumerate(graph.ids)}
+        graph.fwd_offsets = fwd_offsets
+        graph.fwd_targets = fwd_targets
+        graph.fwd_weights = fwd_weights
+        graph.rev_offsets = rev_offsets
+        graph.rev_targets = rev_targets
+        graph.rev_weights = rev_weights
+        graph.buffer_backed = True
+        graph._fwd_adj = None
+        graph._rev_adj = None
+        graph.has_nonpositive_weight = len(fwd_weights) > 0 and min(fwd_weights) <= 0.0
+        graph._accel = None
+        return graph
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
@@ -198,7 +274,17 @@ class CSRGraph:
         preserved by construction, so this is the same physical edge the
         network updated).  Raises ``KeyError`` when no such entry exists --
         the snapshot would be silently stale otherwise.
+
+        Buffer-backed snapshots (:meth:`from_buffers`) raise ``TypeError``:
+        their arrays live in a shared segment mapped by other processes, so
+        an in-place patch would mutate every worker's view at once.
         """
+        if self.buffer_backed:
+            raise TypeError(
+                "cannot patch a buffer-backed CSR snapshot: its arrays live "
+                "in a shared read-only segment; re-publish a new segment "
+                "instead"
+            )
         u = self.index_of[source]
         v = self.index_of[target]
         self._patch_span(
@@ -244,3 +330,39 @@ class CSRGraph:
             f"CSRGraph(name={self.name!r}, nodes={self.num_nodes}, "
             f"edges={self.num_edges})"
         )
+
+
+class _FlatAdjacency:
+    """Index-on-demand adjacency over flat (possibly shared) arrays.
+
+    Quacks like the materialized ``fwd_adj`` list where the kernel needs it
+    to -- ``view[u]`` yields the node's ``(neighbor_index, weight)`` tuple in
+    adjacency order -- but zips each span on access instead of holding
+    per-process tuple objects for the whole edge list.  Spans are tiny (road
+    networks average ~2.3 edges/node), so the per-access zip is cheap while
+    the savings scale with worker count.
+    """
+
+    __slots__ = ("_offsets", "_targets", "_weights")
+
+    def __init__(self, offsets, targets, weights) -> None:
+        self._offsets = offsets
+        self._targets = targets
+        self._weights = weights
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, index: int) -> Tuple[Tuple[int, float], ...]:
+        start, end = self._offsets[index], self._offsets[index + 1]
+        return tuple(zip(self._targets[start:end], self._weights[start:end]))
+
+    def __iter__(self):
+        return (self[i] for i in range(len(self)))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, _FlatAdjacency)):
+            return len(self) == len(other) and all(
+                self[i] == other[i] for i in range(len(self))
+            )
+        return NotImplemented

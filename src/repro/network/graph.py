@@ -523,6 +523,30 @@ class RoadNetwork:
             self._csr_builds += 1
         return snapshot
 
+    def adopt_csr(self, snapshot: CSRGraph) -> CSRGraph:
+        """Install an externally compiled CSR snapshot for the current state.
+
+        Serving workers map one shared-memory snapshot per published cycle
+        (:meth:`CSRGraph.from_buffers`) instead of each compiling their own;
+        adopting it keys the cache to the network's current fingerprint so
+        :meth:`csr_snapshot` serves the shared arrays to every shortest path
+        run.  Only shape is sanity-checked here -- the caller vouches that
+        the snapshot was compiled from a network with this fingerprint (the
+        serving layer pins both to the same artifact publication).
+        """
+        if (
+            snapshot.num_nodes != self.num_nodes
+            or snapshot.num_edges != self.num_edges
+        ):
+            raise ValueError(
+                f"snapshot shape ({snapshot.num_nodes} nodes, "
+                f"{snapshot.num_edges} edges) does not match network "
+                f"({self.num_nodes} nodes, {self.num_edges} edges)"
+            )
+        self._csr = snapshot
+        self._csr_fingerprint = self.fingerprint()
+        return snapshot
+
     def csr_stats(self) -> Dict[str, int]:
         """Snapshot cache counters (surfaced by ``AirSystem.cache_info``)."""
         return {

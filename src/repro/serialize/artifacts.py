@@ -126,7 +126,7 @@ class BuildArtifact:
         return body + hashlib.sha256(body).digest()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "BuildArtifact":
+    def from_bytes(cls, data, *, copy_payload: bool = True) -> "BuildArtifact":
         """Parse and fully validate artifact bytes.
 
         Raises :class:`ArtifactChecksumError` for corruption of any sort and
@@ -134,18 +134,28 @@ class BuildArtifact:
         is checked before the header is decoded: a future format may change
         the codec itself, so foreign headers are never interpreted -- and
         stale-but-intact files stay distinguishable from damaged ones).
+
+        ``data`` may be ``bytes`` or a ``memoryview`` over a larger mapping
+        (a shared-memory segment).  With ``copy_payload=False`` and a
+        memoryview input, the returned artifact's :attr:`payload` is a
+        zero-copy sub-view of ``data`` -- valid only while the underlying
+        buffer stays mapped.  Validation (checksum included) is identical
+        either way.
         """
         version, header = cls._parse_header(data)
         body, digest = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
-        if hashlib.sha256(body).digest() != digest:
+        if hashlib.sha256(body).digest() != bytes(digest):
             raise ArtifactChecksumError("artifact checksum mismatch")
         payload_bytes = header["payload_bytes"]
         payload_start = len(data) - _CHECKSUM_BYTES - payload_bytes
+        payload = data[payload_start : payload_start + payload_bytes]
+        if copy_payload or type(payload) is not memoryview:
+            payload = bytes(payload)
         return cls(
             scheme=header["scheme"],
             params=header["params"],
             network_fingerprint=header["network_fingerprint"],
-            payload=bytes(data[payload_start : payload_start + payload_bytes]),
+            payload=payload,
             format_version=version,
         )
 

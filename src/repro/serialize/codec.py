@@ -76,15 +76,23 @@ def _unzigzag(value: int) -> int:
 
 
 class _Reader:
-    """Sequential reader over the encoded bytes with bounds checking."""
+    """Sequential reader over the encoded bytes with bounds checking.
 
-    __slots__ = ("data", "pos")
+    ``data`` may be ``bytes`` or a 1-D uint8 ``memoryview`` (e.g. over a
+    shared-memory segment); slicing a memoryview is zero-copy, so a reader
+    over one never duplicates the underlying buffer.  ``bytes_views``
+    controls what :data:`_T_BYTES` values decode to: copies (``False``, the
+    default) or zero-copy sub-views of ``data`` (``True``).
+    """
 
-    def __init__(self, data: bytes) -> None:
+    __slots__ = ("data", "pos", "bytes_views")
+
+    def __init__(self, data, bytes_views: bool = False) -> None:
         self.data = data
         self.pos = 0
+        self.bytes_views = bytes_views
 
-    def take(self, count: int) -> bytes:
+    def take(self, count: int):
         end = self.pos + count
         if end > len(self.data):
             raise CodecError("truncated value: ran past the end of the buffer")
@@ -178,6 +186,14 @@ def _encode(buf: bytearray, value: Any) -> None:
         buf.append(_T_BYTES)
         _write_uvarint(buf, len(value))
         buf += value
+    elif kind is memoryview:
+        # A zero-copy decode hands byte blobs back as memoryviews; encoding
+        # them as plain bytes keeps re-publication (e.g. a restored scheme's
+        # still-encoded sources blob) byte-identical to the original.
+        raw = value.tobytes()
+        buf.append(_T_BYTES)
+        _write_uvarint(buf, len(raw))
+        buf += raw
     elif kind is list or kind is tuple:
         is_list = kind is list
         if value:
@@ -232,11 +248,14 @@ def _decode(reader: _Reader) -> Any:
         return packed[0]
     if tag == _T_STR:
         try:
-            return reader.take(reader.uvarint()).decode("utf-8")
+            return str(reader.take(reader.uvarint()), "utf-8")
         except UnicodeDecodeError as exc:
             raise CodecError(f"malformed utf-8 string: {exc}") from None
     if tag == _T_BYTES:
-        return bytes(reader.take(reader.uvarint()))
+        chunk = reader.take(reader.uvarint())
+        if reader.bytes_views and type(chunk) is memoryview:
+            return chunk
+        return bytes(chunk)
     if tag == _T_LIST or tag == _T_TUPLE:
         count = reader.uvarint()
         items = [_decode(reader) for _ in range(count)]
@@ -277,13 +296,23 @@ def encode_value(value: Any) -> bytes:
     return bytes(buf)
 
 
-def decode_value(data: bytes) -> Any:
+def decode_value(data, *, bytes_views: bool = False) -> Any:
     """Decode bytes produced by :func:`encode_value`.
+
+    ``data`` may be ``bytes`` or a contiguous ``memoryview`` (a shared-memory
+    mapping, say).  With ``bytes_views=True`` *and* a memoryview input,
+    ``bytes`` values decode to zero-copy sub-views of ``data`` instead of
+    copies -- the serving workers use this so an index blob inside a shared
+    segment is referenced, never duplicated, per process.  View outputs stay
+    valid only as long as the underlying buffer; everything else (ints,
+    floats, strings, containers) is a normal owned object either way.
 
     Raises :class:`CodecError` on malformed or trailing bytes -- a value
     must occupy the buffer exactly.
     """
-    reader = _Reader(data)
+    if type(data) is memoryview and data.format != "B":
+        data = data.cast("B")
+    reader = _Reader(data, bytes_views=bytes_views)
     value = _decode(reader)
     if reader.pos != len(data):
         raise CodecError(

@@ -1,0 +1,289 @@
+"""Blocking client and load generator for the serving daemon.
+
+:class:`ServingClient` is the synchronous counterpart of the asyncio
+server: one socket, framed JSON requests, errors surfaced as exceptions
+(:func:`~repro.serving.protocol.raise_for_status`).  It is what the tests,
+the CLI ``bench-client`` entry point and the benchmark drive.
+
+:func:`run_load` is a multi-connection load generator: it spreads a fixed
+list of source/target pairs over ``concurrency`` client connections,
+honours ``busy`` backpressure with the server's own retry advice, and
+reports wall-clock throughput plus client-side latency percentiles as a
+:class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.serving import protocol
+from repro.stats import percentile
+
+__all__ = ["LoadReport", "ServingClient", "run_load"]
+
+#: Accepted address shapes: a Unix socket path, ``("unix", path)`` or
+#: ``("tcp", host, port)`` -- the latter two being exactly what
+#: :meth:`AirServer.start` returns.
+Address = Union[str, Tuple]
+
+
+def _connect(address: Address) -> socket.socket:
+    if isinstance(address, str):
+        address = ("unix", address)
+    kind = address[0]
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(address[1])
+    elif kind == "tcp":
+        sock = socket.create_connection((address[1], address[2]))
+    else:
+        raise ValueError(f"unknown address kind {kind!r}")
+    return sock
+
+
+class ServingClient:
+    """One blocking connection to an :class:`~repro.serving.server.AirServer`."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 120.0) -> None:
+        self._sock = _connect(address)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw request/response round trip; raises on non-``ok``."""
+        protocol.write_frame(self._sock, request)
+        response = protocol.read_frame(self._sock)
+        if response is None:
+            raise protocol.ProtocolError("server closed the connection")
+        return protocol.raise_for_status(response)
+
+    def call_with_retry(
+        self, request: Dict[str, Any], max_retries: int = 100
+    ) -> Tuple[Dict[str, Any], int]:
+        """Like :meth:`call`, but honour ``busy`` backpressure.
+
+        Sleeps for the server's advised interval and retries, up to
+        ``max_retries`` times; returns ``(response, busy_retries)`` so load
+        generators can account rejections.  The final attempt re-raises.
+        """
+        retries = 0
+        while True:
+            try:
+                return self.call(request), retries
+            except protocol.ServerBusy as busy:
+                retries += 1
+                if retries > max_retries:
+                    raise
+                time.sleep(busy.retry_after_ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call({"op": "ping"})
+
+    def info(self) -> Dict[str, Any]:
+        return self.call({"op": "info"})
+
+    def query(
+        self,
+        method: str,
+        source: int,
+        target: int,
+        tune_in_offset: Optional[int] = None,
+        with_path: bool = False,
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "op": "query",
+            "method": method,
+            "source": int(source),
+            "target": int(target),
+        }
+        if tune_in_offset is not None:
+            request["tune_in_offset"] = int(tune_in_offset)
+        if with_path:
+            request["with_path"] = True
+        return self.call(request)
+
+    def query_batch(
+        self,
+        method: str,
+        queries: Sequence[Tuple[int, int]],
+        tune_in_offset: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "op": "query_batch",
+            "method": method,
+            "queries": [[int(s), int(t)] for s, t in queries],
+        }
+        if tune_in_offset is not None:
+            request["tune_in_offset"] = int(tune_in_offset)
+        return self.call(request)
+
+    def fleet(
+        self,
+        method: str,
+        scenario: str = "trickle",
+        devices: int = 100,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+    ) -> Dict[str, Any]:
+        return self.call(
+            {
+                "op": "fleet",
+                "method": method,
+                "scenario": scenario,
+                "devices": int(devices),
+                "seed": int(seed),
+                "loss_rate": float(loss_rate),
+            }
+        )
+
+    def refresh(self, updates: Iterable[Tuple[int, int, float]]) -> Dict[str, Any]:
+        return self.call(
+            {
+                "op": "refresh",
+                "updates": [[int(s), int(t), float(w)] for s, t, w in updates],
+            }
+        )
+
+    def crash_worker(self, worker: int = 0) -> Dict[str, Any]:
+        """Diagnostic: ask the server to kill one worker (recovery drills)."""
+        return self.call({"op": "crash_worker", "worker": int(worker)})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call({"op": "shutdown"})
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` burst measured, client-side."""
+
+    requests: int = 0
+    errors: int = 0
+    busy_retries: int = 0
+    duration_s: float = 0.0
+    qps: float = 0.0
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    #: responses per worker id -- shows how routing spread the load.
+    workers: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "busy_retries": self.busy_retries,
+            "duration_s": self.duration_s,
+            "qps": self.qps,
+            "latency_ms": dict(self.latency_ms),
+            "workers": dict(self.workers),
+        }
+
+
+def run_load(
+    address: Address,
+    pairs: Sequence[Tuple[int, int]],
+    method: str = "NR",
+    concurrency: int = 4,
+    tune_in_offset: Optional[int] = 0,
+    max_retries: int = 200,
+) -> LoadReport:
+    """Drive ``pairs`` through the daemon from ``concurrency`` connections.
+
+    Each connection works through its own slice of the pair list, retrying
+    on ``busy`` with the server's advice.  Latencies are wall-clock per
+    request (including retries), so the percentiles reflect what a real
+    client experiences under the configured pressure.
+    """
+    concurrency = max(1, min(concurrency, len(pairs) or 1))
+    slices: List[List[Tuple[int, int]]] = [[] for _ in range(concurrency)]
+    for index, pair in enumerate(pairs):
+        slices[index % concurrency].append(pair)
+
+    lock = threading.Lock()
+    latencies: List[float] = []
+    workers: Dict[str, int] = {}
+    counters = {"requests": 0, "errors": 0, "busy_retries": 0}
+
+    def drive(batch: List[Tuple[int, int]]) -> None:
+        client = ServingClient(address)
+        try:
+            for source, target in batch:
+                started = time.perf_counter()
+                try:
+                    response, retries = client.call_with_retry(
+                        {
+                            "op": "query",
+                            "method": method,
+                            "source": int(source),
+                            "target": int(target),
+                            **(
+                                {"tune_in_offset": int(tune_in_offset)}
+                                if tune_in_offset is not None
+                                else {}
+                            ),
+                        },
+                        max_retries=max_retries,
+                    )
+                except (protocol.ServerBusy, protocol.ServerError):
+                    with lock:
+                        counters["errors"] += 1
+                    continue
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    counters["requests"] += 1
+                    counters["busy_retries"] += retries
+                    latencies.append(elapsed_ms)
+                    worker = str(response.get("worker"))
+                    workers[worker] = workers.get(worker, 0) + 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=drive, args=(batch,), daemon=True)
+        for batch in slices
+        if batch
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+
+    report = LoadReport(
+        requests=counters["requests"],
+        errors=counters["errors"],
+        busy_retries=counters["busy_retries"],
+        duration_s=duration,
+        qps=(counters["requests"] / duration) if duration > 0 else 0.0,
+        workers=workers,
+    )
+    if latencies:
+        report.latency_ms = {
+            "p50": percentile(latencies, 50),
+            "p90": percentile(latencies, 90),
+            "p99": percentile(latencies, 99),
+            "mean": sum(latencies) / len(latencies),
+            "max": max(latencies),
+        }
+    return report

@@ -1,0 +1,144 @@
+"""Wire protocol of the serving daemon: length-prefixed JSON frames.
+
+One frame is ``u32 little-endian payload length | UTF-8 JSON payload``.
+JSON (rather than the binary codec) because frames carry *control* data --
+node ids, distances, latency counters -- never index payloads; the index
+itself moves through the shared-memory segment, and keeping the socket
+layer human-debuggable (``socat`` + eyeballs) is worth more than shaving
+bytes off a few-hundred-byte frame.
+
+Requests are ``{"op": ..., ...}`` dicts; responses carry ``"status"``:
+
+* ``"ok"`` -- the operation's result fields alongside,
+* ``"busy"`` -- the bounded queue is full; ``"retry_after_ms"`` advises the
+  client when to retry (backpressure, not failure),
+* ``"error"`` -- the request failed; ``"error"`` holds the message and
+  processing continues (a bad query must not take the connection down).
+
+The same framing is shared by the asyncio server, the blocking client and
+the tests, so there is exactly one encoder/decoder pair to get wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServerBusy",
+    "ServerError",
+    "encode_frame",
+    "read_frame",
+    "read_frame_async",
+    "write_frame",
+    "raise_for_status",
+]
+
+_LENGTH = struct.Struct("<I")
+
+#: Upper bound on one frame's payload: large enough for a several-thousand
+#: device fleet summary, small enough that a corrupted length prefix cannot
+#: make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """Malformed frame or unexpectedly closed peer."""
+
+
+class ServerError(RuntimeError):
+    """The server answered ``status: error``."""
+
+
+class ServerBusy(RuntimeError):
+    """The server answered ``status: busy`` (bounded queue full).
+
+    Carries the server's retry advice so load generators can implement
+    honest backoff instead of hammering a saturated queue.
+    """
+
+    def __init__(self, retry_after_ms: float) -> None:
+        super().__init__(f"server busy, retry after {retry_after_ms:.0f} ms")
+        self.retry_after_ms = retry_after_ms
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One message as its on-wire bytes (length prefix included)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the maximum")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload must be an object, got {type(message).__name__}")
+    return message
+
+
+def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return bytes(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the maximum")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode_payload(payload)
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the maximum")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return _decode_payload(payload)
+
+
+def raise_for_status(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Return an ``ok`` response, translating the error statuses to raises."""
+    status = response.get("status")
+    if status == "ok":
+        return response
+    if status == "busy":
+        raise ServerBusy(float(response.get("retry_after_ms", 50.0)))
+    if status == "error":
+        raise ServerError(str(response.get("error", "unknown server error")))
+    raise ProtocolError(f"malformed response status: {status!r}")

@@ -1,0 +1,593 @@
+"""The serving daemon: asyncio front end over a pool of worker processes.
+
+:class:`AirServer` owns the build side -- one :class:`AirSystem` (with the
+optional :class:`~repro.store.ArtifactStore` disk tier for warm starts)
+builds every configured scheme once, publishes the result as a
+:class:`~repro.serving.shm.SharedArtifactSegment`, and spawns N worker
+processes that map the segment zero-copy.  The front end accepts framed
+JSON requests (:mod:`repro.serving.protocol`) over a Unix or TCP socket
+and forwards serving ops (``query`` / ``query_batch`` / ``fleet``) to
+workers over per-worker pipes.
+
+Operational contract:
+
+* **Backpressure.**  Each worker has a bounded in-flight window
+  (``max_pending``); when every worker is full, a request is answered
+  ``busy`` with retry advice instead of queuing unboundedly.
+* **Routing.**  ``round_robin`` spreads load evenly; ``region`` routes a
+  query by its source node's kd-tree region (the partitioning layer),
+  sharding the network across workers, and spills to the least-loaded
+  worker when the home shard is saturated.
+* **Refresh.**  ``refresh`` applies an edge-weight batch through
+  :meth:`AirSystem.apply_updates` (incremental rebuilds + store
+  re-publication), publishes a *new* segment, and sends each worker a
+  swap message through its request pipe.  Pipes are FIFO, so every
+  request enqueued before the swap is answered on the old cycle and
+  everything after on the new one -- answers are old-or-new, never torn.
+  The old segment is unlinked once every worker has acknowledged.
+* **Crash safety.**  A liveness monitor respawns dead workers and
+  re-dispatches their un-answered requests to the replacement, so a crash
+  costs latency, never a wrong answer.
+* **Shutdown.**  ``stop()`` drains workers with an exit message, joins
+  them, and releases the segment; it is idempotent (double shutdown is a
+  no-op) and also runs on ``shutdown`` requests from clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import multiprocessing
+import os
+import tempfile
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.system import AirSystem
+from repro.experiments import ExperimentConfig
+from repro.partitioning.base import Partitioning
+from repro.partitioning.kdtree import KDTreePartitioner
+from repro.serving import protocol
+from repro.serving.shm import SharedArtifactSegment, mapping_stats, process_rss_kb
+from repro.serving.worker import worker_main
+from repro.store import ArtifactStore
+
+__all__ = ["ServeConfig", "AirServer", "ServerHandle"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes one serving daemon, in one picklable object."""
+
+    #: Evaluation network (dataset name), scale and seed -- the same knobs
+    #: as the CLI's common options, resolved through ``ExperimentConfig``.
+    network: str = "milan"
+    scale: float = 0.02
+    seed: int = 3
+    regions: int = 8
+    landmarks: int = 8
+    #: Schemes to build and serve (canonical names).
+    methods: Tuple[str, ...] = ("NR",)
+    #: Worker pool size.
+    workers: int = 2
+    #: Per-worker bound on in-flight requests; the backpressure knob.
+    max_pending: int = 32
+    #: Retry advice attached to ``busy`` responses.
+    retry_after_ms: float = 25.0
+    #: Emulated on-air microseconds per packet (see ``WorkerRuntime``).
+    pace_packet_us: float = 0.0
+    #: ``round_robin`` or ``region`` (kd-tree sharding by source node).
+    routing: str = "round_robin"
+    #: Unix socket path; auto-generated in the temp dir when ``None`` and
+    #: no TCP port is given.
+    socket_path: Optional[str] = None
+    #: TCP fallback: set a port (0 = ephemeral) to listen on ``host``.
+    port: Optional[int] = None
+    host: str = "127.0.0.1"
+    #: Optional artifact-store directory (warm starts + refresh publication).
+    store_dir: Optional[str] = None
+    #: Worker start method; ``fork`` warm-starts in milliseconds, ``spawn``
+    #: is the portable fallback.
+    start_method: str = "fork"
+
+    def experiment_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            network=self.network,
+            scale=self.scale,
+            seed=self.seed,
+            eb_nr_regions=self.regions,
+            arcflag_regions=self.regions,
+            hiti_regions=self.regions,
+            num_landmarks=self.landmarks,
+        )
+
+
+@dataclass
+class _Worker:
+    """Server-side handle of one worker process."""
+
+    worker_id: int
+    process: Any
+    conn: Any
+    #: request id -> (future, original request) for everything in flight.
+    pending: Dict[int, Tuple[asyncio.Future, Dict[str, Any]]] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+
+class AirServer:
+    """Sharded multi-process serving daemon (see module docstring)."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.system: Optional[AirSystem] = None
+        self.segment: Optional[SharedArtifactSegment] = None
+        self.workers: List[_Worker] = []
+        self.address: Optional[Tuple] = None
+        self.generation = 0
+        self.respawns = 0
+        self.busy_rejections = 0
+        self.requests_dispatched = 0
+        self._partitioning: Optional[Partitioning] = None
+        self._mp = multiprocessing.get_context(config.start_method)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._request_ids = itertools.count(1)
+        self._round_robin = itertools.count()
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._admin_lock: Optional[asyncio.Lock] = None
+        self._stopped_event: Optional[asyncio.Event] = None
+        self._started = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple:
+        """Build, publish, spawn the pool and start listening.
+
+        Returns the listening address: ``("unix", path)`` or
+        ``("tcp", host, port)``.
+        """
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._admin_lock = asyncio.Lock()
+        self._stopped_event = asyncio.Event()
+
+        store = ArtifactStore(self.config.store_dir) if self.config.store_dir else None
+        self.system = AirSystem.from_config(self.config.experiment_config(), store=store)
+        self.segment = self._publish_segment()
+        if self.config.routing == "region":
+            self._partitioning = self._build_partitioning()
+        elif self.config.routing != "round_robin":
+            raise ValueError(f"unknown routing policy {self.config.routing!r}")
+
+        loop = asyncio.get_running_loop()
+        for worker_id in range(self.config.workers):
+            self.workers.append(await self._spawn(worker_id))
+        self._monitor_task = loop.create_task(self._monitor())
+
+        if self.config.port is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=self.config.host, port=self.config.port
+            )
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = ("tcp", self.config.host, port)
+        else:
+            path = self.config.socket_path or os.path.join(
+                tempfile.gettempdir(), f"repro-serve-{uuid.uuid4().hex[:12]}.sock"
+            )
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=path
+            )
+            self.address = ("unix", path)
+        return self.address
+
+    def _publish_segment(self) -> SharedArtifactSegment:
+        """Build every configured scheme and publish one segment."""
+        assert self.system is not None
+        artifacts = {
+            name: self.system.scheme(name).artifact() for name in self.config.methods
+        }
+        self.generation += 1
+        return SharedArtifactSegment.publish(self.system.network, artifacts)
+
+    def _build_partitioning(self) -> Partitioning:
+        """A kd-tree sharding of the network onto the worker pool.
+
+        The region count is the smallest power of two covering the pool
+        (kd-trees split in halves); region ``r`` is served by worker
+        ``r % workers``.
+        """
+        assert self.system is not None
+        network = self.system.network
+        num_regions = 1 << max(0, self.config.workers - 1).bit_length()
+        points = [(node.x, node.y) for node in network.nodes()]
+        locator = KDTreePartitioner.build(points, num_regions)
+        return Partitioning(network, locator)
+
+    async def _spawn(self, worker_id: int) -> _Worker:
+        """Start one worker process and wait for its warm-start handshake."""
+        assert self.segment is not None
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                self.segment.name,
+                self.config.experiment_config(),
+                self.config.pace_packet_us,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        loop = asyncio.get_running_loop()
+        ready = loop.create_future()
+        worker = _Worker(worker_id=worker_id, process=process, conn=parent_conn)
+        loop.add_reader(
+            parent_conn.fileno(), self._drain_worker, worker, ready
+        )
+        await asyncio.wait_for(ready, timeout=120.0)
+        return worker
+
+    # ------------------------------------------------------------------
+    # Worker pipe plumbing
+    # ------------------------------------------------------------------
+    def _drain_worker(self, worker: _Worker, ready: Optional[asyncio.Future]) -> None:
+        """Reader callback: resolve futures for every buffered response."""
+        try:
+            while worker.conn.poll():
+                message = worker.conn.recv()
+                if message.get("op") == "_ready":
+                    if ready is not None and not ready.done():
+                        ready.set_result(True)
+                    continue
+                entry = worker.pending.pop(message.pop("id", None), None)
+                if entry is not None and not entry[0].done():
+                    entry[0].set_result(message)
+        except (EOFError, OSError):
+            # Worker died mid-pipe; the liveness monitor owns recovery.
+            try:
+                asyncio.get_running_loop().remove_reader(worker.conn.fileno())
+            except (OSError, ValueError):
+                pass
+
+    def _submit(self, worker: _Worker, request: Dict[str, Any]) -> asyncio.Future:
+        """Send one request down a worker's pipe, tracked by a future."""
+        loop = asyncio.get_running_loop()
+        request_id = next(self._request_ids)
+        future = loop.create_future()
+        worker.pending[request_id] = (future, request)
+        self.requests_dispatched += 1
+        try:
+            worker.conn.send({**request, "id": request_id})
+        except (BrokenPipeError, OSError):
+            pass  # dead worker: the monitor re-dispatches the pending entry
+        return future
+
+    def _pick_worker(self, request: Dict[str, Any]) -> Optional[_Worker]:
+        """Route a request to a worker with queue capacity; ``None`` = busy."""
+        if not self.workers:
+            return None
+        preferred: Optional[_Worker] = None
+        if (
+            self.config.routing == "region"
+            and self._partitioning is not None
+            and request.get("op") == "query"
+        ):
+            try:
+                region = self._partitioning.region_of(int(request["source"]))
+                preferred = self.workers[region % len(self.workers)]
+            except (KeyError, ValueError, TypeError):
+                preferred = None
+        if preferred is None:
+            preferred = self.workers[next(self._round_robin) % len(self.workers)]
+        if preferred.depth < self.config.max_pending:
+            return preferred
+        # Home shard saturated: spill to the least-loaded worker with room.
+        fallback = min(self.workers, key=lambda worker: worker.depth)
+        if fallback.depth < self.config.max_pending:
+            return fallback
+        return None
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        worker = self._pick_worker(request)
+        if worker is None:
+            self.busy_rejections += 1
+            return {
+                "status": "busy",
+                "retry_after_ms": self.config.retry_after_ms,
+            }
+        return await self._submit(worker, request)
+
+    # ------------------------------------------------------------------
+    # Liveness monitor and respawn
+    # ------------------------------------------------------------------
+    async def _monitor(self) -> None:
+        """Detect dead workers and respawn them, re-dispatching their load."""
+        while not self._stopping:
+            await asyncio.sleep(0.15)
+            for index, worker in enumerate(list(self.workers)):
+                if self._stopping or worker.process.is_alive():
+                    continue
+                self.respawns += 1
+                replacement = await self._respawn(worker)
+                if replacement is None:
+                    continue
+                self.workers[index] = replacement
+                for future, request in worker.pending.values():
+                    if future.done():
+                        continue
+                    if request.get("op") == "_crash":
+                        future.set_result(
+                            {"status": "ok", "note": "worker crashed as requested"}
+                        )
+                    else:
+                        # Replay on the replacement: the request never got an
+                        # answer, so re-running it cannot double-serve.
+                        self._relay(request, future, replacement)
+                worker.pending.clear()
+
+    def _relay(
+        self, request: Dict[str, Any], future: asyncio.Future, worker: _Worker
+    ) -> None:
+        replay = self._submit(worker, request)
+        replay.add_done_callback(
+            lambda done: future.done() or future.set_result(done.result())
+        )
+
+    async def _respawn(self, worker: _Worker) -> Optional[_Worker]:
+        loop = asyncio.get_running_loop()
+        try:
+            loop.remove_reader(worker.conn.fileno())
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        try:
+            return await self._spawn(worker.worker_id)
+        except (OSError, asyncio.TimeoutError):  # pragma: no cover - spawn failure
+            return None
+
+    # ------------------------------------------------------------------
+    # Refresh (cycle re-publication)
+    # ------------------------------------------------------------------
+    async def _refresh(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply weight updates, publish a new segment, swap every worker."""
+        assert self.system is not None and self._admin_lock is not None
+        updates = [
+            (int(source), int(target), float(weight))
+            for source, target, weight in request.get("updates", [])
+        ]
+        async with self._admin_lock:
+            report = self.system.apply_updates(updates)
+            old_segment, self.segment = self.segment, self._publish_segment()
+            # The swap bypasses the backpressure bound: FIFO pipes guarantee
+            # queued requests finish on the old cycle first, and a full
+            # queue must delay -- not skip -- the re-publication.
+            swaps = [
+                self._submit(worker, {"op": "_swap", "segment": self.segment.name})
+                for worker in self.workers
+            ]
+            results = await asyncio.gather(*swaps, return_exceptions=True)
+            if old_segment is not None:
+                old_segment.unlink()
+                old_segment.close()
+            swapped = sum(
+                1
+                for result in results
+                if isinstance(result, dict) and result.get("status") == "ok"
+            )
+            return {
+                "status": "ok",
+                "fingerprint": self.system.network.fingerprint(),
+                "parent_fingerprint": report.parent_fingerprint,
+                "generation": self.generation,
+                "workers_swapped": swapped,
+                "incremental": list(report.incremental),
+                "rebuilt": list(report.rebuilt),
+                "num_changes": report.num_changes,
+            }
+
+    # ------------------------------------------------------------------
+    # Front end
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame_async(reader)
+                except protocol.ProtocolError:
+                    break
+                if request is None:
+                    break
+                response = await self._handle_request(request)
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+                if request.get("op") == "shutdown":
+                    break
+        except ConnectionError:  # pragma: no cover - client vanished
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op in ("query", "query_batch", "fleet"):
+            return await self._dispatch(request)
+        if op == "ping":
+            return {"status": "ok", "generation": self.generation}
+        if op == "info":
+            return self._info()
+        if op == "refresh":
+            return await self._refresh(request)
+        if op == "crash_worker":
+            return self._crash_worker(request)
+        if op == "shutdown":
+            asyncio.get_running_loop().create_task(self.stop())
+            return {"status": "ok", "stopping": True}
+        return {"status": "error", "error": f"unknown op {op!r}"}
+
+    def _crash_worker(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Diagnostic op: kill one worker abruptly (crash-recovery drills)."""
+        index = int(request.get("worker", 0)) % max(1, len(self.workers))
+        worker = self.workers[index]
+        try:
+            worker.conn.send({"op": "_crash"})
+        except (BrokenPipeError, OSError):
+            pass
+        return {"status": "ok", "worker": worker.worker_id}
+
+    def _info(self) -> Dict[str, Any]:
+        assert self.segment is not None
+        worker_rows = []
+        for worker in self.workers:
+            pid = worker.process.pid
+            row: Dict[str, Any] = {
+                "worker": worker.worker_id,
+                "pid": pid,
+                "alive": worker.process.is_alive(),
+                "pending": worker.depth,
+            }
+            rss = process_rss_kb(pid)
+            if rss is not None:
+                row["rss_kb"] = rss
+            stats = mapping_stats(pid, self.segment.name)
+            if stats is not None:
+                row["segment_mapping"] = stats
+            worker_rows.append(row)
+        return {
+            "status": "ok",
+            "generation": self.generation,
+            "fingerprint": self.segment.fingerprint,
+            "segment": self.segment.name,
+            "segment_bytes": self.segment.size_bytes,
+            "methods": list(self.config.methods),
+            "routing": self.config.routing,
+            "max_pending": self.config.max_pending,
+            "requests_dispatched": self.requests_dispatched,
+            "busy_rejections": self.busy_rejections,
+            "respawns": self.respawns,
+            "workers": worker_rows,
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def stop(self) -> None:
+        """Drain and stop everything; safe to call any number of times."""
+        if self._stopping:
+            if self._stopped_event is not None:
+                await self._stopped_event.wait()
+            return
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        for worker in self.workers:
+            try:
+                loop.remove_reader(worker.conn.fileno())
+            except (OSError, ValueError):
+                pass
+            try:
+                worker.conn.send({"op": "_exit"})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+        if self.segment is not None:
+            self.segment.unlink()
+            self.segment.close()
+        if self.address is not None and self.address[0] == "unix":
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+        if self._stopped_event is not None:
+            self._stopped_event.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        assert self._stopped_event is not None
+        await self._stopped_event.wait()
+
+
+class ServerHandle:
+    """A server running on its own thread/event loop (tests, benchmarks).
+
+    ``ServerHandle.launch(config)`` blocks until the daemon accepts
+    connections and returns a handle whose :attr:`address` feeds a
+    :class:`~repro.serving.client.ServingClient`; :meth:`stop` shuts the
+    daemon down and joins the thread (idempotent).
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self._config = config
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[AirServer] = None
+        self.address: Optional[Tuple] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @classmethod
+    def launch(cls, config: ServeConfig, timeout: float = 180.0) -> "ServerHandle":
+        handle = cls(config)
+        handle._thread.start()
+        if not handle._ready.wait(timeout):
+            raise TimeoutError("serving daemon did not start in time")
+        if handle._failure is not None:
+            raise RuntimeError("serving daemon failed to start") from handle._failure
+        return handle
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = AirServer(self._config)
+        try:
+            self.address = await self._server.start()
+        except BaseException as exc:  # startup failure must unblock launch()
+            self._failure = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._server.wait_stopped()
+
+    @property
+    def server(self) -> AirServer:
+        assert self._server is not None
+        return self._server
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._server is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+            try:
+                future.result(timeout)
+            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
+                pass
+        self._thread.join(timeout)

@@ -1,0 +1,43 @@
+"""Small shared statistics helpers.
+
+One home for the aggregation primitives the reporting layers share --
+fleet result tables, the serving load generator, and the CLI all quote
+percentiles, and they must quote the *same* percentile definition or two
+reports over identical samples would disagree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["percentile", "summarize_latencies"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in ``[0, 100]``; an empty sequence yields ``0.0`` so aggregate
+    tables stay printable for degenerate fleets.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * q / 100.0))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+def summarize_latencies(values: Sequence[float]) -> dict:
+    """The standard latency digest every report quotes: p50/p90/p99/mean/max."""
+    if not values:
+        return {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "mean": sum(values) / len(values),
+        "max": float(max(values)),
+    }

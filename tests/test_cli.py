@@ -191,6 +191,95 @@ class TestStoreCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["store", "--dir", "/tmp/x"])
 
+    def test_stats_reports_counters(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR"] + COMMON)
+        code, output = run_cli(["store", "--dir", str(tmp_path), "stats"])
+        assert code == 0
+        rows = dict(
+            line.split(None, 1)
+            for line in output.splitlines()
+            if line.startswith(("entries", "bytes", "hits", "writes"))
+        )
+        assert rows["entries"].strip() == "1"
+        assert int(rows["bytes"].strip()) > 0
+
+    def test_prune_drops_by_fingerprint_prefix(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR,DJ"] + COMMON)
+        from repro.store import ArtifactStore
+
+        (fingerprint,) = {
+            entry.network_fingerprint for entry in ArtifactStore(tmp_path).entries()
+        }
+        code, output = run_cli(
+            ["store", "--dir", str(tmp_path), "prune", "--fingerprints", fingerprint[:10]]
+        )
+        assert code == 0
+        assert "2 objects removed" in output
+        code, output = run_cli(["store", "--dir", str(tmp_path), "ls"])
+        assert "0 entries" in output
+
+    def test_prune_without_matches_removes_nothing(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR"] + COMMON)
+        code, output = run_cli(
+            ["store", "--dir", str(tmp_path), "prune", "--fingerprints", "zzzz"]
+        )
+        assert code == 0
+        assert "0 objects removed" in output
+        _, output = run_cli(["store", "--dir", str(tmp_path), "ls"])
+        assert "1 entries" in output
+
+
+class TestServeAndBenchClient:
+    def test_serve_then_bench_client_burst_and_shutdown(self, tmp_path):
+        import threading
+        import time
+
+        socket_path = str(tmp_path / "daemon.sock")
+        serve_argv = (
+            ["serve", "--methods", "NR", "--workers", "2", "--socket", socket_path]
+            + COMMON
+        )
+        outcome = {}
+
+        def run_daemon():
+            outcome["code"], outcome["output"] = run_cli(serve_argv)
+
+        daemon = threading.Thread(target=run_daemon, daemon=True)
+        daemon.start()
+        deadline = time.time() + 120.0
+        import os
+
+        while time.time() < deadline and not os.path.exists(socket_path):
+            time.sleep(0.1)
+        assert os.path.exists(socket_path), "daemon never opened its socket"
+
+        code, output = run_cli(
+            [
+                "bench-client",
+                "--method",
+                "NR",
+                "--socket",
+                socket_path,
+                "--requests",
+                "12",
+                "--concurrency",
+                "2",
+                "--shutdown",
+            ]
+            + COMMON
+        )
+        assert code == 0
+        assert "throughput (qps)" in output
+        assert "12 / 0" in output  # every request answered, none errored
+        daemon.join(timeout=60.0)
+        assert not daemon.is_alive(), "daemon did not stop after the shutdown request"
+        assert outcome["code"] == 0
+        assert f"serving on unix:{socket_path}" in outcome["output"]
+
+    def test_bench_client_requires_an_address(self):
+        with pytest.raises(SystemExit):
+            run_cli(["bench-client", "--requests", "1"] + COMMON)
+
 
 class TestConsoleScriptEntryPoint:
     def test_pyproject_declares_the_repro_script(self):

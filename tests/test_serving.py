@@ -1,0 +1,616 @@
+"""Tests for the broadcast serving daemon (repro.serving).
+
+Strategy: the protocol, segment and worker-runtime layers are exercised
+in-process (that is where the logic lives); a handful of end-to-end tests
+launch a real daemon -- forked workers, shared-memory segment, unix socket
+-- and pin down the operational contract: bit-identical answers, bounded
+queues with busy/retry-after, crash -> respawn without wrong answers,
+refresh swaps that never serve a torn cycle, idempotent shutdown.
+"""
+
+import dataclasses
+import io
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.engine.system import AirSystem
+from repro.serving import (
+    ProtocolError,
+    ServeConfig,
+    ServerBusy,
+    ServerError,
+    ServerHandle,
+    ServingClient,
+    SharedArtifactSegment,
+    run_load,
+)
+from repro.serving.protocol import (
+    encode_frame,
+    raise_for_status,
+    read_frame,
+    write_frame,
+)
+from repro.serving.worker import WorkerRuntime
+
+
+BASE_CONFIG = ServeConfig(
+    network="milan",
+    scale=0.01,
+    seed=3,
+    regions=8,
+    landmarks=4,
+    methods=("NR",),
+    workers=2,
+    max_pending=8,
+    routing="region",
+)
+
+
+@pytest.fixture(scope="module")
+def direct_system():
+    """The reference: a direct in-process AirSystem over the same config."""
+    return AirSystem.from_config(BASE_CONFIG.experiment_config())
+
+
+@pytest.fixture(scope="module")
+def server(direct_system):
+    handle = ServerHandle.launch(BASE_CONFIG)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def query_pairs(direct_system):
+    rng = random.Random(17)
+    nodes = direct_system.network.node_ids()
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(10)]
+
+
+def _direct_result(system, source, target):
+    options = system.default_options.replace(tune_in_offset=0)
+    return system.query("NR", source, target, options=options)
+
+
+# ----------------------------------------------------------------------
+# Protocol layer
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, {"op": "ping", "n": 3})
+            assert read_frame(right) == {"op": "ping", "n": 3}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_reads_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "ping"})
+            left.sendall(frame[: len(frame) - 2])
+            left.close()
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_object_payload_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            payload = b"[1,2,3]"
+            left.sendall(len(payload).to_bytes(4, "little") + payload)
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_raise_for_status_translates(self):
+        assert raise_for_status({"status": "ok", "x": 1})["x"] == 1
+        with pytest.raises(ServerBusy) as busy:
+            raise_for_status({"status": "busy", "retry_after_ms": 12.5})
+        assert busy.value.retry_after_ms == 12.5
+        with pytest.raises(ServerError, match="boom"):
+            raise_for_status({"status": "error", "error": "boom"})
+        with pytest.raises(ProtocolError):
+            raise_for_status({"status": "wat"})
+
+
+# ----------------------------------------------------------------------
+# Shared segment
+# ----------------------------------------------------------------------
+class TestSharedArtifactSegment:
+    @pytest.fixture()
+    def segment(self, direct_system):
+        scheme = direct_system.scheme("NR")
+        published = SharedArtifactSegment.publish(
+            direct_system.network, {"NR": scheme.artifact()}
+        )
+        yield published
+        published.unlink()
+        published.close()
+
+    def test_rejects_stale_artifacts(self, direct_system):
+        import dataclasses
+
+        scheme = direct_system.scheme("NR")
+        artifact = dataclasses.replace(scheme.artifact(), network_fingerprint="deadbeef")
+        with pytest.raises(ValueError, match="fingerprint"):
+            SharedArtifactSegment.publish(direct_system.network, {"NR": artifact})
+
+    def test_attach_maps_identical_csr(self, segment, direct_system):
+        attached = SharedArtifactSegment.attach(segment.name)
+        original = direct_system.network.ensure_csr()
+        shared = attached.csr_graph()
+        assert shared.buffer_backed
+        assert list(shared.ids) == list(original.ids)
+        assert list(shared.fwd_offsets) == list(original.fwd_offsets)
+        assert list(shared.fwd_targets) == list(original.fwd_targets)
+        assert list(shared.fwd_weights) == list(original.fwd_weights)
+        assert list(shared.rev_offsets) == list(original.rev_offsets)
+        # The views must be released before the mapping can unmap.
+        del shared
+        assert attached.close() is True
+
+    def test_restored_network_adopts_the_shared_snapshot(self, segment, direct_system):
+        attached = SharedArtifactSegment.attach(segment.name)
+        network = attached.restore_network()
+        assert network.fingerprint() == direct_system.network.fingerprint()
+        assert network.csr_snapshot() is not None
+        assert network.csr_snapshot().buffer_backed
+        del network
+        assert attached.close() is True
+
+    def test_artifact_lookup_and_miss(self, segment):
+        attached = SharedArtifactSegment.attach(segment.name)
+        artifact = attached.artifact("NR")
+        assert artifact.scheme == "NR"
+        with pytest.raises(KeyError, match="EB"):
+            attached.artifact("EB")
+        del artifact
+        assert attached.close() is True
+
+    def test_bad_magic_rejected(self, segment):
+        from multiprocessing import shared_memory
+
+        raw = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            raw.buf[:4] = b"NOPE"
+            with pytest.raises(ValueError, match="magic"):
+                SharedArtifactSegment.attach(raw.name)
+        finally:
+            raw.close()
+            raw.unlink()
+
+    def test_close_and_unlink_are_idempotent(self, direct_system):
+        scheme = direct_system.scheme("NR")
+        published = SharedArtifactSegment.publish(
+            direct_system.network, {"NR": scheme.artifact()}
+        )
+        published.unlink()
+        published.unlink()
+        assert published.close() is True
+        assert published.close() is True
+        with pytest.raises(ValueError, match="closed"):
+            published.csr_graph()
+
+
+# ----------------------------------------------------------------------
+# Worker runtime (in-process)
+# ----------------------------------------------------------------------
+class TestWorkerRuntime:
+    @pytest.fixture()
+    def runtime(self, direct_system):
+        scheme = direct_system.scheme("NR")
+        segment = SharedArtifactSegment.publish(
+            direct_system.network, {"NR": scheme.artifact()}
+        )
+        runtime = WorkerRuntime(0, config=BASE_CONFIG.experiment_config())
+        runtime.load_segment(segment.name)
+        yield runtime
+        runtime.shutdown()
+        segment.unlink()
+        segment.close()
+
+    def test_query_matches_the_direct_system(self, runtime, direct_system, query_pairs):
+        for source, target in query_pairs:
+            response = runtime.handle(
+                {
+                    "op": "query",
+                    "method": "NR",
+                    "source": source,
+                    "target": target,
+                    "tune_in_offset": 0,
+                    "with_path": True,
+                }
+            )
+            reference = _direct_result(direct_system, source, target)
+            assert response["status"] == "ok"
+            assert response["distance"] == reference.distance
+            assert response["tuning_time_packets"] == reference.metrics.tuning_time_packets
+            assert response["access_latency_packets"] == reference.metrics.access_latency_packets
+            assert response["path"] == list(reference.path)
+
+    def test_batch_matches_sequential_queries(self, runtime, direct_system, query_pairs):
+        response = runtime.handle(
+            {
+                "op": "query_batch",
+                "method": "NR",
+                "queries": [list(pair) for pair in query_pairs],
+                "tune_in_offset": 0,
+            }
+        )
+        assert response["status"] == "ok"
+        expected = [
+            _direct_result(direct_system, source, target).distance
+            for source, target in query_pairs
+        ]
+        assert response["distances"] == expected
+        assert response["latency"]["count"] == len(query_pairs)
+
+    def test_bad_requests_answer_errors_without_dying(self, runtime):
+        unknown = runtime.handle({"op": "frobnicate"})
+        assert unknown["status"] == "error"
+        bad_method = runtime.handle(
+            {"op": "query", "method": "XYZ", "source": 0, "target": 1}
+        )
+        assert bad_method["status"] == "error"
+        missing_field = runtime.handle({"op": "query", "method": "NR"})
+        assert missing_field["status"] == "error"
+        # Still serving afterwards.
+        assert runtime.handle({"op": "ping"})["status"] == "ok"
+        assert runtime.requests_served == 4
+
+    def test_fleet_scenario_validation(self, runtime):
+        response = runtime.handle(
+            {"op": "fleet", "method": "NR", "scenario": "no-such", "devices": 5}
+        )
+        assert response["status"] == "error"
+        assert "no-such" in response["error"]
+
+    def test_fleet_matches_direct_simulation(self, runtime, direct_system):
+        from repro.experiments import FLEET_SCENARIOS
+
+        response = runtime.handle(
+            {"op": "fleet", "method": "NR", "scenario": "trickle", "devices": 8, "seed": 2}
+        )
+        assert response["status"] == "ok"
+        devices = FLEET_SCENARIOS["trickle"](direct_system.network, 8, seed=2)
+        run = direct_system.simulate_fleet("NR", devices, seed=2)
+        assert response["devices"] == run.num_devices
+        assert response["mismatches"] == run.mismatches
+        assert response["replays"] == run.replays
+        assert set(response["latency_percentiles"]) == {"50", "90", "99"}
+
+    def test_info_reports_the_segment(self, runtime):
+        response = runtime.handle({"op": "info"})
+        assert response["status"] == "ok"
+        assert response["schemes"] == ["NR"]
+        assert response["segment_bytes"] > 0
+        assert response["swaps"] == 0
+
+    def test_swap_reloads_and_counts(self, runtime):
+        name = runtime.segment.name
+        response = runtime.handle({"op": "_swap", "segment": name})
+        assert response["status"] == "ok"
+        assert response["schemes"] == ["NR"]
+        assert runtime.swaps == 1
+        assert runtime.handle({"op": "info"})["swaps"] == 1
+
+    def test_pacing_sleeps_proportionally_to_air_time(self, direct_system, monkeypatch):
+        scheme = direct_system.scheme("NR")
+        segment = SharedArtifactSegment.publish(
+            direct_system.network, {"NR": scheme.artifact()}
+        )
+        runtime = WorkerRuntime(
+            0, config=BASE_CONFIG.experiment_config(), pace_packet_us=5.0
+        )
+        try:
+            runtime.load_segment(segment.name)
+            slept = []
+            monkeypatch.setattr(time, "sleep", slept.append)
+            response = runtime.handle(
+                {"op": "query", "method": "NR", "source": 0, "target": 1}
+            )
+            assert response["status"] == "ok"
+            assert slept == [response["access_latency_packets"] * 5.0 / 1e6]
+        finally:
+            runtime.shutdown()
+            segment.unlink()
+            segment.close()
+
+    def test_shutdown_is_idempotent(self, runtime):
+        runtime.shutdown()
+        runtime.shutdown()
+        response = runtime.handle({"op": "query", "method": "NR", "source": 0, "target": 1})
+        assert response["status"] == "error"
+        assert "no segment" in response["error"]
+
+
+# ----------------------------------------------------------------------
+# End to end: daemon over a unix socket
+# ----------------------------------------------------------------------
+class TestServingEndToEnd:
+    def test_ping_and_info(self, server):
+        with ServingClient(server.address) as client:
+            assert client.ping()["status"] == "ok"
+            info = client.info()
+        assert info["routing"] == "region"
+        assert len(info["workers"]) == 2
+        assert all(row["alive"] for row in info["workers"])
+        assert info["segment_bytes"] > 0
+
+    def test_served_queries_match_the_direct_system(
+        self, server, direct_system, query_pairs
+    ):
+        with ServingClient(server.address) as client:
+            for source, target in query_pairs:
+                served = client.query("NR", source, target, tune_in_offset=0)
+                reference = _direct_result(direct_system, source, target)
+                assert served["distance"] == reference.distance
+                assert served["found"] == reference.found
+                assert served["tuning_time_packets"] == reference.metrics.tuning_time_packets
+                assert (
+                    served["access_latency_packets"]
+                    == reference.metrics.access_latency_packets
+                )
+
+    def test_served_batch_matches_direct_batch(self, server, direct_system, query_pairs):
+        with ServingClient(server.address) as client:
+            served = client.query_batch("NR", query_pairs, tune_in_offset=0)
+        options = direct_system.default_options.replace(tune_in_offset=0)
+        run = direct_system.query_batch("NR", query_pairs, options=options)
+        assert served["latency"]["count"] == len(query_pairs)
+        expected = [
+            _direct_result(direct_system, source, target).distance
+            for source, target in query_pairs
+        ]
+        assert served["distances"] == expected
+        assert served["latency"]["max"] == max(
+            metrics.access_latency_packets for metrics in run.per_query
+        )
+
+    def test_served_fleet_matches_direct_signature(self, server, direct_system):
+        from repro.experiments import FLEET_SCENARIOS
+
+        with ServingClient(server.address) as client:
+            served = client.fleet("NR", scenario="trickle", devices=15, seed=5)
+        devices = FLEET_SCENARIOS["trickle"](direct_system.network, 15, seed=5)
+        run = direct_system.simulate_fleet("NR", devices, seed=5)
+        import hashlib
+
+        expected_digest = hashlib.sha256(repr(run.signature()).encode("utf-8")).hexdigest()
+        assert served["devices"] == 15
+        assert served["mismatches"] == run.mismatches
+        assert served["signature_digest"] == expected_digest
+
+    def test_bad_requests_do_not_kill_workers(self, server):
+        with ServingClient(server.address) as client:
+            with pytest.raises(ServerError):
+                client.query("XYZ", 0, 1)
+            with pytest.raises(ServerError):
+                client.fleet("NR", scenario="no-such")
+            info = client.info()
+        assert all(row["alive"] for row in info["workers"])
+        assert info["respawns"] == 0
+
+    def test_unknown_op_is_an_error_response(self, server):
+        with ServingClient(server.address) as client:
+            with pytest.raises(ServerError, match="unknown op"):
+                client.call({"op": "frobnicate"})
+
+    def test_load_generator_spreads_work(self, server, query_pairs):
+        report = run_load(server.address, query_pairs * 4, concurrency=3)
+        assert report.requests == len(query_pairs) * 4
+        assert report.errors == 0
+        assert report.qps > 0
+        assert report.latency_ms["p50"] > 0
+        assert sum(report.workers.values()) == report.requests
+
+    def test_crash_is_detected_and_respawned_without_wrong_answers(
+        self, server, direct_system, query_pairs
+    ):
+        with ServingClient(server.address) as client:
+            before = client.info()
+            client.crash_worker(0)
+            deadline = time.time() + 20.0
+            while time.time() < deadline:
+                info = client.info()
+                if info["respawns"] > before["respawns"] and all(
+                    row["alive"] for row in info["workers"]
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("crashed worker was not respawned in time")
+            # Every worker answers correctly after the respawn (hit both).
+            for source, target in query_pairs:
+                served = client.query("NR", source, target, tune_in_offset=0)
+                reference = _direct_result(direct_system, source, target)
+                assert served["distance"] == reference.distance
+
+
+# ----------------------------------------------------------------------
+# TCP transport (the portable fallback when Unix sockets are unavailable)
+# ----------------------------------------------------------------------
+class TestTcpTransport:
+    def test_serves_over_an_ephemeral_tcp_port(self, direct_system, query_pairs):
+        config = dataclasses.replace(
+            BASE_CONFIG, workers=1, port=0, routing="round_robin"
+        )
+        handle = ServerHandle.launch(config)
+        try:
+            kind, host, port = handle.address
+            assert kind == "tcp" and port > 0
+            with ServingClient(("tcp", host, port)) as client:
+                client.ping()
+                source, target = query_pairs[0]
+                served = client.query("NR", source, target, tune_in_offset=0)
+                reference = _direct_result(direct_system, source, target)
+                assert served["distance"] == reference.distance
+        finally:
+            handle.stop()
+
+    def test_unknown_address_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown address kind"):
+            ServingClient(("carrier_pigeon", "nowhere"))
+
+
+# ----------------------------------------------------------------------
+# Backpressure (dedicated tiny daemon: one slow worker, queue depth 1)
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_full_queue_answers_busy_with_retry_advice(self, direct_system, query_pairs):
+        config = ServeConfig(
+            network="milan",
+            scale=0.01,
+            seed=3,
+            regions=8,
+            methods=("NR",),
+            workers=1,
+            max_pending=1,
+            retry_after_ms=7.0,
+            pace_packet_us=200.0,  # make each query take visible wall time
+            routing="round_robin",
+        )
+        handle = ServerHandle.launch(config)
+        try:
+            busy_seen = []
+            lock = threading.Lock()
+
+            def slam(pairs):
+                client = ServingClient(handle.address)
+                try:
+                    for source, target in pairs:
+                        try:
+                            client.query("NR", source, target, tune_in_offset=0)
+                        except ServerBusy as busy:
+                            with lock:
+                                busy_seen.append(busy.retry_after_ms)
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=slam, args=(query_pairs * 3,))
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert busy_seen, "a saturated one-deep queue never answered busy"
+            assert all(advice == 7.0 for advice in busy_seen)
+            # Polite clients that honour the advice eventually get through.
+            report = run_load(handle.address, query_pairs, concurrency=2)
+            assert report.errors == 0
+            assert report.requests == len(query_pairs)
+        finally:
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Refresh (dedicated daemon: the fingerprint changes mid-flight)
+# ----------------------------------------------------------------------
+class TestRefresh:
+    def test_mid_flight_answers_are_old_or_new_never_torn(self, query_pairs):
+        config = ServeConfig(
+            network="milan",
+            scale=0.01,
+            seed=3,
+            regions=8,
+            methods=("NR",),
+            workers=2,
+            max_pending=16,
+        )
+        handle = ServerHandle.launch(config)
+        reference = AirSystem.from_config(config.experiment_config())
+        try:
+            old_fingerprint = reference.network.fingerprint()
+            edges = list(reference.network.edges())[:4]
+            updates = [(e.source, e.target, e.weight * 1.7) for e in edges]
+
+            fingerprints = set()
+            errors = []
+            stop_flag = threading.Event()
+
+            def background_queries():
+                client = ServingClient(handle.address)
+                try:
+                    while not stop_flag.is_set():
+                        for source, target in query_pairs:
+                            try:
+                                served = client.query(
+                                    "NR", source, target, tune_in_offset=0
+                                )
+                            except ServerBusy:
+                                continue
+                            fingerprints.add(served["fingerprint"])
+                except Exception as exc:  # noqa: BLE001 - report in the test
+                    errors.append(exc)
+                finally:
+                    client.close()
+
+            thread = threading.Thread(target=background_queries)
+            thread.start()
+            time.sleep(0.2)
+            with ServingClient(handle.address) as client:
+                outcome = client.refresh(updates)
+            time.sleep(0.3)
+            stop_flag.set()
+            thread.join(timeout=30.0)
+
+            assert not errors, errors
+            new_fingerprint = outcome["fingerprint"]
+            assert new_fingerprint != old_fingerprint
+            assert outcome["workers_swapped"] == 2
+            assert outcome["num_changes"] == len(updates)
+            # Every answer came off a published cycle: the old one or the
+            # new one, never a half-swapped hybrid fingerprint.
+            assert fingerprints <= {old_fingerprint, new_fingerprint}
+            assert new_fingerprint in fingerprints
+
+            # Post-refresh answers equal a direct system refreshed the same way.
+            reference.apply_updates(updates)
+            options = reference.default_options.replace(tune_in_offset=0)
+            with ServingClient(handle.address) as client:
+                for source, target in query_pairs[:5]:
+                    served = client.query("NR", source, target, tune_in_offset=0)
+                    expected = reference.query("NR", source, target, options=options)
+                    assert served["distance"] == expected.distance
+                    assert served["fingerprint"] == new_fingerprint
+        finally:
+            handle.stop()
+
+    def test_double_shutdown_is_a_noop(self):
+        config = ServeConfig(
+            network="milan", scale=0.01, seed=3, regions=8, methods=("NR",), workers=1
+        )
+        handle = ServerHandle.launch(config)
+        with ServingClient(handle.address) as client:
+            assert client.shutdown()["status"] == "ok"
+        handle.stop()
+        handle.stop()  # second stop: no error, nothing left to do
+        assert handle.server.workers == []

@@ -1,0 +1,60 @@
+"""Tests for the shared nearest-rank percentile helpers (repro.stats)."""
+
+import pytest
+
+from repro.stats import percentile, summarize_latencies
+
+
+class TestPercentile:
+    def test_empty_sequence_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value_is_every_percentile(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_nearest_rank_on_a_decade(self):
+        values = list(range(1, 11))  # 1..10
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 90) == 9.0
+        assert percentile(values, 99) == 10.0
+        assert percentile(values, 100) == 10.0
+
+    def test_order_independent(self):
+        shuffled = [3.0, 1.0, 2.0, 5.0, 4.0]
+        assert percentile(shuffled, 50) == 3.0
+
+    def test_zeroth_percentile_is_the_minimum(self):
+        assert percentile([7.0, 3.0, 9.0], 0) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_result_is_a_float(self):
+        assert isinstance(percentile([1, 2, 3], 50), float)
+
+
+class TestSummarizeLatencies:
+    def test_keys_and_values(self):
+        summary = summarize_latencies([4.0, 1.0, 3.0, 2.0])
+        assert summary["count"] == 4
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+
+    def test_empty_summary(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+
+class TestFleetReexport:
+    def test_fleet_results_still_exports_percentile(self):
+        # The helper was hoisted out of fleet.results; the old import path
+        # stays valid for downstream users.
+        from repro.fleet.results import percentile as fleet_percentile
+
+        assert fleet_percentile is percentile
