@@ -14,13 +14,22 @@ scheme, the cycle-refresh throughput of
 
 Asserted invariants: the incrementally refreshed cycle is **bit-identical**
 to a from-scratch build after every stream (compared via
-``BroadcastCycle.signature()``), and the speedup meets a per-scheme floor --
->= 5x for the delta-local schemes (DJ's cycle reuse, HiTi's dirty-block
-super-edge recompute).  NR's floor is intentionally loose: its
-border-path refresh re-runs every border source whose shortest path tree a
-changed edge sits on, and on a sparse road network a random edge lies on a
-large fraction of those trees, so NR's speedup is workload-dependent (ramps
-that re-touch the same hot edges prune far better than fresh random edges).
+``BroadcastCycle.signature()``), and the speedup meets a per-scheme floor.
+DJ's cycle reuse and HiTi's dirty-block super-edge recompute are strictly
+delta-local and carry a fixed >= 5x floor.  NR and EB refresh through the
+border-path repair (:meth:`BorderPathPrecomputation.refresh`): a batch
+dynamic-SSSP pass per affected border source that settles only the labels
+that actually move and re-derives a source's published contributions only
+when the change reaches a border chain.  Their floor defaults to 5x and is
+CI-tunable through ``REPRO_DYNAMIC_MIN_SPEEDUP`` (same convention as
+``REPRO_KERNEL_MIN_SPEEDUP``), so slow shared runners can relax it without
+editing the benchmark.
+
+A second test measures the *query stall* an update causes: blocking
+:meth:`AirSystem.refresh` makes queries wait for the whole rebuild, while
+:meth:`AirSystem.refresh_async` rebuilds into a shadow set and atomically
+swaps, so queries keep being served from the superseded snapshot in the
+meantime.
 
 Run standalone like the other benchmarks::
 
@@ -29,6 +38,7 @@ Run standalone like the other benchmarks::
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List, Tuple
 
@@ -50,17 +60,16 @@ NUM_REGIONS = 16
 TARGET_REGION = 5
 EDGES_PER_BATCH = 3
 
-#: (scheme, params, batches to time, speedup floor).  DJ and HiTi refresh
-#: strictly delta-locally and carry the >= 5x acceptance criterion.  NR's
-#: affected-source refresh is exact but workload-dependent (see module doc):
-#: its floor only asserts the incremental path is never slower than a full
-#: rebuild -- structurally guaranteed, since it runs a subset of the same
-#: work (measured ~1.1x on this congest/recover schedule, more when
-#: congestion persists instead of oscillating).
+#: Acceptance floor for the repair-based NR/EB refresh, overridable for slow
+#: CI runners (measured >= 15x locally; 5x is the acceptance criterion).
+DYNAMIC_MIN_SPEEDUP = float(os.environ.get("REPRO_DYNAMIC_MIN_SPEEDUP", "5.0"))
+
+#: (scheme, params, batches to time, speedup floor).
 SCHEMES: List[Tuple[str, Dict[str, int], int, float]] = [
     ("DJ", {}, 40, 5.0),
     ("HiTi", {"num_regions": NUM_REGIONS}, 10, 5.0),
-    ("NR", {"num_regions": NUM_REGIONS}, 4, 1.0),
+    ("NR", {"num_regions": NUM_REGIONS}, 4, DYNAMIC_MIN_SPEEDUP),
+    ("EB", {"num_regions": NUM_REGIONS}, 4, DYNAMIC_MIN_SPEEDUP),
 ]
 
 
@@ -187,6 +196,7 @@ def test_dynamic_updates_incremental_vs_full(network, update_batches):
                 "regions": NUM_REGIONS,
                 "edges_per_batch": EDGES_PER_BATCH,
             },
+            "min_speedup_floor": DYNAMIC_MIN_SPEEDUP,
             "by_scheme": [
                 {
                     "scheme": row[0],
@@ -202,3 +212,124 @@ def test_dynamic_updates_incremental_vs_full(network, update_batches):
     )
 
     assert not failures, "; ".join(failures)
+
+
+def test_refresh_async_stall_vs_blocking(network, update_batches):
+    """Query stall while an update lands: blocking refresh vs shadow swap.
+
+    Blocking :meth:`AirSystem.refresh` rebuilds the cached schemes in the
+    caller's thread -- any query issued after ``apply_updates`` waits for
+    the whole refresh, so its end-to-end stall is the refresh duration plus
+    one service time.  :meth:`AirSystem.refresh_async` rebuilds into a
+    shadow set while queries keep being served from the superseded
+    snapshot, so the worst in-flight query latency stays near the baseline.
+
+    Both modes run the same congest/recover batches on a system caching NR
+    *and* EB; per round we record the stall and assert (on medians, to damp
+    scheduler noise) that the async path stalls queries less than the
+    blocking path.  Snapshot consistency is asserted too: every query
+    answered during an async refresh equals either the pre-update or the
+    post-update distance, never a torn intermediate.
+    """
+    params = {"num_regions": NUM_REGIONS}
+    net = network.copy()
+    net.clear_delta()
+    system = AirSystem(net)
+    system.scheme("NR", **params)
+    system.scheme("EB", **params)
+
+    # A query pair with a finite answer, far apart in id space.
+    node_ids = net.node_ids()
+    source = node_ids[0]
+    target = next(
+        t
+        for t in node_ids[::-1]
+        if t != source and system.query("NR", source, t, **params).found
+    )
+
+    def query_once() -> Tuple[float, float]:
+        started = time.perf_counter()
+        result = system.query("NR", source, target, **params)
+        return time.perf_counter() - started, result.distance
+
+    baseline_s = sorted(query_once()[0] for _ in range(20))[10]
+
+    rounds = 4
+    blocking_stall_ms: List[float] = []
+    for batch in update_batches[:rounds]:
+        net.apply_updates(batch)
+        started = time.perf_counter()
+        system.refresh()
+        refresh_s = time.perf_counter() - started
+        # What a query queued behind the blocking refresh experiences.
+        blocking_stall_ms.append((refresh_s + baseline_s) * 1000.0)
+
+    async_stall_ms: List[float] = []
+    for batch in update_batches[rounds : 2 * rounds]:
+        pre = system.query("NR", source, target, **params).distance
+        net.apply_updates(batch)
+        handle = system.refresh_async()
+        worst_s, answers = 0.0, []
+        while True:
+            finished = handle.done
+            elapsed, distance = query_once()
+            worst_s = max(worst_s, elapsed)
+            answers.append(distance)
+            if finished:
+                break
+        handle.wait(timeout=120.0)
+        post = system.query("NR", source, target, **params).distance
+        for distance in answers:
+            assert distance in (pre, post), (
+                "query served during refresh_async returned a torn distance"
+            )
+        async_stall_ms.append(worst_s * 1000.0)
+
+    blocking_median = sorted(blocking_stall_ms)[rounds // 2]
+    async_median = sorted(async_stall_ms)[rounds // 2]
+
+    table = report.format_table(
+        ["Mode", "Stall p50 (ms)", "Stall max (ms)", "Rounds"],
+        [
+            [
+                "blocking refresh()",
+                round(blocking_median, 2),
+                round(max(blocking_stall_ms), 2),
+                rounds,
+            ],
+            [
+                "refresh_async()",
+                round(async_median, 2),
+                round(max(async_stall_ms), 2),
+                rounds,
+            ],
+        ],
+        title=(
+            f"Worst query stall per update batch -- {net.name}, NR+EB cached, "
+            f"baseline query {baseline_s * 1000.0:.2f} ms"
+        ),
+    )
+    write_report("dynamic_updates_async", table)
+    write_json_report(
+        "dynamic_updates_async",
+        {
+            "baseline_query_ms": round(baseline_s * 1000.0, 3),
+            "rounds": rounds,
+            "blocking_stall_ms": {
+                "p50": round(blocking_median, 3),
+                "max": round(max(blocking_stall_ms), 3),
+            },
+            "async_stall_ms": {
+                "p50": round(async_median, 3),
+                "max": round(max(async_stall_ms), 3),
+            },
+            "stall_reduction": round(blocking_median / async_median, 1)
+            if async_median
+            else None,
+        },
+    )
+
+    assert async_median < blocking_median, (
+        f"refresh_async stalled queries for {async_median:.2f} ms (median), "
+        f"not less than the blocking refresh's {blocking_median:.2f} ms"
+    )

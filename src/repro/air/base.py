@@ -182,6 +182,48 @@ class AirIndexScheme(abc.ABC):
         self.refresh_seconds += time.perf_counter() - started
         return True
 
+    def shadow_rebuild(self, network: RoadNetwork, delta) -> Optional["AirIndexScheme"]:
+        """Build a refreshed *replacement* instance, leaving this one intact.
+
+        The double-buffered counterpart of :meth:`incremental_rebuild`: the
+        caller (the engine's ``refresh_async``) keeps serving queries from
+        this instance's pre-delta state while the returned shadow -- already
+        refreshed over the mutated network -- waits to be swapped in.  The
+        shadow must satisfy the same bit-identity contract as an in-place
+        incremental rebuild; returns ``None`` when the delta cannot be
+        applied incrementally (the caller then builds from scratch).
+
+        The default clones this scheme through an artifact-state round trip
+        (so the shadow shares no mutable pre-computation state with the
+        serving instance) and runs the ordinary :meth:`incremental_rebuild`
+        on the clone.  Schemes whose state is dominated by per-unit records
+        (NR/EB's border sources) override this with structural sharing.
+        """
+        clone = self._shadow_clone()
+        if clone.incremental_rebuild(network, delta):
+            return clone
+        return None
+
+    def _shadow_clone(self) -> "AirIndexScheme":
+        """A deep, independent copy of this scheme via its artifact state.
+
+        The encode/decode round trip guarantees the clone holds no live
+        references into the serving instance's state; the built broadcast
+        cycle is shared as-is (immutable by contract -- every incremental
+        path constructs a *new* cycle object rather than mutating segments
+        in place), so the clone's ``incremental_rebuild`` can reuse
+        untouched segments exactly as the in-place path would.
+        """
+        clone = object.__new__(type(self))
+        AirIndexScheme.__init__(clone, self.network, self.layout)
+        clone._configure(**self._artifact_params())
+        clone._restore_state(decode_value(encode_value(self._artifact_state())))
+        clone.precomputation_seconds = self.precomputation_seconds
+        clone.refresh_count = self.refresh_count
+        clone.refresh_seconds = self.refresh_seconds
+        clone._cycle = self._cycle
+        return clone
+
     # ------------------------------------------------------------------
     # Build/serve split: versioned artifacts
     # ------------------------------------------------------------------

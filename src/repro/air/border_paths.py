@@ -20,21 +20,36 @@ remain covered; this only grows the index conservatively (documented
 deviation, see DESIGN.md).
 
 Dynamic networks: the computation is organized as one independent record per
-border *source* (its Dijkstra distances plus everything derived from its
-shortest path tree), and the published aggregates are a pure, order-free fold
-over those records.  :meth:`BorderPathPrecomputation.refresh` exploits that:
-given a batch of applied weight changes, it re-runs the per-source
-computation only for sources whose shortest path tree could be affected --
-decided exactly from the cached distances and the old/new weights -- and
-re-folds.  Unaffected sources provably have bit-identical Dijkstra results,
-so the refreshed state equals a from-scratch rebuild.
+border *source* (its full distance/predecessor labels over the CSR snapshot,
+plus everything derived from its shortest path tree), and the published
+aggregates are a pure, order-free fold over those records.
+:meth:`BorderPathPrecomputation.refresh` exploits that three ways:
+
+* :meth:`affected_sources` decides -- exactly, from the cached labels and
+  the old/new weights -- which sources a change batch can touch, vectorized
+  over a cached ``sources x nodes`` distance matrix when numpy is available;
+* each affected source is brought up to date by :meth:`_repair_source`, a
+  batch Ramalingam-Reps-style repair that seeds a priority queue from the
+  endpoints of the changed edges and settles only the nodes whose distance
+  (or tie-broken predecessor) actually moves, instead of re-running the
+  source's Dijkstra from scratch; and
+* the per-source contributions are re-derived by a memoized predecessor-
+  chain walk whose cost is proportional to the tree paths actually touched,
+  after which the aggregates re-fold.
+
+Unaffected sources provably have bit-identical labels, and the repair
+reconverges to the same unique float fixed point with the same canonical
+tie-breaks as the kernel (see :meth:`_repair_source`), so the refreshed
+state equals a from-scratch rebuild bit for bit.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
+from array import array
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.network.algorithms import kernel
 from repro.network.algorithms.paths import INFINITY
@@ -45,6 +60,18 @@ from repro.partitioning.base import Partitioning
 __all__ = ["BorderPathPrecomputation"]
 
 
+def _regions_from_mask(mask: int) -> Set[int]:
+    """Decode a traversed-regions bitmask back into a region-id set."""
+    regions: Set[int] = set()
+    region = 0
+    while mask:
+        if mask & 1:
+            regions.add(region)
+        mask >>= 1
+        region += 1
+    return regions
+
+
 @dataclass
 class _BorderSource:
     """Everything pre-computed from one border source node.
@@ -53,12 +80,20 @@ class _BorderSource:
     set, traversed-region sets) are folds over these records, which is what
     lets :meth:`BorderPathPrecomputation.refresh` re-run only the affected
     sources after a weight update.
+
+    ``dist``/``pred`` are the full kernel labels indexed by CSR node index
+    (``inf`` / ``-1`` for unreached nodes).  Records are treated as
+    immutable once built: a refresh *replaces* the record of an affected
+    source, so a shadow copy (:meth:`BorderPathPrecomputation.shadow`) can
+    share the unchanged ones.
     """
 
     node: int
     region: int
-    #: Dijkstra distances from the source (kept for the affected-source test).
-    distances: Dict[int, float] = field(default_factory=dict)
+    #: Dijkstra distance labels, indexed by CSR node index.
+    dist: array
+    #: Shortest path tree predecessors (CSR indexes; ``-1`` = none).
+    pred: array
     #: Nodes on at least one pre-computed path from this source.
     cross_nodes: Set[int] = field(default_factory=set)
     #: Finite border-pair count contributed by this source.
@@ -94,6 +129,10 @@ class BorderPathPrecomputation:
         #: records encoded in ``_sources_blob`` until a refresh needs them.
         self._source_records: List[_BorderSource] = []
         self._sources_blob = None
+        #: Cached ``sources x nodes`` float64 distance matrix backing the
+        #: vectorized affected-source test (built lazily, rows updated in
+        #: place by :meth:`refresh`).
+        self._dist_matrix = None
 
         self._compute()
 
@@ -115,73 +154,122 @@ class BorderPathPrecomputation:
         # One batched kernel sweep covers every border source: the arena's
         # many-to-many path computes the distance labels of whole source
         # chunks per accelerated call, and each source's shortest path tree
-        # arrives as flat index arrays the tree walks below iterate.
-        arena = kernel.arena_for(self.network.ensure_csr())
+        # arrives as flat index arrays the derivation below walks.
+        csr = self.network.ensure_csr()
+        arena = kernel.arena_for(csr)
         sweeps = arena.many_to_many(
             [source for source, _ in self._all_border], need_predecessors=True
         )
+        ctx = self._derive_context(csr)
         self._source_records = [
-            self._derive_source(sweep, source, source_region)
-            for sweep, (source, source_region) in zip(sweeps, self._all_border)
+            self._record_from_labels(
+                array("d", sweep.dist), array("q", sweep.pred), source, region, ctx
+            )
+            for sweep, (source, region) in zip(sweeps, self._all_border)
         ]
+        self._dist_matrix = None
         self._aggregate()
         self.precomputation_seconds = time.perf_counter() - started
 
-    def _compute_source(self, source: int, source_region: int) -> _BorderSource:
-        """Run one border source's Dijkstra and derive its contributions."""
-        arena = kernel.arena_for(self.network.ensure_csr())
-        sweep = arena.sssp(source, need_predecessors=True)
-        return self._derive_source(sweep, source, source_region)
+    def _derive_context(self, csr) -> Tuple:
+        """Per-snapshot arrays shared by every per-source derivation.
 
-    def _derive_source(
-        self, sweep: "kernel.KernelResult", source: int, source_region: int
-    ) -> _BorderSource:
-        """Fold one kernel sweep into the source's published contributions."""
-        distances = sweep.distances_dict()
-        predecessors = sweep.pred
-        ids = sweep.csr.ids
-        index_of = sweep.csr.index_of
-        source_index = sweep.source_index
-        record = _BorderSource(node=source, region=source_region, distances=distances)
-        # Node indexes already marked on some path from this source; walking
-        # a predecessor chain can stop as soon as it hits a marked node.
-        marked_from_source = bytearray(sweep.csr.num_nodes)
-        marked_from_source[source_index] = 1
-        record.cross_nodes.add(source)
-        cross_nodes_add = record.cross_nodes.add
+        ``region_bit[i]`` is the region bitmask bit of CSR index ``i`` and
+        ``border`` the roster as ``(node, index, region)`` triples -- built
+        once per build/refresh instead of per source.
+        """
         region_of = self.partitioning.region_of
+        ids = csr.ids
+        index_of = csr.index_of
+        region_bit = [1 << region_of(node_id) for node_id in ids]
+        border = [(node, index_of[node], region) for node, region in self._all_border]
+        border_indexes = {index for _node, index, _region in border}
+        return ids, index_of, region_bit, border, border_indexes
 
-        for target, target_region in self._all_border:
+    def _compute_source(
+        self, source: int, source_region: int, ctx: Optional[Tuple] = None
+    ) -> _BorderSource:
+        """Run one border source's Dijkstra and derive its contributions."""
+        csr = self.network.ensure_csr()
+        arena = kernel.arena_for(csr)
+        sweep = arena.sssp(source, need_predecessors=True)
+        if ctx is None:
+            ctx = self._derive_context(csr)
+        return self._record_from_labels(
+            array("d", sweep.dist), array("q", sweep.pred), source, source_region, ctx
+        )
+
+    def _record_from_labels(
+        self,
+        dist: array,
+        pred: array,
+        source: int,
+        source_region: int,
+        ctx: Tuple,
+    ) -> _BorderSource:
+        """Fold one source's labels into its published contributions.
+
+        A single pass over the border roster walks each finite target's
+        predecessor chain *once*: every visited node memoizes the bitmask of
+        regions on its source path, so a chain walk stops at the first node
+        already carrying a mask (whose ancestors were necessarily walked
+        before).  The cross-border set and the per-region traversed sets
+        fall out of the same walk; the fold's cost is proportional to the
+        number of distinct tree-path nodes, not paths times path length.
+        Order-free over the tree, so it serves scratch builds and repairs
+        alike.
+        """
+        ids, index_of, region_bit, border, _border_indexes = ctx
+        source_index = index_of[source]
+        mask: List[int] = [0] * len(dist)
+        mask[source_index] = region_bit[source_index]
+        cross_nodes: Set[int] = {source}
+        cross_add = cross_nodes.add
+        min_to: Dict[int, float] = {}
+        max_to: Dict[int, float] = {}
+        trav_mask: Dict[int, int] = {}
+        finite_pairs = 0
+
+        for target, target_index, target_region in border:
             if target == source:
                 continue
-            distance = distances.get(target, INFINITY)
+            distance = dist[target_index]
             if distance == INFINITY:
                 continue
-            record.finite_pairs += 1
-            if distance < record.min_to.get(target_region, INFINITY):
-                record.min_to[target_region] = distance
-            if distance > record.max_to.get(target_region, -1.0):
-                record.max_to[target_region] = distance
+            finite_pairs += 1
+            if distance < min_to.get(target_region, INFINITY):
+                min_to[target_region] = distance
+            if distance > max_to.get(target_region, -1.0):
+                max_to[target_region] = distance
 
-            regions = record.traversed.setdefault(target_region, set())
-            regions_add = regions.add
-            # Walk the shortest path tree from target back toward source,
-            # marking cross-border nodes and collecting traversed regions.
-            node = index_of[target]
-            while node >= 0:
-                regions_add(region_of(ids[node]))
-                if marked_from_source[node]:
-                    # Nodes from here to the source are already marked as
-                    # cross-border, but we still need their regions.
-                    node = -1 if node == source_index else predecessors[node]
-                    while node >= 0:
-                        regions_add(region_of(ids[node]))
-                        node = -1 if node == source_index else predecessors[node]
-                    break
-                marked_from_source[node] = 1
-                cross_nodes_add(ids[node])
-                node = predecessors[node]
-        return record
+            m = mask[target_index]
+            if not m:
+                stack: List[int] = []
+                node = target_index
+                while not mask[node]:
+                    stack.append(node)
+                    node = pred[node]
+                m = mask[node]
+                while stack:
+                    node = stack.pop()
+                    m |= region_bit[node]
+                    mask[node] = m
+                    cross_add(ids[node])
+            trav_mask[target_region] = trav_mask.get(target_region, 0) | m
+
+        return _BorderSource(
+            node=source,
+            region=source_region,
+            dist=dist,
+            pred=pred,
+            cross_nodes=cross_nodes,
+            finite_pairs=finite_pairs,
+            min_to=min_to,
+            max_to=max_to,
+            traversed={
+                region: _regions_from_mask(m) for region, m in trav_mask.items()
+            },
+        )
 
     def _aggregate(self) -> None:
         """Fold the per-source records into the published aggregates.
@@ -273,19 +361,21 @@ class BorderPathPrecomputation:
     def _sources_columnar(self) -> Dict[str, Any]:
         """The per-source records as flat columns (orders preserved).
 
-        Every per-record container is concatenated into one array with an
-        offsets column, so the codec stores a fixed number of bulk arrays
-        however many border sources exist.  Dict insertion orders (settle
-        order for ``distances``, encounter order for ``min_to``/``max_to``/
-        ``traversed``) survive the concatenation; sets are stored sorted.
+        The ``dist``/``pred`` labels are positional (every source carries
+        exactly ``num_nodes`` entries), so they concatenate without offset
+        columns and hit the codec's homogeneous bulk paths; the remaining
+        per-record containers are concatenated with offsets.  Dict insertion
+        orders (encounter order for ``min_to``/``max_to``/``traversed``)
+        survive the concatenation; sets are stored sorted.
         """
-        columns: Dict[str, List] = {
+        sources = self._sources
+        columns: Dict[str, Any] = {
+            "num_nodes": len(sources[0].dist) if sources else 0,
             "node": [],
             "region": [],
             "finite_pairs": [],
-            "dist_offsets": [0],
-            "dist_keys": [],
             "dist_values": [],
+            "pred_values": [],
             "cross_offsets": [0],
             "cross_items": [],
             "min_offsets": [0],
@@ -299,13 +389,12 @@ class BorderPathPrecomputation:
             "trav_set_offsets": [0],
             "trav_set_items": [],
         }
-        for record in self._sources:
+        for record in sources:
             columns["node"].append(record.node)
             columns["region"].append(record.region)
             columns["finite_pairs"].append(record.finite_pairs)
-            columns["dist_keys"].extend(record.distances.keys())
-            columns["dist_values"].extend(record.distances.values())
-            columns["dist_offsets"].append(len(columns["dist_keys"]))
+            columns["dist_values"].extend(record.dist)
+            columns["pred_values"].extend(record.pred)
             columns["cross_items"].extend(sorted(record.cross_nodes))
             columns["cross_offsets"].append(len(columns["cross_items"]))
             columns["min_keys"].extend(record.min_to.keys())
@@ -325,10 +414,12 @@ class BorderPathPrecomputation:
     def _sources_from_columnar(columns: Dict[str, Any]) -> List[_BorderSource]:
         """Inverse of :meth:`_sources_columnar`."""
         records: List[_BorderSource] = []
+        num_nodes = columns["num_nodes"]
+        dist_values = columns["dist_values"]
+        pred_values = columns["pred_values"]
         for index, (node, region, finite) in enumerate(
             zip(columns["node"], columns["region"], columns["finite_pairs"])
         ):
-            d0, d1 = columns["dist_offsets"][index : index + 2]
             c0, c1 = columns["cross_offsets"][index : index + 2]
             m0, m1 = columns["min_offsets"][index : index + 2]
             x0, x1 = columns["max_offsets"][index : index + 2]
@@ -339,16 +430,13 @@ class BorderPathPrecomputation:
                 traversed[columns["trav_keys"][position]] = set(
                     columns["trav_set_items"][s0:s1]
                 )
+            base = index * num_nodes
             records.append(
                 _BorderSource(
                     node=node,
                     region=region,
-                    distances=dict(
-                        zip(
-                            columns["dist_keys"][d0:d1],
-                            columns["dist_values"][d0:d1],
-                        )
-                    ),
+                    dist=array("d", dist_values[base : base + num_nodes]),
+                    pred=array("q", pred_values[base : base + num_nodes]),
                     cross_nodes=set(columns["cross_items"][c0:c1]),
                     finite_pairs=finite,
                     min_to=dict(
@@ -398,8 +486,27 @@ class BorderPathPrecomputation:
         self.num_border_pairs = aggregates["num_border_pairs"]
         self._source_records = None
         self._sources_blob = state["sources_blob"]
+        self._dist_matrix = None
         self.precomputation_seconds = state["seconds"]
         return self
+
+    def shadow(self) -> "BorderPathPrecomputation":
+        """A structurally shared copy safe to :meth:`refresh` independently.
+
+        Records are immutable once built and a refresh replaces -- never
+        mutates -- the affected ones, so the shadow shares every record with
+        its parent through a shallow list copy; ``_aggregate`` likewise
+        assigns fresh aggregate containers instead of mutating the shared
+        ones.  This is what makes the engine's double-buffered
+        ``refresh_async`` cheap: the serving instance keeps answering from
+        its pre-delta state while the shadow repairs.
+        """
+        clone = object.__new__(BorderPathPrecomputation)
+        clone.__dict__.update(self.__dict__)
+        if self._source_records is not None:
+            clone._source_records = list(self._source_records)
+        clone._dist_matrix = None
+        return clone
 
     @property
     def _sources(self) -> List[_BorderSource]:
@@ -420,7 +527,8 @@ class BorderPathPrecomputation:
         """Indexes of border sources whose results a change batch can touch.
 
         For a source with cached distances ``d``, a weight change on edge
-        ``(u, v)`` is relevant iff
+        ``(u, v)`` is relevant iff ``d(u) + min(old, new) <= d(v)`` (with
+        ``u`` reached), which unfolds to
 
         * **decrease** (``new < old``): ``d(u) + new <= d(v)`` -- the cheaper
           edge creates (or ties) a shorter path through ``(u, v)``; or
@@ -434,41 +542,295 @@ class BorderPathPrecomputation:
         bit-identical under a re-run: the old distance labels remain a
         feasible potential and the old shortest path tree contains no changed
         edge, so Dijkstra's relaxations (and tie-breaks) replay unchanged.
+
+        With numpy available the test runs vectorized over the kernel-style
+        label matrix (one ``sources``-length column test per change) instead
+        of the O(sources x changes) Python scan.
         """
         relevant = [change for change in changes if not change.is_noop]
-        affected: List[int] = []
-        for index, record in enumerate(self._sources):
-            distances = record.distances
+        if not relevant:
+            return []
+        sources = self._sources
+        if not sources:
+            return []
+        index_of = self.network.ensure_csr().index_of
+        np_mod = kernel.numpy_or_none()
+        if np_mod is not None:
+            matrix = self._ensure_dist_matrix(np_mod)
+            hit = np_mod.zeros(len(sources), dtype=bool)
             for change in relevant:
-                du = distances.get(change.source)
-                if du is None:
+                u = index_of.get(change.source)
+                v = index_of.get(change.target)
+                if u is None or v is None:
                     continue
-                dv = distances.get(change.target, INFINITY)
-                if change.new_weight < change.old_weight:
-                    if du + change.new_weight <= dv:
-                        affected.append(index)
-                        break
-                elif du + change.old_weight <= dv:
+                du = matrix[:, u]
+                weight = min(change.old_weight, change.new_weight)
+                # ``inf + w <= inf`` is true in IEEE arithmetic, but an
+                # unreached tail can never carry a path -- mask it out.
+                hit |= np_mod.isfinite(du) & (du + weight <= matrix[:, v])
+            return np_mod.flatnonzero(hit).tolist()
+
+        affected: List[int] = []
+        for index, record in enumerate(sources):
+            dist = record.dist
+            for change in relevant:
+                u = index_of.get(change.source)
+                v = index_of.get(change.target)
+                if u is None or v is None:
+                    continue
+                du = dist[u]
+                if du == INFINITY:
+                    continue
+                if du + min(change.old_weight, change.new_weight) <= dist[v]:
                     affected.append(index)
                     break
         return affected
 
+    def _ensure_dist_matrix(self, np_mod):
+        """The cached ``sources x nodes`` float64 label matrix."""
+        sources = self._sources
+        num_nodes = len(sources[0].dist) if sources else 0
+        matrix = self._dist_matrix
+        if matrix is None or matrix.shape != (len(sources), num_nodes):
+            matrix = np_mod.empty((len(sources), num_nodes), dtype=np_mod.float64)
+            for row, record in enumerate(sources):
+                matrix[row] = np_mod.frombuffer(record.dist)
+            self._dist_matrix = matrix
+        return matrix
+
     def refresh(self, changes: Sequence[WeightChange]) -> int:
-        """Re-run the affected border sources after a weight-change batch.
+        """Repair the affected border sources after a weight-change batch.
 
         Only valid for weight changes (the caller handles structural changes
-        with a full rebuild: they can move borders).  Returns the number of
-        sources re-run; the published aggregates afterwards equal a
+        with a full rebuild: they can move borders).  Each affected source is
+        repaired in place of its record -- never from scratch -- unless the
+        snapshot carries non-positive weights, where the settle-order
+        arguments behind the repair's tie-breaking do not hold and the
+        per-source Dijkstra re-run remains the fallback.  Returns the number
+        of affected sources; the published aggregates afterwards equal a
         from-scratch :class:`BorderPathPrecomputation` over the mutated
         network, bit for bit.
         """
-        affected = self.affected_sources(changes)
+        relevant = [change for change in changes if not change.is_noop]
+        affected = self.affected_sources(relevant)
+        if not affected:
+            return 0
+        csr = self.network.ensure_csr()
+        ctx = self._derive_context(csr)
+        index_of = csr.index_of
+        repair_changes: Optional[List[Tuple[int, int, float, float]]] = None
+        if not csr.has_nonpositive_weight:
+            repair_changes = [
+                (
+                    index_of[change.source],
+                    index_of[change.target],
+                    change.old_weight,
+                    change.new_weight,
+                )
+                for change in relevant
+                if change.source in index_of and change.target in index_of
+            ]
+        np_mod = kernel.numpy_or_none()
+        replaced = 0
+        derived_changed = False
         for index in affected:
             record = self._sources[index]
-            self._sources[index] = self._compute_source(record.node, record.region)
-        if affected:
+            if repair_changes is None:
+                new_record = self._compute_source(record.node, record.region, ctx)
+            else:
+                new_record = self._repair_source(record, repair_changes, csr, ctx)
+            if new_record is record:
+                continue  # affected but provably unmoved: keep the record
+            self._sources[index] = new_record
+            replaced += 1
+            if new_record.min_to is not record.min_to:
+                derived_changed = True
+            if self._dist_matrix is not None and np_mod is not None:
+                self._dist_matrix[index] = np_mod.frombuffer(new_record.dist)
+        if derived_changed:
+            # Repairs that only moved interior labels share the old record's
+            # derived fields by reference; the fold inputs are then unchanged
+            # and the published aggregates already equal a scratch build's.
             self._aggregate()
         return len(affected)
+
+    def _repair_source(
+        self,
+        record: _BorderSource,
+        changes: List[Tuple[int, int, float, float]],
+        csr,
+        ctx: Tuple,
+    ) -> _BorderSource:
+        """Batch dynamic SSSP repair of one source's labels (Ramalingam-Reps).
+
+        Phase A invalidates the subtree hanging off every *tree* edge whose
+        weight increased (its nodes are the only ones whose distance can
+        grow) and re-seeds each invalidated node from its best intact
+        in-neighbor.  Phase B seeds the queue from the tails of every
+        changed edge and runs a bounded Dijkstra that settles only nodes
+        whose label actually moves.  Finally, canonical predecessors --
+        ``argmin`` over achieving in-edges of ``(dist[u], u)``, exactly the
+        kernel reconstruction's "first achieving relaxation in settle order"
+        -- are recomputed for every node whose tree attachment could have
+        changed.
+
+        Bit-identity: every label is produced by the same ``dist[u] + w``
+        float expression a scratch Dijkstra evaluates, and under strictly
+        positive weights the converged labels are the unique fixed point of
+        those expressions, so the repaired labels (and the tie-broken tree)
+        equal a scratch sweep's exactly.  If neither a distance nor a
+        predecessor moved, the original record is returned unchanged.
+        """
+        fwd_adj = csr.fwd_adj
+        rev_adj = csr.rev_adj
+        _, index_of, _, _, border_indexes = ctx
+        source_index = index_of[record.node]
+        dist = array("d", record.dist)
+        pred = array("q", record.pred)
+
+        # Phase A: collect the subtrees hanging off broken tree edges.  The
+        # supporting-weight test uses the *pre-batch* weight (the delta's
+        # coalesced first-old), because the cached labels were computed over
+        # exactly that weight.
+        invalid: List[int] = []
+        invalid_flag = bytearray(len(dist))
+        for u, v, old_weight, new_weight in changes:
+            if (
+                new_weight > old_weight
+                and not invalid_flag[v]
+                and pred[v] == u
+                and dist[u] + old_weight == dist[v]
+            ):
+                invalid_flag[v] = 1
+                stack = [v]
+                while stack:
+                    x = stack.pop()
+                    invalid.append(x)
+                    for child, _w in fwd_adj[x]:
+                        if pred[child] == x and not invalid_flag[child]:
+                            invalid_flag[child] = 1
+                            stack.append(child)
+
+        old_dist: Dict[int, float] = {}
+        for x in invalid:
+            old_dist[x] = dist[x]
+            dist[x] = INFINITY
+
+        heap: List[Tuple[float, int]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        # Re-seed every invalidated node from its best currently-intact
+        # in-neighbor (an over-estimate is fine: phase B settles downward).
+        for x in invalid:
+            best = INFINITY
+            for u, w in rev_adj[x]:
+                candidate = dist[u] + w
+                if candidate < best:
+                    best = candidate
+            if best < INFINITY:
+                dist[x] = best
+                push(heap, (best, x))
+
+        # Seed from the tails of every changed edge: a decreased edge can
+        # only open a shorter path through a relaxation out of its tail.
+        for u in {change[0] for change in changes}:
+            du = dist[u]
+            if du == INFINITY:
+                continue
+            for v, w in fwd_adj[u]:
+                candidate = du + w
+                if candidate < dist[v]:
+                    if v not in old_dist:
+                        old_dist[v] = dist[v]
+                    dist[v] = candidate
+                    push(heap, (candidate, v))
+
+        # Phase B: bounded Dijkstra over the moving frontier only.
+        while heap:
+            d, x = pop(heap)
+            if d > dist[x]:
+                continue
+            for v, w in fwd_adj[x]:
+                candidate = d + w
+                if candidate < dist[v]:
+                    if v not in old_dist:
+                        old_dist[v] = dist[v]
+                    dist[v] = candidate
+                    push(heap, (candidate, v))
+
+        moved = [x for x, previous in old_dist.items() if dist[x] != previous]
+
+        # Canonical predecessor recompute: every invalidated node, every
+        # changed-edge head, every moved node and its out-neighbors -- the
+        # complete set of nodes whose achieving-in-edge minimum could differ.
+        dirty: Set[int] = set(invalid)
+        for _u, v, _old, _new in changes:
+            dirty.add(v)
+        for x in moved:
+            dirty.add(x)
+            for v, _w in fwd_adj[x]:
+                dirty.add(v)
+        dirty.discard(source_index)
+
+        pred_flipped: List[int] = []
+        for x in dirty:
+            dx = dist[x]
+            if dx == INFINITY:
+                best = -1
+            else:
+                best = -1
+                best_key = None
+                for u, w in rev_adj[x]:
+                    if dist[u] + w == dx:
+                        key = (dist[u], u)
+                        if best_key is None or key < best_key:
+                            best_key = key
+                            best = u
+            if best != pred[x]:
+                pred[x] = best
+                pred_flipped.append(x)
+
+        if not moved and not pred_flipped:
+            # Neither a label nor the tie-broken tree moved: the record's
+            # derived contributions are identical by construction.
+            return record
+
+        # Derive-skip: a border target's distance can only move if the
+        # border is itself in ``moved``, and its predecessor chain can only
+        # change if the chain passes a flipped attachment -- which makes the
+        # border a new-tree descendant of a changed node.  So when the
+        # closure of changed nodes under new-tree children reaches no border
+        # target, every published contribution of this record (cross-border
+        # nodes, traversed masks, min/max folds, finite-pair count) is
+        # bit-identical, and only the raw labels need replacing.
+        closure: Set[int] = set(moved)
+        closure.update(pred_flipped)
+        stack = list(closure)
+        touches_border = False
+        while stack:
+            x = stack.pop()
+            if x in border_indexes:
+                touches_border = True
+                break
+            for child, _w in fwd_adj[x]:
+                if pred[child] == x and child not in closure:
+                    closure.add(child)
+                    stack.append(child)
+        if not touches_border:
+            return _BorderSource(
+                node=record.node,
+                region=record.region,
+                dist=dist,
+                pred=pred,
+                cross_nodes=record.cross_nodes,
+                finite_pairs=record.finite_pairs,
+                min_to=record.min_to,
+                max_to=record.max_to,
+                traversed=record.traversed,
+            )
+        return self._record_from_labels(
+            dist, pred, record.node, record.region, ctx
+        )
 
     # ------------------------------------------------------------------
     # Derived views

@@ -26,6 +26,7 @@ wrong path).
 
 from __future__ import annotations
 
+import copy as copy_module
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -181,6 +182,23 @@ class EllipticBoundaryScheme(AirIndexScheme):
         if self._cycle is not None:
             self._cycle = self.build_cycle()
         return self._track_refresh(started)
+
+    def shadow_rebuild(self, network: RoadNetwork, delta) -> Optional["EllipticBoundaryScheme"]:
+        """Refresh into a structurally shared shadow instead of in place.
+
+        Same sharing strategy as NR's override: the clone shares the kd
+        partitioning and all untouched border-source records with the
+        serving instance via :meth:`BorderPathPrecomputation.shadow`, so the
+        serving instance's index array ``A`` and region splits stay frozen
+        at their pre-delta values until the engine swaps the shadow in.
+        """
+        if network is not self.network or delta.structural:
+            return None
+        clone = copy_module.copy(self)
+        clone.precomputation = self.precomputation.shadow()
+        if clone.incremental_rebuild(network, delta):
+            return clone
+        return None
 
     def _index_copy(self, copy: int) -> List[Segment]:
         return [

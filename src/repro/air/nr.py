@@ -23,6 +23,7 @@ lost index packet rarely matters; when it does, the client receives region
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -237,6 +238,25 @@ class NextRegionScheme(AirIndexScheme):
                         )
             self._cycle = BroadcastCycle(segments, name="NR-cycle")
         return self._track_refresh(started)
+
+    def shadow_rebuild(self, network: RoadNetwork, delta) -> Optional["NextRegionScheme"]:
+        """Refresh into a structurally shared shadow instead of in place.
+
+        The clone shares the partitioning and every untouched border-source
+        record with the serving instance (both immutable by contract) through
+        :meth:`BorderPathPrecomputation.shadow`, so the only per-swap cost on
+        top of the in-place path is one shallow list copy.  The serving
+        instance keeps answering from its pre-delta aggregates until the
+        engine swaps the shadow in.
+        """
+        if network is not self.network or delta.structural:
+            return None
+        clone = copy.copy(self)
+        clone.precomputation = self.precomputation.shadow()
+        clone._needed_cache = {}
+        if clone.incremental_rebuild(network, delta):
+            return clone
+        return None
 
     # ------------------------------------------------------------------
     # Client

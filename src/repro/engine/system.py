@@ -24,6 +24,7 @@ clock).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -42,11 +43,71 @@ from repro.store import ArtifactStore
 
 __all__ = [
     "AirSystem",
+    "AsyncRefresh",
     "CacheInfo",
     "RefreshReport",
     "WarmStartReport",
     "execute_workload",
 ]
+
+
+class AsyncRefresh:
+    """Handle on one in-flight :meth:`AirSystem.refresh_async` run.
+
+    The worker thread builds refreshed replacement schemes into a shadow set
+    and atomically swaps them into the system's cache when every one is
+    ready; until then the system keeps serving queries from the pre-delta
+    entries.  :meth:`wait` joins the run and returns its
+    :class:`RefreshReport` (re-raising whatever the worker raised).
+    """
+
+    def __init__(self) -> None:
+        self._report: Optional[RefreshReport] = None
+        self._error: Optional[BaseException] = None
+        self._finished = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def completed(cls, report: RefreshReport) -> "AsyncRefresh":
+        """An already-finished handle (the no-pending-delta fast path)."""
+        handle = cls()
+        handle._report = report
+        handle._finished.set()
+        return handle
+
+    def _start(self, work) -> "AsyncRefresh":
+        def run() -> None:
+            try:
+                self._report = work()
+            except BaseException as exc:  # re-raised from wait()
+                self._error = exc
+            finally:
+                self._finished.set()
+
+        self._thread = threading.Thread(
+            target=run, name="air-refresh", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def done(self) -> bool:
+        """Whether the refresh has finished (successfully or not)."""
+        return self._finished.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> RefreshReport:
+        """Block until the swap happened; returns the refresh report.
+
+        Raises :class:`TimeoutError` if the refresh is still running after
+        ``timeout`` seconds, and re-raises the worker's exception if the
+        refresh failed.
+        """
+        if not self._finished.wait(timeout):
+            raise TimeoutError("refresh_async() still running")
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
 
 
 @dataclass(frozen=True)
@@ -209,6 +270,14 @@ class AirSystem:
         self._full_rebuilds = 0
         #: Fingerprint -> the fingerprint it superseded (set by refresh()).
         self._lineage: Dict[str, str] = {}
+        #: Stale-while-refreshing: while a ``refresh_async()`` is in flight,
+        #: maps the *new* fingerprint to the superseded one so lookups keep
+        #: serving the pre-delta entries instead of rebuilding from scratch.
+        self._refresh_alias: Dict[str, str] = {}
+        self._async_refresh: Optional[AsyncRefresh] = None
+        #: Serializes cache-dict mutations between the serving thread and a
+        #: ``refresh_async()`` worker's atomic swap.
+        self._swap_lock = threading.Lock()
         # The network's own delta tracking is the source of truth for
         # refresh(); constructors (generators, datasets, copy()) hand over
         # networks with a clean baseline, and the system deliberately never
@@ -269,11 +338,35 @@ class AirSystem:
         """
         name = registry.canonical_name(name)
         resolved = self._resolve_params(name, params)
+        return self._scheme_entry(name, resolved)[0]
+
+    def _scheme_entry(
+        self, name: str, resolved: Mapping[str, Any]
+    ) -> Tuple[AirIndexScheme, Tuple]:
+        """The cached scheme plus the cache key it is (or will be) served under.
+
+        While a :meth:`refresh_async` is in flight, a lookup under the new
+        fingerprint falls back to the superseded fingerprint's entry
+        (stale-while-refreshing): the pre-delta scheme keeps serving, keyed
+        as it is, and is *not* re-inserted under the new key -- the worker's
+        atomic swap must find that slot empty to install the refreshed
+        replacement.  The returned key is the *effective* one (the alias key
+        on a stale hit), so per-scheme channels built during the refresh
+        window are keyed to the superseded fingerprint and dropped with it.
+        """
         key = self._cache_key(name, resolved)
-        scheme = self._schemes.get(key)
+        with self._swap_lock:
+            scheme = self._schemes.get(key)
+            if scheme is None:
+                parent = self._refresh_alias.get(key[2])
+                if parent is not None:
+                    alias_key = (key[0], key[1], parent)
+                    scheme = self._schemes.get(alias_key)
+                    if scheme is not None:
+                        key = alias_key
         if scheme is not None:
             self._hits += 1
-            return scheme
+            return scheme, key
         self._misses += 1
         scheme = self._restore_from_store(name, resolved)
         if scheme is None:
@@ -282,8 +375,9 @@ class AirSystem:
             self._publish_to_store(scheme)
         else:
             self._disk_restores += 1
-        self._schemes[key] = scheme
-        return scheme
+        with self._swap_lock:
+            self._schemes[key] = scheme
+        return scheme, key
 
     def _cache_key(self, name: str, resolved: Mapping[str, Any]) -> Tuple:
         """The memory-cache key shared by every lookup and warm-start path."""
@@ -439,8 +533,24 @@ class AirSystem:
         :meth:`refresh` -- the one-call path a dynamic workload uses between
         device waves.
         """
+        self._check_no_async_refresh()
         self.network.apply_updates(updates)
         return self.refresh()
+
+    def _check_no_async_refresh(self) -> None:
+        """Refuse to mutate or refresh while an async refresh is in flight.
+
+        The worker owns the pending delta and the superseded cache entries
+        for the duration of its run; letting a second refresh (or a new
+        mutation batch) in before the swap would splice two deltas together.
+        Callers ``wait()`` on the handle first.
+        """
+        handle = self._async_refresh
+        if handle is not None and not handle.done:
+            raise RuntimeError(
+                "a refresh_async() is still in flight; wait() on its handle "
+                "before applying further updates or refreshing again"
+            )
 
     def refresh(self) -> RefreshReport:
         """Bring every cached cycle up to date with the mutated network.
@@ -468,6 +578,7 @@ class AirSystem:
         further updates is not detectable -- do not clear a delta an
         :class:`AirSystem` has not consumed.
         """
+        self._check_no_async_refresh()
         started = time.perf_counter()
         delta = self.network.pending_delta()
         parent = self._clean_fingerprint
@@ -534,6 +645,136 @@ class AirSystem:
             artifacts_stored=artifacts_stored,
         )
 
+    def refresh_async(self) -> AsyncRefresh:
+        """Double-buffered :meth:`refresh`: queries never wait on the rebuild.
+
+        Snapshots the pending delta, then hands the refresh to a background
+        worker that builds *replacement* schemes into a shadow set -- via
+        :meth:`~repro.air.base.AirIndexScheme.shadow_rebuild` where the
+        scheme supports it, from scratch otherwise -- while the system keeps
+        answering queries from the superseded entries (a lookup under the
+        new fingerprint transparently falls back to them for the duration;
+        see :meth:`_scheme_entry`).  When every replacement is ready the
+        worker swaps them in under one lock acquisition: queries observe
+        either the complete old state or the complete new state, never a
+        mixture, and never block for longer than the swap's dictionary
+        updates.
+
+        At most one refresh may be in flight: until :meth:`wait` returns,
+        further :meth:`refresh`/:meth:`refresh_async`/:meth:`apply_updates`
+        calls raise ``RuntimeError`` (apply updates to the *network* only
+        through those methods, so the guard is airtight in practice).
+        Returns an :class:`AsyncRefresh` handle; the swap has happened
+        exactly when ``handle.done`` turns true.
+        """
+        self._check_no_async_refresh()
+        started = time.perf_counter()
+        delta = self.network.pending_delta()
+        parent = self._clean_fingerprint
+        current = self.network.fingerprint()
+        if current == parent and delta.empty:
+            return AsyncRefresh.completed(
+                RefreshReport(
+                    parent_fingerprint=parent,
+                    fingerprint=current,
+                    structural=False,
+                    num_changes=0,
+                    num_dirty_nodes=0,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+        if current != parent:
+            self._refresh_alias[current] = parent
+        handle = AsyncRefresh()
+        self._async_refresh = handle
+        return handle._start(
+            lambda: self._refresh_shadow(parent, current, delta, started)
+        )
+
+    def _refresh_shadow(
+        self, parent: str, current: str, delta: Any, started: float
+    ) -> RefreshReport:
+        """Worker body of :meth:`refresh_async`: build shadows, swap once."""
+        try:
+            incremental: List[str] = []
+            rebuilt: List[str] = []
+            dropped: List[str] = []
+            trust_delta = not delta.structural and bool(delta.changes)
+            with self._swap_lock:
+                entries = [
+                    (key, self._schemes[key])
+                    for key in self._schemes
+                    if key[2] == parent and parent != current
+                ]
+
+            replacements: List[Tuple[Tuple, Tuple, AirIndexScheme, bool]] = []
+            for key, scheme in entries:
+                name, params_items, _ = key
+                replacement: Optional[AirIndexScheme] = None
+                if trust_delta:
+                    try:
+                        replacement = scheme.shadow_rebuild(self.network, delta)
+                    except Exception:
+                        # A failed shadow refresh must not take serving down:
+                        # fall back to the from-scratch build below.
+                        replacement = None
+                was_incremental = replacement is not None
+                if replacement is None:
+                    replacement = registry.create(
+                        name, self.network, **dict(params_items)
+                    )
+                    replacement.cycle  # build the refreshed cycle off-line
+                replacements.append(
+                    (key, (name, params_items, current), replacement, was_incremental)
+                )
+
+            with self._swap_lock:
+                for old_key, new_key, replacement, was_incremental in replacements:
+                    self._schemes.pop(old_key, None)
+                    if new_key in self._schemes:
+                        # A build landed under the new key while we were
+                        # refreshing (alias hits never insert there, but a
+                        # scheme with no pre-delta entry builds from scratch
+                        # directly under the new fingerprint).  Keep it.
+                        dropped.append(old_key[0])
+                        continue
+                    self._schemes[new_key] = replacement
+                    if was_incremental:
+                        incremental.append(old_key[0])
+                        self._incremental_rebuilds += 1
+                    else:
+                        rebuilt.append(old_key[0])
+                        self._full_rebuilds += 1
+                for key in [key for key in self._channels if key[2] != current]:
+                    del self._channels[key]
+                if current != parent:
+                    self._lineage[current] = parent
+                self._clean_fingerprint = current
+                self.network.clear_delta()
+
+            # Store publication is slow I/O: do it after the swap, outside
+            # the lock, only for replacements that actually serve.
+            artifacts_stored = 0
+            for _, new_key, replacement, _ in replacements:
+                if self._schemes.get(new_key) is replacement:
+                    if self._publish_to_store(replacement):
+                        artifacts_stored += 1
+
+            return RefreshReport(
+                parent_fingerprint=parent,
+                fingerprint=current,
+                structural=delta.structural,
+                num_changes=len(delta.changes),
+                num_dirty_nodes=len(delta.dirty_nodes),
+                incremental=tuple(incremental),
+                rebuilt=tuple(rebuilt),
+                dropped=tuple(dropped),
+                seconds=time.perf_counter() - started,
+                artifacts_stored=artifacts_stored,
+            )
+        finally:
+            self._refresh_alias.pop(current, None)
+
     def lineage(self, fingerprint: Optional[str] = None) -> List[str]:
         """The chain of superseded fingerprints, newest first.
 
@@ -581,11 +822,14 @@ class AirSystem:
         sequence it would see alone.
         """
         name = registry.canonical_name(name)
-        scheme = self.scheme(name, **params)
         resolved = self._resolve_params(name, params)
+        scheme, cache_key = self._scheme_entry(name, resolved)
         if options is None:
             options = self.default_options.replace(loss_rate=loss_rate, loss_seed=seed)
-        key = (*self._cache_key(name, resolved), options)
+        # Keyed by the *effective* cache key: during an async refresh a
+        # stale-while-refreshing hit keys the channel under the superseded
+        # fingerprint, so the swap drops it together with the stale scheme.
+        key = (*cache_key, options)
         if key not in self._channels:
             self._channels[key] = scheme.channel(
                 loss_rate=options.loss_rate, seed=options.loss_seed

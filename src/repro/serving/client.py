@@ -14,6 +14,7 @@ reports wall-clock throughput plus client-side latency percentiles as a
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -77,13 +78,24 @@ class ServingClient:
         return protocol.raise_for_status(response)
 
     def call_with_retry(
-        self, request: Dict[str, Any], max_retries: int = 100
+        self,
+        request: Dict[str, Any],
+        max_retries: int = 100,
+        backoff_base: float = 1.5,
+        max_sleep_s: float = 0.25,
+        jitter: float = 0.5,
     ) -> Tuple[Dict[str, Any], int]:
         """Like :meth:`call`, but honour ``busy`` backpressure.
 
-        Sleeps for the server's advised interval and retries, up to
-        ``max_retries`` times; returns ``(response, busy_retries)`` so load
-        generators can account rejections.  The final attempt re-raises.
+        Starts from the server's advised interval and backs off
+        exponentially (factor ``backoff_base`` per consecutive rejection,
+        capped at ``max_sleep_s``), with each sleep jittered uniformly in
+        ``[1 - jitter, 1 + jitter]`` so a herd of clients rejected together
+        does not retry together.  After ``max_retries`` rejections the
+        :class:`~repro.serving.protocol.ServerBusy` is re-raised -- a
+        persistently saturated server surfaces as an error instead of an
+        unbounded retry spin.  Returns ``(response, busy_retries)`` so load
+        generators can account rejections.
         """
         retries = 0
         while True:
@@ -93,7 +105,9 @@ class ServingClient:
                 retries += 1
                 if retries > max_retries:
                     raise
-                time.sleep(busy.retry_after_ms / 1000.0)
+                advised = busy.retry_after_ms / 1000.0
+                delay = min(advised * backoff_base ** (retries - 1), max_sleep_s)
+                time.sleep(delay * random.uniform(1.0 - jitter, 1.0 + jitter))
 
     # ------------------------------------------------------------------
     # Operations

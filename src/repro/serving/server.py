@@ -363,15 +363,32 @@ class AirServer:
     # Refresh (cycle re-publication)
     # ------------------------------------------------------------------
     async def _refresh(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """Apply weight updates, publish a new segment, swap every worker."""
+        """Apply weight updates, publish a new segment, swap every worker.
+
+        The expensive part -- repairing the schemes and packing the new
+        shared segment -- runs *off* the event loop, through the engine's
+        double-buffered :meth:`~repro.engine.system.AirSystem.refresh_async`:
+        the asyncio front end keeps accepting and dispatching queries against
+        the old segment for the whole rebuild, and only the final per-worker
+        swap round-trip (microseconds of pipe traffic per worker) happens on
+        the loop.  Queries therefore never stall behind a refresh; they
+        simply keep seeing the pre-update network until the swap.
+        """
         assert self.system is not None and self._admin_lock is not None
         updates = [
             (int(source), int(target), float(weight))
             for source, target, weight in request.get("updates", [])
         ]
         async with self._admin_lock:
-            report = self.system.apply_updates(updates)
-            old_segment, self.segment = self.segment, self._publish_segment()
+            loop = asyncio.get_running_loop()
+
+            def _rebuild():
+                self.system.network.apply_updates(updates)
+                report = self.system.refresh_async().wait()
+                return report, self._publish_segment()
+
+            report, new_segment = await loop.run_in_executor(None, _rebuild)
+            old_segment, self.segment = self.segment, new_segment
             # The swap bypasses the backpressure bound: FIFO pipes guarantee
             # queued requests finish on the old cycle first, and a full
             # queue must delay -- not skip -- the re-publication.

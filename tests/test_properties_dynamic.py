@@ -156,3 +156,169 @@ def test_interleaved_weight_and_structural_updates_stay_exact(seed):
     # most; pruning keeps only the live one.
     system.prune_cache()
     assert all(key[2] == network.fingerprint() for key in system._schemes)
+
+
+# ----------------------------------------------------------------------
+# Repair-vs-scratch bit-identity for the NR/EB border-source repair
+# ----------------------------------------------------------------------
+def directed_update_batch(network, rng, kind, cached=None, size=3):
+    """A ``size``-edge batch of the requested direction mix.
+
+    ``outside`` picks only edges on no cached shortest path tree (not tight
+    for any border source) and *increases* them, so a correct refresh must
+    touch zero sources.
+    """
+    pairs = sorted({(edge.source, edge.target) for edge in network.edges()})
+    if kind == "outside":
+        csr = network.ensure_csr()
+        index_of = csr.index_of
+        chosen = []
+        for source, target in pairs:
+            u, v = index_of[source], index_of[target]
+            weight = network.edge_weight(source, target)
+            if all(
+                record.dist[u] == INFINITY or record.dist[u] + weight > record.dist[v]
+                for record in cached
+            ):
+                chosen.append((source, target, weight * rng.uniform(1.05, 2.0)))
+                if len(chosen) == size:
+                    break
+        return chosen
+    factors = {
+        "decrease": (0.3, 0.95),
+        "increase": (1.05, 3.0),
+        "mixed": (0.3, 3.0),
+    }[kind]
+    batch = []
+    for source, target in rng.sample(pairs, min(size, len(pairs))):
+        weight = network.edge_weight(source, target)
+        batch.append((source, target, weight * rng.uniform(*factors)))
+    return batch
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", ["decrease", "increase", "mixed", "outside"])
+@pytest.mark.parametrize("scheme_name", ["NR", "EB"])
+def test_repair_labels_bit_identical_to_scratch(scheme_name, kind, seed):
+    """The dynamic SSSP repair reproduces scratch labels *exactly*.
+
+    Stronger than the aggregate checks above: every border source's full
+    distance and predecessor arrays -- including equal-distance tie-breaks
+    -- must match a from-scratch pre-computation bit for bit after each
+    refresh round.
+    """
+    network = random_network(seed)
+    network.clear_delta()
+    params = SMALL_PARAMS[scheme_name]
+    system = AirSystem(network)
+    system.scheme(scheme_name, **params)
+    rng = random.Random(seed * 101 + len(kind))
+
+    for round_ in range(3):
+        precomputation = system.scheme(scheme_name, **params).precomputation
+        batch = directed_update_batch(
+            network, rng, kind, cached=precomputation._sources
+        )
+        if not batch:
+            pytest.skip("no qualifying edges on this network")
+        network.apply_updates(batch)
+        if kind == "outside":
+            # No cached tree uses these edges and they only got longer:
+            # the affected-source test must prove no source can move.
+            assert precomputation.affected_sources(
+                network.pending_delta().changes
+            ) == []
+        report = system.refresh()
+        assert report.incremental == (air.canonical_name(scheme_name),)
+
+        refreshed = system.scheme(scheme_name, **params)
+        scratch = air.create(scheme_name, network, **params)
+        assert refreshed.cycle.signature() == scratch.cycle.signature()
+        for record, scratch_record in zip(
+            refreshed.precomputation._sources, scratch.precomputation._sources
+        ):
+            assert record.node == scratch_record.node
+            assert record.dist == scratch_record.dist
+            assert record.pred == scratch_record.pred
+            assert record.cross_nodes == scratch_record.cross_nodes
+            assert record.min_to == scratch_record.min_to
+            assert record.max_to == scratch_record.max_to
+            assert record.traversed == scratch_record.traversed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_raise_then_lower_same_edge_in_one_batch(seed):
+    """Per-edge coalescing must keep the true pre-batch old weight.
+
+    A batch that raises and then lowers the same edge coalesces to one
+    change with first-old/last-new semantics; misreporting the old weight
+    would let ``affected_sources`` skip sources whose trees used the edge
+    at its pre-batch weight.
+    """
+    network = random_network(seed)
+    network.clear_delta()
+    params = SMALL_PARAMS["NR"]
+    system = AirSystem(network)
+    system.scheme("NR", **params)
+    rng = random.Random(seed + 13)
+    pairs = sorted({(edge.source, edge.target) for edge in network.edges()})
+    source, target = rng.choice(pairs)
+    original = network.edge_weight(source, target)
+
+    # Raise then lower below the original, in one batch: net decrease.
+    network.apply_updates([(source, target, original * 4.0), (source, target, original * 0.5)])
+    delta = network.pending_delta()
+    assert len(delta.changes) == 1
+    (change,) = delta.changes
+    assert change.old_weight == original
+    assert change.new_weight == original * 0.5
+    report = system.refresh()
+    assert report.incremental == ("NR",)
+    refreshed = system.scheme("NR", **params)
+    scratch = air.create("NR", network, **params)
+    assert refreshed.cycle.signature() == scratch.cycle.signature()
+    assert refreshed.precomputation.min_distance == scratch.precomputation.min_distance
+    assert refreshed.precomputation.max_distance == scratch.precomputation.max_distance
+    assert_answers_match_dijkstra(refreshed, network, rng)
+
+    # Raise then restore: the coalesced delta must vanish entirely and the
+    # fingerprint return to its pre-batch value (nothing to refresh).
+    fingerprint = network.fingerprint()
+    current = network.edge_weight(source, target)
+    network.apply_updates([(source, target, current * 3.0), (source, target, current)])
+    assert len(network.pending_delta().changes) == 0
+    assert network.fingerprint() == fingerprint
+    report = system.refresh()
+    assert report.incremental == () and report.rebuilt == ()
+    assert_answers_match_dijkstra(system.scheme("NR", **params), network, rng)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_refresh_async_swap_equals_blocking_refresh(seed):
+    """``refresh_async`` lands exactly the state a blocking refresh would."""
+    network = random_network(seed)
+    network.clear_delta()
+    system = AirSystem(network)
+    for name in ("NR", "EB"):
+        system.scheme(name, **SMALL_PARAMS[name])
+    rng = random.Random(seed + 29)
+
+    for _ in range(2):
+        network.apply_updates(random_update_batch(network, rng))
+        handle = system.refresh_async()
+        report = handle.wait(60.0)
+        assert handle.done
+        assert set(report.incremental) == {"NR", "EB"}
+        assert report.rebuilt == ()
+        for name in ("NR", "EB"):
+            refreshed = system.scheme(name, **SMALL_PARAMS[name])
+            scratch = air.create(name, network, **SMALL_PARAMS[name])
+            assert refreshed.cycle.signature() == scratch.cycle.signature()
+        assert_answers_match_dijkstra(
+            system.scheme("NR", **SMALL_PARAMS["NR"]), network, rng
+        )
+
+    # A no-op refresh_async returns an already-completed handle.
+    handle = system.refresh_async()
+    assert handle.done
+    assert handle.wait(0.0).num_changes == 0

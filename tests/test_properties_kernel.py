@@ -467,3 +467,54 @@ def test_cache_info_reports_snapshot_stats():
     assert info.snapshot_fresh
     network.add_node(10**6, 0.0, 0.0)
     assert not system.cache_info().snapshot_fresh
+
+
+# ----------------------------------------------------------------------
+# Per-thread arena lifetime across snapshot patches and supersession
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_stale_arena_cannot_resurrect_superseded_snapshot(accel_mode, seed):
+    """A patched-then-superseded snapshot never serves through a stale arena.
+
+    Sequence: build a snapshot, search through its per-thread arena, patch
+    it in place via ``apply_updates`` (same snapshot object, new weights),
+    then mutate structurally so the snapshot is superseded outright.  At
+    each step the network-level kernel entry points must answer from the
+    *current* structure/weights; the old arena keyed to the dead snapshot
+    must be unreachable through them.
+    """
+    network = make_network(seed, num_nodes=60, num_edges=150)
+    source = network.node_ids()[0]
+
+    csr_before = network.ensure_csr()
+    arena_before = kernel.arena_for(csr_before)
+    # In-place weight patch: same snapshot object, so the same arena serves
+    # it -- and must see the new weights immediately.
+    edge = next(iter(network.edges()))
+    network.apply_updates([(edge.source, edge.target, edge.weight * 3.5)])
+    assert network.ensure_csr() is csr_before
+    assert kernel.arena_for(network.ensure_csr()) is arena_before
+    assert_same_result(
+        dijkstra_distances(network, source),
+        dijkstra_distances(reference_copy(network), source),
+    )
+
+    # Structural mutation supersedes the snapshot: the network entry points
+    # must recompile and re-key, never reuse the old arena or its caches.
+    nodes = network.node_ids()
+    network.add_edge(nodes[2], nodes[-3], 0.5)
+    csr_after = network.ensure_csr()
+    assert csr_after is not csr_before
+    arena_after = kernel.arena_for(csr_after)
+    assert arena_after is not arena_before
+    assert_same_result(
+        dijkstra_distances(network, source),
+        dijkstra_distances(reference_copy(network), source),
+    )
+
+    # The stale arena still answers for the dead snapshot it is pinned to
+    # (callers holding a stale CSR get stale-snapshot answers, not current
+    # ones) -- but the per-thread registry never hands it out for the live
+    # snapshot, which is what "resurrection" would mean.
+    assert arena_before._csr_ref() is csr_before
+    assert kernel.arena_for(network.ensure_csr()) is arena_after

@@ -530,6 +530,40 @@ class TestBackpressure:
         finally:
             handle.stop()
 
+    def test_retry_loop_bounded_under_sustained_backpressure(self, monkeypatch):
+        """A persistently saturated server must surface ``ServerBusy``.
+
+        The retry loop backs off exponentially (with jitter) from the
+        server's advice and re-raises after ``max_retries`` rejections --
+        it must never spin forever on a server that stays busy.
+        """
+
+        class AlwaysBusyClient(ServingClient):
+            def __init__(self):  # no socket: every call is a rejection
+                self.calls = 0
+
+            def call(self, request):
+                self.calls += 1
+                raise ServerBusy(retry_after_ms=10.0)
+
+        sleeps = []
+        monkeypatch.setattr("repro.serving.client.time.sleep", sleeps.append)
+        client = AlwaysBusyClient()
+        with pytest.raises(ServerBusy):
+            client.call_with_retry({"op": "ping"}, max_retries=12)
+
+        # One initial attempt plus max_retries retries, then the re-raise.
+        assert client.calls == 13
+        assert len(sleeps) == 12
+        advised, cap, jitter = 0.010, 0.25, 0.5
+        for attempt, delay in enumerate(sleeps):
+            base = min(advised * 1.5**attempt, cap)
+            assert base * (1.0 - jitter) <= delay <= base * (1.0 + jitter)
+        # The backoff actually grows to the cap region, and the jitter
+        # actually randomizes (a busy herd must not retry in lockstep).
+        assert sleeps[-1] > advised
+        assert len(set(sleeps)) > 1
+
 
 # ----------------------------------------------------------------------
 # Refresh (dedicated daemon: the fingerprint changes mid-flight)
