@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven sub-commands cover the common ways of poking at the system without
+The sub-commands cover the common ways of poking at the system without
 writing code (installed as the ``repro`` console script; ``python -m
 repro`` works identically)::
 
@@ -11,6 +11,7 @@ repro`` works identically)::
     repro fleet    --network germany --scale 0.02 --method NR --devices 500
     repro dynamic  --network germany --scale 0.02 --method NR --steps 6
     repro store    --dir /var/cache/repro build --network germany --scale 0.02
+    repro ingest   --edges USA-road-d.NY.gr --nodes USA-road-d.NY.co --out ny-table
 
 * ``schemes`` -- list every registered air-index scheme with its parameters
   and defaults, straight from the registry.
@@ -37,6 +38,11 @@ repro`` works identically)::
   query/batch/fleet/refresh requests from a pool of worker processes.
 * ``bench-client`` -- drive a running daemon with a query burst and print
   client-side throughput and latency percentiles.
+* ``ingest``  -- stream a DIMACS ``.gr``/``.co`` pair or an edge-list CSV
+  into a columnar on-disk edge table (O(chunk) memory, ``file:line``
+  validation errors); ``--build`` additionally compiles the CSR snapshot
+  straight from the table -- no dict network -- and answers a sanity
+  query over it.
 
 Every command constructs its schemes through an
 :class:`~repro.engine.system.AirSystem`, so the set of accepted ``--method``
@@ -294,6 +300,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="send a shutdown request once the burst completes",
     )
+
+    ingest = subparsers.add_parser(
+        "ingest", help="import a DIMACS or CSV network into a columnar edge table"
+    )
+    ingest.add_argument(
+        "--edges", required=True, help="edge input: DIMACS .gr or edge-list .csv"
+    )
+    ingest.add_argument(
+        "--nodes",
+        default=None,
+        help="coordinate input: DIMACS .co or node-list .csv (optional)",
+    )
+    ingest.add_argument(
+        "--format",
+        dest="input_format",
+        choices=["dimacs", "csv"],
+        default=None,
+        help="input format (default: inferred from the --edges extension)",
+    )
+    ingest.add_argument("--out", required=True, help="columnar table output directory")
+    ingest.add_argument("--name", default=None, help="table name (default: file stem)")
+    ingest.add_argument(
+        "--chunk-rows",
+        type=_positive_int,
+        default=None,
+        help="rows per on-disk chunk (bounds importer memory)",
+    )
+    ingest.add_argument(
+        "--delimiter", default=",", help="CSV field delimiter (csv format only)"
+    )
+    ingest.add_argument(
+        "--parquet",
+        action="store_true",
+        help="write Parquet chunks instead of .npz (requires pyarrow)",
+    )
+    ingest.add_argument(
+        "--build",
+        action="store_true",
+        help="also compile the CSR snapshot from the table and run a sanity query",
+    )
+    ingest.add_argument("--seed", type=int, default=7, help="sanity query seed")
     return parser
 
 
@@ -753,6 +800,87 @@ def _command_bench_client(args: argparse.Namespace, out) -> int:
     return 0 if load.errors == 0 else 1
 
 
+def _command_ingest(args: argparse.Namespace, out) -> int:
+    import time
+
+    from repro.network.ingest import (
+        IngestError,
+        import_csv,
+        import_dimacs,
+        open_table,
+    )
+    from repro.network.ingest.columnar import DEFAULT_CHUNK_ROWS
+
+    input_format = args.input_format
+    if input_format is None:
+        input_format = "dimacs" if args.edges.endswith((".gr", ".gr.gz")) else "csv"
+    chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+    started = time.perf_counter()
+    try:
+        if input_format == "dimacs":
+            table = import_dimacs(
+                args.edges,
+                args.out,
+                co_path=args.nodes,
+                name=args.name,
+                chunk_rows=chunk_rows,
+                use_parquet=args.parquet,
+            )
+        else:
+            table = import_csv(
+                args.edges,
+                args.out,
+                nodes_path=args.nodes,
+                name=args.name,
+                delimiter=args.delimiter,
+                chunk_rows=chunk_rows,
+                use_parquet=args.parquet,
+            )
+    except IngestError as exc:
+        print(f"ingest error: {exc}", file=out)
+        return 1
+    import_seconds = time.perf_counter() - started
+    stats = table.stats()
+    rows = [
+        ["table", str(table.directory)],
+        ["format", f"{input_format} -> {stats['chunk_format']} chunks"],
+        ["nodes / edges", f"{stats['num_nodes']} / {stats['num_edges']}"],
+        ["chunks (node/edge)", f"{stats['node_chunks']} / {stats['edge_chunks']}"],
+        ["on-disk KB", round(table.total_bytes() / 1024.0, 1)],
+        ["fingerprint", stats["fingerprint"][:16]],
+        ["import seconds", round(import_seconds, 3)],
+        [
+            "import rate",
+            f"{(stats['num_nodes'] + stats['num_edges']) / max(import_seconds, 1e-9):,.0f} rows/s",
+        ],
+    ]
+    if args.build:
+        from repro.network.algorithms import kernel
+        from repro.network.ingest import ColumnarNetwork
+
+        started = time.perf_counter()
+        network = ColumnarNetwork.from_table(open_table(args.out))
+        build_seconds = time.perf_counter() - started
+        rows.append(["CSR build seconds (dict-free)", round(build_seconds, 3)])
+        ids = network.node_ids()
+        if ids:
+            rng = random.Random(args.seed)
+            source, target = rng.choice(ids), rng.choice(ids)
+            arena = kernel.arena_for(network.csr_snapshot())
+            distance = arena.point_to_point(source, target).distance_to(target)
+            shown = round(distance, 3) if distance != float("inf") else "unreachable"
+            rows.append([f"sanity query {source}->{target}", shown])
+    print(
+        report.format_table(
+            ["Quantity", "Value"],
+            rows,
+            title=f"Columnar ingest: {args.edges}",
+        ),
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -768,6 +896,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "store": _command_store,
         "serve": _command_serve,
         "bench-client": _command_bench_client,
+        "ingest": _command_ingest,
     }
     return handlers[args.command](args, out)
 

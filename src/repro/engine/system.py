@@ -300,6 +300,29 @@ class AirSystem:
         )
         return cls(network, config=config, store=store)
 
+    @classmethod
+    def from_columnar(
+        cls,
+        table_dir: Any,
+        config: Any = None,
+        store: Optional[Any] = None,
+        name: Optional[str] = None,
+    ) -> "AirSystem":
+        """Serve an imported columnar edge table (see ``repro ingest``).
+
+        The CSR snapshot is compiled straight from the on-disk chunks and a
+        lazy :class:`~repro.network.ingest.facade.ColumnarNetwork` facade
+        backs the dict API -- the dict ``RoadNetwork`` never materializes,
+        so a continental import serves in the arrays' footprint.  The
+        table's manifest fingerprint doubles as the network fingerprint,
+        which keeps store keys identical to a dict-built network of the
+        same nodes and edges.
+        """
+        from repro.network.ingest import ColumnarNetwork, open_table
+
+        network = ColumnarNetwork.from_table(open_table(table_dir), name=name)
+        return cls(network, config=config, store=store)
+
     # ------------------------------------------------------------------
     # Scheme cache
     # ------------------------------------------------------------------

@@ -95,6 +95,14 @@ class KernelResult:
     implementation's ``distances`` insertion order and is ``None`` for
     distance-only sweeps (where no consumer observes ordering).  The
     buffers are owned by the result -- arenas never reclaim them.
+
+    Accelerated point-to-point results are *deferred*: the compiled sweep
+    answers the query (distance, settled count) immediately, and the
+    truncated replay reconstructing labels/predecessors/discovery order
+    runs once, on the first read of ``dist``/``pred``/``order``.  Callers
+    that never walk the tree -- distance probes, existence checks -- skip
+    the reconstruction entirely; callers that do observe byte-for-byte the
+    same buffers as before.
     """
 
     __slots__ = (
@@ -102,11 +110,13 @@ class KernelResult:
         "source",
         "source_index",
         "_dist",
-        "dist_np",
-        "pred",
-        "order",
+        "_dist_np",
+        "_pred",
+        "_order",
         "settled",
         "_reached",
+        "_finish",
+        "_probe",
     )
 
     def __init__(
@@ -118,21 +128,55 @@ class KernelResult:
         order: Optional[List[int]],
         settled: int,
         dist_np=None,
+        finish=None,
+        probe=None,
     ) -> None:
         self.csr = csr
         self.source = source
         self.source_index = csr.index_of[source]
         self._dist = dist
-        #: The labels as a float64 vector when the sweep came off the
-        #: accelerator (``None`` on the faithful loop) -- vectorized
-        #: consumers index it without re-boxing the list.
-        self.dist_np = dist_np
-        self.pred = pred
-        self.order = order
+        self._dist_np = dist_np
+        self._pred = pred
+        self._order = order
         self.settled = settled
         self._reached: Optional[List[int]] = None
+        #: Deferred reconstruction: a zero-argument callable returning
+        #: ``(dist_np, pred, order)``, run at most once.
+        self._finish = finish
+        #: Fast distance probes for deferred point-to-point results:
+        #: ``(dist_full, target_dist, target_index)`` from the converged
+        #: sweep -- settled nodes (those the early-terminating loop locked
+        #: in) can be answered without running the reconstruction.
+        self._probe = probe
+
+    def _materialize(self) -> None:
+        finish = self._finish
+        self._finish = None
+        self._probe = None
+        self._dist_np, self._pred, self._order = finish()
 
     # -- reads ---------------------------------------------------------
+    @property
+    def dist_np(self):
+        """The labels as a float64 vector when the sweep came off the
+        accelerator (``None`` on the faithful loop) -- vectorized
+        consumers index it without re-boxing the list."""
+        if self._dist_np is None and self._finish is not None:
+            self._materialize()
+        return self._dist_np
+
+    @property
+    def pred(self) -> Optional[List[int]]:
+        if self._pred is None and self._finish is not None:
+            self._materialize()
+        return self._pred
+
+    @property
+    def order(self) -> Optional[List[int]]:
+        if self._order is None and self._finish is not None:
+            self._materialize()
+        return self._order
+
     @property
     def dist(self) -> List[float]:
         """The labels as a plain list, boxed lazily from ``dist_np``.
@@ -148,7 +192,19 @@ class KernelResult:
     def distance_to(self, node_id: int) -> float:
         """Distance label of ``node_id`` (``inf`` when unreached/unknown)."""
         index = self.csr.index_of.get(node_id)
-        return _INF if index is None else self.dist[index]
+        if index is None:
+            return _INF
+        if self._finish is not None and self._probe is not None:
+            dist_full, target_dist, target_index = self._probe
+            d = dist_full[index]
+            # Settled exactly when (d, index) <= (target_dist, target_index)
+            # in the heap's (distance, index) settle order; those labels are
+            # converged, so the sweep's value is the faithful loop's value.
+            if d < target_dist or (d == target_dist and index <= target_index):
+                return float(d)
+            # Frontier or unreached: the faithful loop leaves a *tentative*
+            # label here, which only the reconstruction knows.
+        return self.dist[index]
 
     def reached_indexes(self) -> List[int]:
         """Discovered node indexes (discovery order when tracked)."""
@@ -219,6 +275,8 @@ class _Accel:
         "rev_matrix",
         "fwd_edges",
         "rev_edges",
+        "fwd_transpose",
+        "rev_transpose",
     )
 
     def __init__(self, csr: CSRGraph) -> None:
@@ -227,6 +285,8 @@ class _Accel:
         self.rev_matrix = self._matrix(csr.rev_offsets, csr.rev_targets, csr.rev_weights, n)
         self.fwd_edges = None  # built lazily: only predecessor sweeps need them
         self.rev_edges = None
+        self.fwd_transpose = None  # lazily: head-grouped permutation of fwd_edges
+        self.rev_transpose = None
 
     @staticmethod
     def _matrix(offsets: array, targets: array, weights: array, n):  # type: ignore[name-defined]
@@ -267,6 +327,52 @@ class _Accel:
                 csr.fwd_offsets, csr.fwd_targets, csr.fwd_weights
             )
         return self.fwd_edges
+
+    def transpose(self, csr: CSRGraph, reverse: bool):
+        """Head-grouped view of one direction's edge list.
+
+        ``(perm, starts, counts)``: ``perm`` stably permutes the edge
+        arrays so entries sharing a head node ``e_dst`` are contiguous,
+        ``starts``/``counts`` delimit each head's run.  Per-head minima
+        (discovery keys, predecessor keys, tentative labels) then reduce
+        with one ``np.minimum.reduceat`` pass instead of the unbuffered
+        ``np.minimum.at`` scatter, which dominated reconstruction time.
+        """
+        cached = self.rev_transpose if reverse else self.fwd_transpose
+        if cached is not None:
+            return cached
+        _, e_dst, _, _ = self.edges(csr, reverse)
+        n = csr.num_nodes
+        perm = _np.argsort(e_dst, kind="stable")
+        counts = _np.bincount(e_dst, minlength=n)
+        starts = _np.zeros(n, dtype=_np.int64)
+        _np.cumsum(counts[:-1], out=starts[1:])
+        built = (perm, starts, counts)
+        if reverse:
+            self.rev_transpose = built
+        else:
+            self.fwd_transpose = built
+        return built
+
+
+def _segment_min(values, starts, counts, sentinel):
+    """Per-group minimum over pre-permuted ``values`` (see ``transpose``).
+
+    Groups are the half-open runs ``values[starts[i] : starts[i] +
+    counts[i]]``; empty groups yield ``sentinel``.  ``reduceat`` reduces
+    between *consecutive* indices, so empty groups cannot simply be passed
+    through (an empty run would also truncate its predecessor's extent);
+    instead only the non-empty groups' starts are handed to ``reduceat`` --
+    consecutive non-empty starts delimit exactly one group because the runs
+    are contiguous.
+    """
+    out = _np.full(len(starts), sentinel, dtype=values.dtype)
+    if len(values) == 0:
+        return out
+    nonempty = _np.flatnonzero(counts > 0)
+    if len(nonempty):
+        out[nonempty] = _np.minimum.reduceat(values, starts[nonempty])
+    return out
 
 
 class KernelArena:
@@ -332,12 +438,16 @@ class KernelArena:
         allowed: Optional[Iterable[int]] = None,
         reverse: bool = False,
     ) -> KernelResult:
-        """Early-terminating point-to-point search (faithful loop).
+        """Early-terminating point-to-point search.
 
         ``allowed`` restricts the search to a node subset -- the relaxation
         skips any neighbor outside it, which is exactly equivalent to (and
         replaces) materializing the induced subgraph first, as the EB/NR
         clients used to.  Both endpoints must belong to the subset.
+
+        Unmasked searches on positive-weight snapshots run the accelerated
+        truncated-replay path (:meth:`_p2p_accel`); masked or
+        non-positive-weight searches keep the faithful loop.
         """
         source_index = self._source_index(source)
         target_index = self.csr.index_of.get(target)
@@ -353,6 +463,12 @@ class KernelArena:
                 raise KeyError(f"source node {source} is outside the allowed set")
             if not mask[target_index]:
                 raise KeyError(f"target node {target} is outside the allowed set")
+        if (
+            mask is None
+            and not self.csr.has_nonpositive_weight
+            and self._accel() is not None
+        ):
+            return self._p2p_accel(source, source_index, target_index, reverse)
         return self._faithful(
             source_index, source, target_index=target_index, mask=mask, reverse=reverse
         )
@@ -387,6 +503,13 @@ class KernelArena:
             # No live termination condition: a full sweep, eligible for the
             # accelerated path.
             return self.sssp(source, reverse=reverse)
+        if (
+            remaining is None
+            and target_index is not None
+            and not self.csr.has_nonpositive_weight
+            and self._accel() is not None
+        ):
+            return self._p2p_accel(source, source_index, target_index, reverse)
         return self._faithful(
             source_index,
             source,
@@ -471,7 +594,9 @@ class KernelArena:
         computed vectorized over the edge arrays.
         """
         n = self.num_nodes
-        e_src, e_dst, e_w, e_adjpos = self.csr._accel.edges(self.csr, reverse)
+        accel = self.csr._accel
+        e_src, e_dst, e_w, e_adjpos = accel.edges(self.csr, reverse)
+        perm, starts, counts = accel.transpose(self.csr, reverse)
         reachable = _np.flatnonzero(finite)
         settle = reachable[_np.lexsort((reachable, dist_np[reachable]))]
         rank = _np.full(n, n, dtype=_np.int64)
@@ -483,21 +608,117 @@ class KernelArena:
         valid = finite[e_src]
 
         # Discovery: first relaxation into each node, of any kind.
-        discovery_key = _np.full(n, sentinel, dtype=_np.int64)
-        _np.minimum.at(discovery_key, e_dst[valid], ekey[valid])
+        discovery_key = _segment_min(
+            _np.where(valid, ekey, sentinel)[perm], starts, counts, sentinel
+        )
         others = reachable[reachable != source_index]
         order_tail = others[_np.argsort(discovery_key[others])]
         order = [source_index] + order_tail.tolist()
 
         # Predecessor: first relaxation achieving the converged distance.
         achieves = valid & (dist_np[e_src] + e_w == dist_np[e_dst])
-        best_key = _np.full(n, sentinel, dtype=_np.int64)
-        _np.minimum.at(best_key, e_dst[achieves], ekey[achieves])
+        best_key = _segment_min(
+            _np.where(achieves, ekey, sentinel)[perm], starts, counts, sentinel
+        )
         chosen = achieves & (ekey == best_key[e_dst])
         pred_np = _np.full(n, -1, dtype=_np.int64)
         pred_np[e_dst[chosen]] = e_src[chosen]
         pred_np[source_index] = -1
         return pred_np.tolist(), order
+
+    def _p2p_accel(
+        self, source: int, source_index: int, target_index: int, reverse: bool
+    ) -> KernelResult:
+        """Accelerated exact point-to-point: full sweep + truncated replay.
+
+        One compiled scipy sweep yields the converged labels; everything the
+        early-terminating dict loop would have left behind is then derived
+        from the settle order.  Under strictly positive weights the loop
+        settles reachable nodes in ``(distance, index)`` order and stops
+        *after popping the target, before relaxing its edges* -- so exactly
+        the nodes ranked before the target act as relaxation tails.  Per
+        node, the minimum ``d(tail) + w`` over those tails' edges is the
+        tentative label at the break; the minimum ``(tail rank, adjacency
+        position)`` key is its discovery; the first such key achieving the
+        tentative label is its predecessor.  All three are per-head minima
+        over the edge list -- one ``reduceat`` pass each -- making this
+        bit-identical to :meth:`_faithful` including the tentative frontier
+        labels it leaves behind.
+
+        The replay itself is *deferred* (see :class:`KernelResult`): only
+        the compiled sweep and an O(n) rank count run per query, so
+        distance probes -- the dominant p2p consumer -- never pay for tree
+        reconstruction they do not read.
+        """
+        csr = self.csr
+        accel = csr._accel
+        matrix = accel.rev_matrix if reverse else accel.fwd_matrix
+        dist_full = _scipy_dijkstra(matrix, directed=True, indices=source_index)
+        target_dist = dist_full[target_index]
+        if not _np.isfinite(target_dist):
+            # The loop would exhaust the reachable set: a full sweep.
+            return self._from_accel(dist_full, source, source_index, True, reverse)
+
+        # The target's settle rank, without sorting: the heap settles
+        # reachable nodes in (distance, index) order, so the rank is the
+        # count of nodes strictly ahead in that order (unreached entries
+        # are ``inf`` and never compare ahead of a finite label).
+        target_rank = int(
+            _np.count_nonzero(dist_full < target_dist)
+            + _np.count_nonzero(dist_full[:target_index] == target_dist)
+        )
+        n = self.num_nodes
+
+        def finish():
+            finite = _np.isfinite(dist_full)
+            e_src, e_dst, e_w, e_adjpos = accel.edges(csr, reverse)
+            perm, starts, counts = accel.transpose(csr, reverse)
+            reachable = _np.flatnonzero(finite)
+            settle = reachable[_np.lexsort((reachable, dist_full[reachable]))]
+            rank = _np.full(n, n, dtype=_np.int64)
+            rank[settle] = _np.arange(len(settle), dtype=_np.int64)
+
+            valid = rank[e_src] < target_rank
+            relax = dist_full[e_src] + e_w
+
+            # Tentative labels: minimum relaxation into each node.
+            tentative = _segment_min(
+                _np.where(valid, relax, _INF)[perm], starts, counts, _INF
+            )
+            tentative[source_index] = 0.0
+
+            stride = len(e_src) + 1
+            sentinel = (n + 1) * stride
+            ekey = rank[e_src] * stride + e_adjpos
+            discovery_key = _segment_min(
+                _np.where(valid, ekey, sentinel)[perm], starts, counts, sentinel
+            )
+            discovery_key[source_index] = sentinel
+            discovered = _np.flatnonzero(discovery_key < sentinel)
+            order = [source_index] + discovered[
+                _np.argsort(discovery_key[discovered])
+            ].tolist()
+
+            achieves = valid & (relax == tentative[e_dst])
+            best_key = _segment_min(
+                _np.where(achieves, ekey, sentinel)[perm], starts, counts, sentinel
+            )
+            chosen = achieves & (ekey == best_key[e_dst])
+            pred_np = _np.full(n, -1, dtype=_np.int64)
+            pred_np[e_dst[chosen]] = e_src[chosen]
+            pred_np[source_index] = -1
+            return tentative, pred_np.tolist(), order
+
+        return KernelResult(
+            csr,
+            source,
+            None,
+            None,
+            None,
+            target_rank + 1,
+            finish=finish,
+            probe=(dist_full, target_dist, target_index),
+        )
 
     # ------------------------------------------------------------------
     # Faithful simulation of the dict Dijkstra over the flat arrays

@@ -26,10 +26,86 @@ Snapshots are frozen: the owning network caches one per
 
 from __future__ import annotations
 
+import operator as _operator
 from array import array
+from collections.abc import Mapping as _MappingABC
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "ImmutableSnapshotError"]
+
+
+class ImmutableSnapshotError(TypeError):
+    """Mutation attempted on a read-only (shared or columnar) snapshot.
+
+    Raised instead of mutating arrays that other processes map
+    (:meth:`CSRGraph.from_buffers` serving segments) or that back a
+    read-only facade (:class:`~repro.network.ingest.facade.ColumnarNetwork`).
+    Subclasses ``TypeError`` so callers that treated the old bare
+    ``TypeError`` as "this snapshot cannot be patched" keep working.
+    """
+
+
+class _RangeIndex(_MappingABC):
+    """Dict-free ``id -> index`` map for contiguous id ranges.
+
+    Continental imports (DIMACS ids are dense ``1..n``) would otherwise pay
+    ~80 bytes/node for the ``index_of`` dict; this arithmetic view answers
+    the same ``[]``/``in``/``get`` queries from two integers.
+    """
+
+    __slots__ = ("_start", "_length")
+
+    def __init__(self, start: int, length: int) -> None:
+        self._start = start
+        self._length = length
+
+    def __getitem__(self, node_id: int) -> int:
+        try:
+            index = _operator.index(node_id) - self._start
+        except TypeError:
+            raise KeyError(node_id) from None
+        if 0 <= index < self._length:
+            return index
+        raise KeyError(node_id)
+
+    def get(self, node_id, default=None):
+        try:
+            index = _operator.index(node_id) - self._start
+        except TypeError:
+            return default
+        if 0 <= index < self._length:
+            return index
+        return default
+
+    def __contains__(self, node_id) -> bool:
+        return self.get(node_id) is not None
+
+    def __iter__(self):
+        return iter(range(self._start, self._start + self._length))
+
+    def __len__(self) -> int:
+        return self._length
+
+
+def _index_map(ids: Sequence[int]):
+    """``id -> index`` map over index-ordered (ascending, unique) ids."""
+    n = len(ids)
+    # Ids are sorted and unique by the snapshot contract, so matching ends
+    # imply the whole range is contiguous.
+    if n and isinstance(ids[0], int) and ids[-1] - ids[0] == n - 1:
+        return _RangeIndex(ids[0], n)
+    return {nid: i for i, nid in enumerate(ids)}
+
+
+def _has_nonpositive(weights) -> bool:
+    """Whether any edge weight is ``<= 0`` (numpy-assisted when available)."""
+    if not len(weights):
+        return False
+    try:
+        import numpy
+    except ImportError:
+        return min(weights) <= 0.0
+    return bool(numpy.frombuffer(weights, dtype=numpy.float64).min() <= 0.0)
 
 
 class CSRGraph:
@@ -53,8 +129,9 @@ class CSRGraph:
         self.name = name
         #: Node ids in index order (ascending -- see module docstring).
         self.ids = ids
-        #: node id -> node index.
-        self.index_of: Dict[int, int] = {nid: i for i, nid in enumerate(ids)}
+        #: node id -> node index (a dict, or an arithmetic
+        #: :class:`_RangeIndex` when the ids are a contiguous range).
+        self.index_of = _index_map(ids)
         self.fwd_offsets = fwd_offsets
         self.fwd_targets = fwd_targets
         self.fwd_weights = fwd_weights
@@ -74,7 +151,7 @@ class CSRGraph:
         #: strictly positive weights; this flag routes such graphs onto the
         #: faithful simulation loop.  Weight patches are validated positive,
         #: so the flag can only stay or clear at the next full build.
-        self.has_nonpositive_weight = bool(fwd_weights) and min(fwd_weights) <= 0.0
+        self.has_nonpositive_weight = _has_nonpositive(fwd_weights)
         #: Accelerator cache slot (numpy/scipy views built lazily by the
         #: kernel; ``None`` until first use, shared by reference so in-place
         #: weight patches propagate without rebuilding).
@@ -227,9 +304,125 @@ class CSRGraph:
         graph.buffer_backed = True
         graph._fwd_adj = None
         graph._rev_adj = None
-        graph.has_nonpositive_weight = len(fwd_weights) > 0 and min(fwd_weights) <= 0.0
+        graph.has_nonpositive_weight = _has_nonpositive(fwd_weights)
         graph._accel = None
         return graph
+
+    @classmethod
+    def from_columnar(cls, table, name: Optional[str] = None) -> "CSRGraph":
+        """Compile a snapshot straight from a columnar edge table, dict-free.
+
+        Two streaming passes over the table's edge chunks -- a degree count
+        and a scatter placement -- build the flat arrays without ever
+        materializing a :class:`RoadNetwork` (no per-node lists, no per-edge
+        tuples).  Transient memory is O(chunk) beyond the output arrays
+        themselves: the scatter writes through numpy views directly into
+        the final ``array`` storage.
+
+        Bit-identity with ``from_network(table.to_network())`` holds by
+        construction: node index order is ascending id order (``np.sort``),
+        and each node's span lists its edges in table order, which the
+        importers define as input-file order -- the same order a dict
+        network built row-by-row would hold in its adjacency lists.
+        """
+        import numpy as np
+
+        id_chunks = [np.asarray(ids, dtype=np.int64) for ids, _, _ in table.iter_node_chunks()]
+        ids_np = (
+            np.sort(np.concatenate(id_chunks)) if id_chunks else np.empty(0, dtype=np.int64)
+        )
+        del id_chunks
+        if len(ids_np) > 1 and bool((ids_np[1:] == ids_np[:-1]).any()):
+            raise ValueError("columnar table declares duplicate node ids")
+        n = int(len(ids_np))
+
+        def locate(values) -> "np.ndarray":
+            indexes = np.searchsorted(ids_np, values)
+            clipped = np.minimum(indexes, max(n - 1, 0))
+            if n == 0 or bool((ids_np[clipped] != values).any()):
+                raise ValueError(
+                    "columnar table has edges referencing undeclared nodes"
+                )
+            return clipped
+
+        fwd_deg = np.zeros(n, dtype=np.int64)
+        rev_deg = np.zeros(n, dtype=np.int64)
+        num_edges = 0
+        for src, dst, _ in table.iter_edge_chunks():
+            fwd_deg += np.bincount(locate(src), minlength=n)
+            rev_deg += np.bincount(locate(dst), minlength=n)
+            num_edges += len(src)
+
+        # The degree arrays become the offsets *and* the scatter cursors:
+        # the final ``array('l')`` offsets are copied out immediately so no
+        # extra n-sized numpy offset arrays stay live through the scatter
+        # pass (the RSS budget at continental scale is tight enough that
+        # each full-length transient shows up in the benchmark).
+        fwd_offsets_np = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(fwd_deg, out=fwd_offsets_np[1:])
+        rev_offsets_np = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(rev_deg, out=rev_offsets_np[1:])
+        del fwd_deg, rev_deg
+        fwd_offsets = array("l")
+        fwd_offsets.frombytes(fwd_offsets_np.tobytes())
+        rev_offsets = array("l")
+        rev_offsets.frombytes(rev_offsets_np.tobytes())
+        fwd_cursor = fwd_offsets_np[:-1]
+        rev_cursor = rev_offsets_np[:-1]
+        del fwd_offsets_np, rev_offsets_np
+
+        # Allocate the final array storage up front and scatter through
+        # writable numpy views -- no full-size numpy intermediate to copy.
+        fwd_targets = array("l", [0]) * num_edges
+        fwd_weights = array("d", [0.0]) * num_edges
+        rev_targets = array("l", [0]) * num_edges
+        rev_weights = array("d", [0.0]) * num_edges
+        if num_edges:
+            views = {
+                "fwd_t": np.frombuffer(fwd_targets, dtype=np.int64),
+                "fwd_w": np.frombuffer(fwd_weights, dtype=np.float64),
+                "rev_t": np.frombuffer(rev_targets, dtype=np.int64),
+                "rev_w": np.frombuffer(rev_weights, dtype=np.float64),
+            }
+            def scatter(t_view, w_view, cursor, group, values, weights) -> None:
+                # Stable sort by source keeps within-chunk file order inside
+                # each group; the per-group cursor keeps it across chunks.
+                order = np.argsort(group, kind="stable")
+                grouped = group[order]
+                first = np.searchsorted(grouped, grouped, side="left")
+                positions = cursor[grouped] + (np.arange(len(grouped)) - first)
+                t_view[positions] = values[order]
+                w_view[positions] = weights[order]
+                # Chunk-sized cursor advance (``bincount(minlength=n)`` would
+                # allocate a full-length transient per chunk).
+                uniq, counts = np.unique(grouped, return_counts=True)
+                cursor[uniq] += counts
+
+            for src, dst, weights_chunk in table.iter_edge_chunks():
+                u = locate(src)
+                v = locate(dst)
+                w = np.asarray(weights_chunk, dtype=np.float64)
+                scatter(views["fwd_t"], views["fwd_w"], fwd_cursor, u, v, w)
+                scatter(views["rev_t"], views["rev_w"], rev_cursor, v, u, w)
+            del views
+        del fwd_cursor, rev_cursor
+
+        # Flat id storage, not ``tolist()``: a list of n distinct boxed ints
+        # costs ~36 bytes/node, which alone would break the continental
+        # build's memory budget.  Every consumer indexes or iterates, and
+        # ``array`` hands back plain ints either way.
+        ids_arr = array("l")
+        ids_arr.frombytes(ids_np.tobytes())
+        return cls(
+            ids_arr,
+            fwd_offsets,
+            fwd_targets,
+            fwd_weights,
+            rev_offsets,
+            rev_targets,
+            rev_weights,
+            name=name or f"{table.name}-csr",
+        )
 
     # ------------------------------------------------------------------
     # Inspection
@@ -275,15 +468,16 @@ class CSRGraph:
         network updated).  Raises ``KeyError`` when no such entry exists --
         the snapshot would be silently stale otherwise.
 
-        Buffer-backed snapshots (:meth:`from_buffers`) raise ``TypeError``:
-        their arrays live in a shared segment mapped by other processes, so
-        an in-place patch would mutate every worker's view at once.
+        Buffer-backed snapshots (:meth:`from_buffers`) raise
+        :class:`ImmutableSnapshotError` (a ``TypeError``): their arrays live
+        in a shared segment mapped by other processes, so an in-place patch
+        would mutate every worker's view at once.
         """
         if self.buffer_backed:
-            raise TypeError(
-                "cannot patch a buffer-backed CSR snapshot: its arrays live "
-                "in a shared read-only segment; re-publish a new segment "
-                "instead"
+            raise ImmutableSnapshotError(
+                "serving snapshots are immutable; refresh via re-publish "
+                "(the snapshot's arrays live in a shared read-only segment "
+                "mapped by other workers)"
             )
         u = self.index_of[source]
         v = self.index_of[target]

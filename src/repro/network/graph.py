@@ -13,7 +13,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.network.csr import CSRGraph
+from repro.network.csr import CSRGraph, ImmutableSnapshotError
 from repro.network.delta import NetworkDelta, WeightChange
 
 __all__ = ["Node", "Edge", "RoadNetwork"]
@@ -198,6 +198,16 @@ class RoadNetwork:
         if new_weight <= 0:
             raise ValueError(
                 f"updated edge weight must be positive, got {weight}"
+            )
+        if self._csr is not None and self._csr.buffer_backed:
+            # Refuse *before* touching the adjacency lists: the cached
+            # snapshot maps a shared read-only segment, so the patch below
+            # would fail after the dict state had already moved, leaving
+            # network and snapshot permanently disagreeing.
+            raise ImmutableSnapshotError(
+                "serving snapshots are immutable; refresh via re-publish "
+                f"(network {self.name!r} serves a shared-memory snapshot, "
+                "so in-place weight updates cannot apply)"
             )
         neighbors = self._adjacency.get(source)
         if neighbors is None:

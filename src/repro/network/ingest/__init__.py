@@ -1,0 +1,30 @@
+"""Continental-scale network ingestion.
+
+Importers stream DIMACS ``.gr``/``.co`` and edge-list CSV files into
+columnar on-disk edge tables (:mod:`~repro.network.ingest.columnar`);
+:meth:`CSRGraph.from_columnar` compiles a frozen snapshot straight from a
+table, and :class:`~repro.network.ingest.facade.ColumnarNetwork` serves
+the dict ``RoadNetwork`` API off those arrays -- the dict graph never
+materializes on the big-network path.  Requires numpy; Parquet chunks are
+available when pyarrow is installed.
+"""
+
+from repro.network.ingest.columnar import (
+    ColumnarEdgeTable,
+    ColumnarWriter,
+    open_table,
+    parquet_available,
+)
+from repro.network.ingest.facade import ColumnarNetwork
+from repro.network.ingest.importers import IngestError, import_csv, import_dimacs
+
+__all__ = [
+    "ColumnarEdgeTable",
+    "ColumnarNetwork",
+    "ColumnarWriter",
+    "IngestError",
+    "import_csv",
+    "import_dimacs",
+    "open_table",
+    "parquet_available",
+]

@@ -1,0 +1,233 @@
+"""A lazy, read-only ``RoadNetwork`` facade over CSR arrays.
+
+The broadcast schemes, partitioners and the engine consume the dict
+``RoadNetwork`` API (``node_ids``/``neighbors``/``adjacency``/``nodes``/
+``fingerprint``/...).  Building that dict for a continental network costs
+gigabytes of python objects.  :class:`ColumnarNetwork` keeps the
+:class:`~repro.network.graph.RoadNetwork` *interface* while backing the
+internal maps with lazy views over a frozen :class:`CSRGraph` plus two
+coordinate arrays -- per-node lists and :class:`Node` objects materialize
+only for the rows a caller actually touches, and are dropped immediately.
+
+The facade subclasses ``RoadNetwork`` and substitutes its three internal
+dicts (``_nodes``, ``_adjacency``, ``_reverse_adjacency``) with read-only
+:class:`~collections.abc.Mapping` implementations, so every inherited read
+path -- iteration, ``edges()``, ``bounding_box()``, ``subgraph()``, even
+the full fingerprint recomputation -- works unchanged.  Mutation is
+refused with :class:`~repro.network.csr.ImmutableSnapshotError`: columnar
+networks refresh by re-importing and re-publishing, exactly like the
+serving daemon's shared-memory snapshots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import List, Optional, Tuple
+
+from repro.network.csr import CSRGraph, ImmutableSnapshotError
+from repro.network.graph import Node, RoadNetwork
+
+__all__ = ["ColumnarNetwork"]
+
+_IMMUTABLE_MESSAGE = (
+    "columnar-backed networks are immutable; materialize a dict copy with "
+    "to_network() to mutate, or re-import and re-publish"
+)
+
+
+class _LazyNodeMap(Mapping):
+    """``{node_id: Node}`` view over the id/coordinate arrays."""
+
+    __slots__ = ("_csr", "_x", "_y")
+
+    def __init__(self, csr: CSRGraph, x, y) -> None:
+        self._csr = csr
+        self._x = x
+        self._y = y
+
+    def __getitem__(self, node_id: int) -> Node:
+        index = self._csr.index_of[node_id]
+        return Node(node_id, float(self._x[index]), float(self._y[index]))
+
+    def __iter__(self):
+        return iter(self._csr.ids)
+
+    def __len__(self) -> int:
+        return self._csr.num_nodes
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self._csr.index_of
+
+
+class _LazyAdjacencyMap(Mapping):
+    """``{node_id: [(neighbor_id, weight), ...]}`` view over CSR spans."""
+
+    __slots__ = ("_csr", "_offsets", "_targets", "_weights")
+
+    def __init__(self, csr: CSRGraph, offsets, targets, weights) -> None:
+        self._csr = csr
+        self._offsets = offsets
+        self._targets = targets
+        self._weights = weights
+
+    def __getitem__(self, node_id: int) -> List[Tuple[int, float]]:
+        index = self._csr.index_of[node_id]
+        start, end = self._offsets[index], self._offsets[index + 1]
+        ids = self._csr.ids
+        return [
+            (ids[self._targets[position]], self._weights[position])
+            for position in range(start, end)
+        ]
+
+    def __iter__(self):
+        return iter(self._csr.ids)
+
+    def __len__(self) -> int:
+        return self._csr.num_nodes
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self._csr.index_of
+
+
+class ColumnarNetwork(RoadNetwork):
+    """Read-only ``RoadNetwork`` backed by CSR arrays (see module doc).
+
+    Build with :meth:`from_table`; the plain constructor wires an existing
+    snapshot plus index-ordered coordinate arrays together.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        x,
+        y,
+        name: str = "columnar-network",
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if len(x) != csr.num_nodes or len(y) != csr.num_nodes:
+            raise ValueError(
+                f"coordinate arrays ({len(x)}, {len(y)}) do not match "
+                f"snapshot node count {csr.num_nodes}"
+            )
+        # Deliberately no super().__init__(): every dict field is replaced
+        # by a lazy view; keep this list in sync with RoadNetwork.__init__.
+        self.name = name
+        self._coord_x = x
+        self._coord_y = y
+        self._nodes = _LazyNodeMap(csr, x, y)
+        self._adjacency = _LazyAdjacencyMap(
+            csr, csr.fwd_offsets, csr.fwd_targets, csr.fwd_weights
+        )
+        self._reverse_adjacency = _LazyAdjacencyMap(
+            csr, csr.rev_offsets, csr.rev_targets, csr.rev_weights
+        )
+        self._num_edges = csr.num_edges
+        self._fingerprint_cache = fingerprint
+        self._fingerprint_sum = int(fingerprint, 16) if fingerprint is not None else None
+        self._pending_changes = {}
+        self._dirty_nodes = set()
+        self._structurally_dirty = False
+        self._csr = csr
+        self._csr_fingerprint = fingerprint if fingerprint is not None else self.fingerprint()
+        self._csr_builds = 1
+        self._csr_patches = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table, name: Optional[str] = None) -> "ColumnarNetwork":
+        """Open a columnar edge table as a servable network, dict-free.
+
+        The CSR snapshot comes straight from
+        :meth:`CSRGraph.from_columnar`; the manifest fingerprint keys the
+        snapshot (and every engine/store cache downstream) without an
+        O(V + E) re-hash.
+        """
+        import numpy as np
+
+        csr = CSRGraph.from_columnar(table)
+        sorted_ids = np.asarray(csr.ids, dtype=np.int64)
+        x = np.empty(csr.num_nodes, dtype=np.float64)
+        y = np.empty(csr.num_nodes, dtype=np.float64)
+        for ids, xs, ys in table.iter_node_chunks():
+            # Chunks arrive in arbitrary id order; scatter into index order.
+            positions = np.searchsorted(sorted_ids, ids)
+            x[positions] = xs
+            y[positions] = ys
+        return cls(
+            csr, x, y, name=name or table.name, fingerprint=table.fingerprint
+        )
+
+    # ------------------------------------------------------------------
+    # Refused mutations
+    # ------------------------------------------------------------------
+    def _immutable(self, *_args, **_kwargs):
+        raise ImmutableSnapshotError(_IMMUTABLE_MESSAGE)
+
+    add_node = _immutable
+    add_edge = _immutable
+    add_bidirectional_edge = _immutable
+    remove_edge = _immutable
+    update_edge_weight = _immutable
+    adopt_csr = _immutable
+
+    # ------------------------------------------------------------------
+    # Reads that beat the generic lazy path
+    # ------------------------------------------------------------------
+    def node_ids(self) -> List[int]:
+        """All node identifiers, ascending (CSR index order)."""
+        return list(self._csr.ids)
+
+    def coordinates(self, node_id: int) -> Tuple[float, float]:
+        index = self._csr.index_of[node_id]
+        return (float(self._coord_x[index]), float(self._coord_y[index]))
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        if not len(self._coord_x):
+            raise ValueError("bounding box of an empty network is undefined")
+        return (
+            float(self._coord_x.min()),
+            float(self._coord_y.min()),
+            float(self._coord_x.max()),
+            float(self._coord_y.max()),
+        )
+
+    def out_degree(self, node_id: int) -> int:
+        csr = self._csr
+        index = csr.index_of[node_id]
+        return csr.fwd_offsets[index + 1] - csr.fwd_offsets[index]
+
+    def in_degree(self, node_id: int) -> int:
+        csr = self._csr
+        index = csr.index_of[node_id]
+        return csr.rev_offsets[index + 1] - csr.rev_offsets[index]
+
+    def total_weight(self) -> float:
+        return float(sum(self._csr.fwd_weights))
+
+    # ------------------------------------------------------------------
+    # Snapshot access (always fresh: the network cannot drift)
+    # ------------------------------------------------------------------
+    def csr_snapshot(self) -> CSRGraph:
+        return self._csr
+
+    def ensure_csr(self) -> CSRGraph:
+        return self._csr
+
+    def to_network(self, name: Optional[str] = None) -> RoadNetwork:
+        """Materialize a mutable dict copy (O(V + E) python objects)."""
+        dup = RoadNetwork(name=name or self.name)
+        for node in self.nodes():
+            dup.add_node(node.node_id, node.x, node.y)
+        for node_id in self._csr.ids:
+            for target, weight in self._adjacency[node_id]:
+                dup.add_edge(node_id, target, weight)
+        dup.clear_delta()
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ColumnarNetwork(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

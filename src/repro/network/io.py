@@ -15,6 +15,7 @@ Both sections live in a single file; lines starting with ``#`` are comments.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Union
 
@@ -35,7 +36,14 @@ def save_network(network: RoadNetwork, path: Union[str, os.PathLike]) -> None:
 
 
 def load_network(path: Union[str, os.PathLike], name: str = "") -> RoadNetwork:
-    """Read a network previously written by :func:`save_network`."""
+    """Read a network previously written by :func:`save_network`.
+
+    Malformed input is rejected with a ``ValueError`` whose message starts
+    with ``{path}:{line}``: unrecognized lines, duplicate node ids (which
+    ``RoadNetwork.add_node`` would otherwise silently overwrite), edges
+    referencing undeclared nodes (otherwise a bare ``KeyError`` from deep
+    inside the graph), and NaN or infinite coordinates or weights.
+    """
     network = RoadNetwork(name=name or os.path.basename(str(path)))
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
@@ -44,9 +52,45 @@ def load_network(path: Union[str, os.PathLike], name: str = "") -> RoadNetwork:
                 continue
             fields = line.split()
             if fields[0] == "n" and len(fields) == 4:
-                network.add_node(int(fields[1]), float(fields[2]), float(fields[3]))
+                try:
+                    node_id = int(fields[1])
+                    x = float(fields[2])
+                    y = float(fields[3])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed node line {line!r}"
+                    ) from None
+                if network.has_node(node_id):
+                    raise ValueError(
+                        f"{path}:{line_number}: duplicate node id {node_id}"
+                    )
+                if not (math.isfinite(x) and math.isfinite(y)):
+                    raise ValueError(
+                        f"{path}:{line_number}: non-finite coordinates "
+                        f"({fields[2]}, {fields[3]}) for node {node_id}"
+                    )
+                network.add_node(node_id, x, y)
             elif fields[0] == "e" and len(fields) == 4:
-                network.add_edge(int(fields[1]), int(fields[2]), float(fields[3]))
+                try:
+                    source = int(fields[1])
+                    target = int(fields[2])
+                    weight = float(fields[3])
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed edge line {line!r}"
+                    ) from None
+                if not math.isfinite(weight):
+                    raise ValueError(
+                        f"{path}:{line_number}: non-finite weight {fields[3]} "
+                        f"on edge {source} -> {target}"
+                    )
+                for endpoint in (source, target):
+                    if not network.has_node(endpoint):
+                        raise ValueError(
+                            f"{path}:{line_number}: edge references "
+                            f"undeclared node {endpoint}"
+                        )
+                network.add_edge(source, target, weight)
             else:
                 raise ValueError(f"{path}:{line_number}: unrecognized line {line!r}")
     network.clear_delta()  # a loaded file is a baseline, not pending updates

@@ -31,6 +31,7 @@ from repro.serialize.codec import CodecError, decode_value, encode_value
 __all__ = [
     "ARTIFACT_MAGIC",
     "FORMAT_VERSION",
+    "STREAM_CHUNK_BYTES",
     "ArtifactError",
     "ArtifactChecksumError",
     "ArtifactVersionError",
@@ -49,6 +50,11 @@ FORMAT_VERSION = 2
 
 _CHECKSUM_BYTES = 32  # sha256 digest size
 _PREFIX = struct.Struct("<HI")  # format version, header length
+
+#: Copy granularity of the streaming encode/decode paths: large payloads
+#: (continental CSR states) move between artifact and file in bounded
+#: slices instead of one concatenated body + checksum copy.
+STREAM_CHUNK_BYTES = 4 * 1024 * 1024
 
 
 class ArtifactError(ValueError):
@@ -125,6 +131,98 @@ class BuildArtifact:
         )
         return body + hashlib.sha256(body).digest()
 
+    def write_to(self, handle, chunk_bytes: int = STREAM_CHUNK_BYTES) -> int:
+        """Stream the framed encoding to a binary file object.
+
+        Byte-for-byte identical output to ``handle.write(self.to_bytes())``
+        but without ever concatenating the body: the payload moves in
+        ``chunk_bytes`` slices while the checksum accumulates incrementally,
+        so the extra memory is O(chunk) regardless of payload size (this is
+        what keeps store publishes of continental CSR states flat).  Returns
+        the number of bytes written.
+        """
+        digest = hashlib.sha256()
+        header = encode_value(
+            {
+                "scheme": self.scheme,
+                "params": dict(self.params),
+                "network_fingerprint": self.network_fingerprint,
+                "payload_bytes": len(self.payload),
+            }
+        )
+        prefix = ARTIFACT_MAGIC + _PREFIX.pack(self.format_version, len(header)) + header
+        handle.write(prefix)
+        digest.update(prefix)
+        payload = memoryview(self.payload)
+        for start in range(0, len(payload), chunk_bytes):
+            chunk = payload[start : start + chunk_bytes]
+            handle.write(chunk)
+            digest.update(chunk)
+        handle.write(digest.digest())
+        return len(prefix) + len(payload) + _CHECKSUM_BYTES
+
+    @classmethod
+    def read_from(cls, handle, chunk_bytes: int = STREAM_CHUNK_BYTES) -> "BuildArtifact":
+        """Parse and fully validate an artifact from a binary file object.
+
+        The streaming dual of :meth:`from_bytes`: the payload is read into
+        a single buffer in ``chunk_bytes`` slices with the checksum
+        accumulating alongside, so the framed whole (prefix + header +
+        payload + digest) is never materialized as one contiguous copy the
+        way ``read_bytes()`` + :meth:`from_bytes` does.
+        Raises the same exceptions for the same failure modes -- truncation,
+        bad magic, digest mismatch, or trailing garbage are
+        :class:`ArtifactChecksumError`; a foreign format version is
+        :class:`ArtifactVersionError` (checked before the header is
+        interpreted).
+        """
+        digest = hashlib.sha256()
+        prefix_len = len(ARTIFACT_MAGIC) + _PREFIX.size
+        prefix = handle.read(prefix_len)
+        if len(prefix) < prefix_len:
+            raise ArtifactChecksumError("artifact truncated")
+        if prefix[: len(ARTIFACT_MAGIC)] != ARTIFACT_MAGIC:
+            raise ArtifactChecksumError("bad artifact magic")
+        version, header_len = _PREFIX.unpack_from(prefix, len(ARTIFACT_MAGIC))
+        if version != FORMAT_VERSION:
+            raise ArtifactVersionError(version, FORMAT_VERSION)
+        header_bytes = handle.read(header_len)
+        if len(header_bytes) < header_len:
+            raise ArtifactChecksumError("artifact header truncated")
+        digest.update(prefix)
+        digest.update(header_bytes)
+        try:
+            header = decode_value(header_bytes)
+        except (CodecError, RecursionError) as exc:
+            raise ArtifactChecksumError(f"malformed artifact header: {exc}") from None
+        cls._check_header_fields(header)
+
+        payload_bytes = header["payload_bytes"]
+        payload = bytearray(payload_bytes)
+        view = memoryview(payload)
+        filled = 0
+        while filled < payload_bytes:
+            want = min(chunk_bytes, payload_bytes - filled)
+            got = handle.readinto(view[filled : filled + want])
+            if not got:
+                raise ArtifactChecksumError("artifact truncated")
+            digest.update(view[filled : filled + got])
+            filled += got
+        trailer = handle.read(_CHECKSUM_BYTES)
+        if len(trailer) < _CHECKSUM_BYTES:
+            raise ArtifactChecksumError("artifact truncated")
+        if handle.read(1):
+            raise ArtifactChecksumError("artifact has trailing bytes")
+        if digest.digest() != trailer:
+            raise ArtifactChecksumError("artifact checksum mismatch")
+        return cls(
+            scheme=header["scheme"],
+            params=header["params"],
+            network_fingerprint=header["network_fingerprint"],
+            payload=bytes(payload),
+            format_version=version,
+        )
+
     @classmethod
     def from_bytes(cls, data, *, copy_payload: bool = True) -> "BuildArtifact":
         """Parse and fully validate artifact bytes.
@@ -175,6 +273,18 @@ class BuildArtifact:
         return header
 
     @staticmethod
+    def _check_header_fields(header) -> None:
+        if not isinstance(header, dict) or not {
+            "scheme",
+            "params",
+            "network_fingerprint",
+            "payload_bytes",
+        } <= set(header):
+            raise ArtifactChecksumError("incomplete artifact header")
+        if type(header["payload_bytes"]) is not int or header["payload_bytes"] < 0:
+            raise ArtifactChecksumError("malformed artifact header: bad payload length")
+
+    @staticmethod
     def _parse_header(
         data: bytes, total_size: Optional[int] = None
     ) -> Tuple[int, Dict[str, Any]]:
@@ -194,15 +304,7 @@ class BuildArtifact:
             header = decode_value(bytes(data[prefix_end:header_end]))
         except (CodecError, RecursionError) as exc:
             raise ArtifactChecksumError(f"malformed artifact header: {exc}") from None
-        if not isinstance(header, dict) or not {
-            "scheme",
-            "params",
-            "network_fingerprint",
-            "payload_bytes",
-        } <= set(header):
-            raise ArtifactChecksumError("incomplete artifact header")
-        if type(header["payload_bytes"]) is not int or header["payload_bytes"] < 0:
-            raise ArtifactChecksumError("malformed artifact header: bad payload length")
+        BuildArtifact._check_header_fields(header)
         expected = header_end + header["payload_bytes"] + _CHECKSUM_BYTES
         if expected != total:
             raise ArtifactChecksumError(

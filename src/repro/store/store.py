@@ -145,7 +145,11 @@ class ArtifactStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         staging = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
         try:
-            staging.write_bytes(artifact.to_bytes())
+            # Streamed, not ``write_bytes(artifact.to_bytes())``: the framed
+            # body of a continental CSR payload is never concatenated in
+            # memory (see ``BuildArtifact.write_to``).
+            with staging.open("wb") as handle:
+                artifact.write_to(handle)
             os.replace(staging, path)
         finally:
             if staging.exists():  # pragma: no cover - only on a failed replace
@@ -174,14 +178,16 @@ class ArtifactStore:
         key = self.key_for(scheme, params_fingerprint(params), network_fingerprint)
         path = self._path_for(key)
         try:
-            data = path.read_bytes()
+            # Streamed restore: the payload lands in one buffer with the
+            # checksum verified incrementally, instead of read_bytes()
+            # materializing the whole framed file first.
+            with path.open("rb") as handle:
+                artifact = BuildArtifact.read_from(handle)
         except OSError:
             # Absent key, but also any read failure (permissions, transient
             # I/O): the disk tier degrades to a miss, never to a crash.
             self.misses += 1
             return None
-        try:
-            artifact = BuildArtifact.from_bytes(data)
         except ArtifactVersionError:
             # Written by another format version; its key embeds that
             # version, so this is a hash collision across versions only in
@@ -304,7 +310,8 @@ class ArtifactStore:
         for path in self._object_paths():
             checked += 1
             try:
-                BuildArtifact.from_bytes(path.read_bytes())
+                with path.open("rb") as handle:
+                    BuildArtifact.read_from(handle)
             except ArtifactVersionError:
                 stale += 1
             except (OSError, ArtifactError):

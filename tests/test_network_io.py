@@ -46,3 +46,63 @@ class TestRoundTrip:
         network = load_network(path)
         assert network.num_nodes == 2
         assert network.edge_weight(1, 2) == 2.0
+
+
+class TestValidation:
+    """Regression corpus for the {path}:{line} validation sweep."""
+
+    def _load_expecting(self, tmp_path, content, location, fragment):
+        path = tmp_path / "net.txt"
+        path.write_text(content)
+        with pytest.raises(ValueError) as excinfo:
+            load_network(path)
+        message = str(excinfo.value)
+        assert f"net.txt:{location}" in message
+        assert fragment in message
+
+    def test_duplicate_node_id(self, tmp_path):
+        self._load_expecting(
+            tmp_path,
+            "n 1 0.0 0.0\nn 1 1.0 1.0\n",
+            2,
+            "duplicate node id 1",
+        )
+
+    def test_edge_references_undeclared_node(self, tmp_path):
+        self._load_expecting(
+            tmp_path,
+            "n 1 0.0 0.0\ne 1 9 2.0\n",
+            2,
+            "undeclared node 9",
+        )
+
+    def test_non_finite_coordinates(self, tmp_path):
+        self._load_expecting(
+            tmp_path,
+            "n 1 nan 0.0\n",
+            1,
+            "non-finite coordinates",
+        )
+        self._load_expecting(
+            tmp_path,
+            "n 1 0.0 inf\n",
+            1,
+            "non-finite coordinates",
+        )
+
+    def test_non_finite_weight(self, tmp_path):
+        self._load_expecting(
+            tmp_path,
+            "n 1 0.0 0.0\nn 2 1.0 0.0\ne 1 2 nan\n",
+            3,
+            "non-finite weight",
+        )
+
+    def test_malformed_node_and_edge_lines(self, tmp_path):
+        self._load_expecting(tmp_path, "n 1 zero 0.0\n", 1, "malformed node line")
+        self._load_expecting(
+            tmp_path,
+            "n 1 0.0 0.0\nn 2 1.0 0.0\ne 1 2 heavy\n",
+            3,
+            "malformed edge line",
+        )

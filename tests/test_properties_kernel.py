@@ -349,6 +349,62 @@ def test_kernel_result_api_edges():
         arena.sssp(10**9)
 
 
+@pytest.mark.skipif(not kernel.HAVE_ACCELERATOR, reason="accelerator not installed")
+@pytest.mark.parametrize("seed", SEEDS)
+def test_p2p_reconstruction_is_deferred_and_probe_is_exact(seed):
+    """The accelerated p2p result is lazy, and its settled-probe is exact.
+
+    ``point_to_point`` answers ``distance_to(target)`` straight off the
+    sweep's label array (the target is always settled at termination);
+    the O(settled log settled) tree replay must not run until a consumer
+    reads the dicts -- and once it does, every label must equal the dict
+    reference's, tentative frontier values included.
+    """
+    network = make_network(seed)
+    reference = reference_copy(network)
+    arena = kernel.arena_for(network.ensure_csr())
+    rng = random.Random(seed + 5)
+    ids = network.node_ids()
+    for _ in range(10):
+        source, target = rng.choice(ids), rng.choice(ids)
+        want = dijkstra_search(reference, source, target=target)
+        got = arena.point_to_point(source, target)
+        if got._finish is None:
+            continue  # tiny searches may construct eagerly; nothing to defer
+        # The query answer and the settled count come from the probe alone.
+        assert got.distance_to(target) == want.distance_to(target)
+        assert got.settled == want.settled
+        assert got._finish is not None, "distance_to(target) must not materialize"
+        # Reading a dict pays for the replay exactly once...
+        assert got.distances_dict() == want.distances
+        assert got._finish is None
+        # ...and after it, every label (frontier included) is bit-identical.
+        assert got.predecessors_dict() == want.predecessors
+        for probe_node in rng.sample(ids, 6):
+            assert got.distance_to(probe_node) == want.distance_to(probe_node)
+
+
+@pytest.mark.skipif(not kernel.HAVE_ACCELERATOR, reason="accelerator not installed")
+def test_p2p_probe_matches_reference_labels_without_materialization(accel_mode):
+    """Fresh (unmaterialized) results answer probes with faithful labels."""
+    if not accel_mode:
+        pytest.skip("probe exists only on the accelerated path")
+    network = make_network(17, num_nodes=70, num_edges=180)
+    reference = reference_copy(network)
+    arena = kernel.arena_for(network.ensure_csr())
+    rng = random.Random(99)
+    ids = network.node_ids()
+    for _ in range(8):
+        source, target = rng.choice(ids), rng.choice(ids)
+        want = dijkstra_search(reference, source, target=target)
+        for probe_node in rng.sample(ids, 4) + [target]:
+            # A fresh result per probe: settled nodes answer off the probe
+            # tuple, frontier/unreached nodes fall back to the replay --
+            # both must land on the faithful label.
+            fresh = arena.point_to_point(source, target)
+            assert fresh.distance_to(probe_node) == want.distance_to(probe_node)
+
+
 def test_arena_is_cached_per_thread_and_snapshot():
     network = make_network(13, num_nodes=20, num_edges=50)
     snapshot = network.ensure_csr()

@@ -184,6 +184,59 @@ class TestBuildArtifactFraming:
         assert excinfo.value.found == FORMAT_VERSION + 1
         assert excinfo.value.expected == FORMAT_VERSION
 
+    def test_stream_write_is_byte_identical_to_to_bytes(self, tmp_path):
+        import io as _io
+
+        artifact = self._artifact()
+        for chunk_bytes in (1, 7, 777, 1 << 20):
+            buffer = _io.BytesIO()
+            written = artifact.write_to(buffer, chunk_bytes=chunk_bytes)
+            assert buffer.getvalue() == artifact.to_bytes()
+            assert written == len(artifact.to_bytes())
+
+    def test_stream_round_trip(self, tmp_path):
+        artifact = self._artifact()
+        path = tmp_path / "artifact.bin"
+        with path.open("wb") as handle:
+            artifact.write_to(handle, chunk_bytes=11)
+        with path.open("rb") as handle:
+            assert BuildArtifact.read_from(handle, chunk_bytes=13) == artifact
+
+    def test_stream_round_trip_empty_payload(self, tmp_path):
+        import io as _io
+
+        artifact = BuildArtifact(
+            scheme="DJ", params={}, network_fingerprint="00" * 16, payload=b""
+        )
+        buffer = _io.BytesIO()
+        artifact.write_to(buffer)
+        buffer.seek(0)
+        assert BuildArtifact.read_from(buffer) == artifact
+
+    def test_stream_read_failure_modes(self, tmp_path):
+        import io as _io
+
+        data = self._artifact().to_bytes()
+        # Truncation at every framing boundary.
+        for cut in (0, 3, 8, len(data) - 40, len(data) - 5):
+            with pytest.raises(ArtifactChecksumError):
+                BuildArtifact.read_from(_io.BytesIO(data[:cut]))
+        # Corruption, trailing bytes, bad magic.
+        flipped = bytearray(data)
+        flipped[len(flipped) // 2] ^= 0x20
+        with pytest.raises(ArtifactChecksumError, match="checksum"):
+            BuildArtifact.read_from(_io.BytesIO(bytes(flipped)))
+        with pytest.raises(ArtifactChecksumError, match="trailing"):
+            BuildArtifact.read_from(_io.BytesIO(data + b"x"))
+        with pytest.raises(ArtifactChecksumError, match="magic"):
+            BuildArtifact.read_from(_io.BytesIO(b"NOPE" + data[4:]))
+        # A foreign version is staleness, not corruption, and is detected
+        # before the header bytes are interpreted.
+        foreign = bytearray(data)
+        struct.pack_into("<H", foreign, 4, FORMAT_VERSION + 1)
+        with pytest.raises(ArtifactVersionError):
+            BuildArtifact.read_from(_io.BytesIO(bytes(foreign)))
+
     def test_params_fingerprint_is_order_independent_and_value_exact(self):
         assert params_fingerprint({"a": 1, "b": 2}) == params_fingerprint(
             {"b": 2, "a": 1}

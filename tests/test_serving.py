@@ -284,6 +284,50 @@ class TestWorkerRuntime:
         assert runtime.handle({"op": "ping"})["status"] == "ok"
         assert runtime.requests_served == 4
 
+    def test_shared_snapshot_mutation_refused_with_republish_guidance(
+        self, runtime, direct_system, query_pairs
+    ):
+        """Serving networks are immutable; the error says how to refresh.
+
+        The worker's network maps a shared read-only segment.  A weight
+        update must be refused *before* the dict state moves (otherwise
+        network and snapshot would permanently disagree), the message must
+        point at the re-publish workflow, and the worker must keep serving
+        correct answers afterwards.
+        """
+        from repro.network.csr import ImmutableSnapshotError
+
+        network = runtime.system.network
+        source, target = None, None
+        for node_id in network.node_ids():
+            neighbors = network.neighbors(node_id)
+            if neighbors:
+                source, target = node_id, neighbors[0][0]
+                break
+        assert source is not None
+        before = network.edge_weight(source, target)
+        with pytest.raises(
+            ImmutableSnapshotError,
+            match="serving snapshots are immutable; refresh via re-publish",
+        ) as excinfo:
+            network.update_edge_weight(source, target, before + 1.0)
+        assert isinstance(excinfo.value, TypeError)  # refused as a type contract
+        assert network.edge_weight(source, target) == before  # nothing moved
+        # Still serving, and still bit-identical to the direct system.
+        query_source, query_target = query_pairs[0]
+        response = runtime.handle(
+            {
+                "op": "query",
+                "method": "NR",
+                "source": query_source,
+                "target": query_target,
+                "tune_in_offset": 0,
+            }
+        )
+        assert response["status"] == "ok"
+        reference = _direct_result(direct_system, query_source, query_target)
+        assert response["distance"] == reference.distance
+
     def test_fleet_scenario_validation(self, runtime):
         response = runtime.handle(
             {"op": "fleet", "method": "NR", "scenario": "no-such", "devices": 5}
