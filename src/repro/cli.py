@@ -11,6 +11,7 @@ repro`` works identically)::
     repro fleet    --network germany --scale 0.02 --method NR --devices 500
     repro dynamic  --network germany --scale 0.02 --method NR --steps 6
     repro store    --dir /var/cache/repro build --network germany --scale 0.02
+    repro chaos    --socket /tmp/repro-air.sock --scenario smoke --requests 200
     repro ingest   --edges USA-road-d.NY.gr --nodes USA-road-d.NY.co --out ny-table
 
 * ``schemes`` -- list every registered air-index scheme with its parameters
@@ -30,7 +31,9 @@ repro`` works identically)::
 * ``store``   -- manage an on-disk artifact store (the build/serve split):
   ``build`` pre-computes schemes into it, ``ls`` lists its contents,
   ``verify`` checksum-verifies every artifact (quarantining corrupted
-  ones), ``gc`` enforces a byte cap / purges the quarantine, ``prune``
+  ones; ``--repair`` additionally sweeps abandoned staging files and
+  rebuilds the quarantined schemes in the same pass), ``gc`` enforces a
+  byte cap / purges the quarantine, ``prune``
   drops artifacts by network fingerprint (prefixes accepted), and
   ``stats`` prints the store's hit/miss/occupancy counters.
 * ``serve``   -- run the broadcast serving daemon: build the configured
@@ -38,6 +41,12 @@ repro`` works identically)::
   query/batch/fleet/refresh requests from a pool of worker processes.
 * ``bench-client`` -- drive a running daemon with a query burst and print
   client-side throughput and latency percentiles.
+* ``chaos``   -- run a named, seeded fault scenario (worker kills, frame
+  corruption, refresh failures, ...) against a *running* daemon and print
+  what clients experienced: availability of in-deadline requests,
+  reconnects, staleness exposure, bit-identity violations and worker MTTR.
+  Exits non-zero on any identity violation or (with
+  ``--min-availability``) an availability shortfall.
 * ``ingest``  -- stream a DIMACS ``.gr``/``.co`` pair or an edge-list CSV
   into a columnar on-disk edge table (O(chunk) memory, ``file:line``
   validation errors); ``--build`` additionally compiles the CSR snapshot
@@ -86,6 +95,12 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return parsed
+
+
+def _scenario_names() -> List[str]:
+    from repro.faults import scenario_names
+
+    return scenario_names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,8 +232,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated method list (default: every registered scheme)",
     )
     store_sub.add_parser("ls", help="list stored artifacts")
-    store_sub.add_parser(
+    store_verify = store_sub.add_parser(
         "verify", help="checksum-verify every artifact (exit 1 if any corrupt)"
+    )
+    add_common(store_verify)
+    store_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "after quarantining, sweep abandoned staging files and rebuild "
+            "the --methods schemes so the store is whole again (exit 0 once "
+            "a re-verify comes back clean)"
+        ),
+    )
+    store_verify.add_argument(
+        "--methods",
+        default=",".join(air.available_schemes()),
+        type=_scheme_list,
+        help="schemes to rebuild under --repair (default: every registered scheme)",
     )
     store_gc = store_sub.add_parser(
         "gc", help="evict least-recently-used artifacts down to a byte cap"
@@ -299,6 +330,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown",
         action="store_true",
         help="send a shutdown request once the burst completes",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos", help="run a seeded fault scenario against a running serving daemon"
+    )
+    add_common(chaos)
+    chaos.add_argument(
+        "--method", default="NR", type=_scheme_name, help=f"scheme ({scheme_names})"
+    )
+    chaos.add_argument("--socket", default=None, help="daemon's unix socket path")
+    chaos.add_argument("--port", type=int, default=None, help="daemon's TCP port")
+    chaos.add_argument("--host", default="127.0.0.1", help="daemon's TCP host")
+    chaos.add_argument(
+        "--scenario",
+        default="smoke",
+        choices=_scenario_names(),
+        help="named fault scenario (seeded by --seed)",
+    )
+    chaos.add_argument(
+        "--requests", type=_positive_int, default=200, help="queries to issue"
+    )
+    chaos.add_argument(
+        "--concurrency", type=_positive_int, default=4, help="client connections"
+    )
+    chaos.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=2000.0,
+        help="end-to-end budget per request (busy retries and reconnects included)",
+    )
+    chaos.add_argument(
+        "--refreshes",
+        type=int,
+        default=1,
+        help="refresh batches to fire mid-run (0 disables)",
+    )
+    chaos.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        help="fail (exit 1) if in-deadline availability drops below this fraction",
     )
 
     ingest = subparsers.add_parser(
@@ -680,13 +752,40 @@ def _command_store(args: argparse.Namespace, out) -> int:
     if args.store_command == "verify":
         outcome = store.verify()
         rows = [[key, value] for key, value in outcome.items()]
+        if not args.repair:
+            print(
+                report.format_table(
+                    ["Quantity", "Value"], rows, title=f"Store verify: {store.root}"
+                ),
+                file=out,
+            )
+            return 1 if outcome["quarantined"] else 0
+        # Quarantine-and-rebuild in one pass: sweep writer debris, then let
+        # a store-backed system restore-or-rebuild each scheme (intact
+        # artifacts are a cheap restore; quarantined/missing ones are built
+        # and re-published).  A final verify proves the store is whole.
+        rows.append(["staging swept", store.clean_staging()])
+        system = AirSystem.from_config(_config(args), store=store)
+        for method in args.methods:
+            writes_before = store.writes
+            system.scheme(method)
+            rows.append(
+                [
+                    f"repair {method}",
+                    "rebuilt" if store.writes > writes_before else "intact",
+                ]
+            )
+        after = store.verify()
+        rows.append(["post-repair quarantined", after["quarantined"]])
         print(
             report.format_table(
-                ["Quantity", "Value"], rows, title=f"Store verify: {store.root}"
+                ["Quantity", "Value"],
+                rows,
+                title=f"Store verify --repair: {store.root}",
             ),
             file=out,
         )
-        return 1 if outcome["quarantined"] else 0
+        return 1 if after["quarantined"] else 0
     outcome = store.gc(max_bytes=args.max_bytes, purge_quarantine=args.purge_quarantine)
     rows = [[key, value] for key, value in outcome.items()]
     print(
@@ -751,7 +850,7 @@ def _bench_address(args: argparse.Namespace):
     if args.port is not None:
         return ("tcp", args.host, args.port)
     if args.socket is None:
-        raise SystemExit("bench-client needs --socket or --port")
+        raise SystemExit(f"{args.command} needs --socket or --port")
     return ("unix", args.socket)
 
 
@@ -798,6 +897,92 @@ def _command_bench_client(args: argparse.Namespace, out) -> int:
         with ServingClient(address) as client:
             client.shutdown()
     return 0 if load.errors == 0 else 1
+
+
+def _command_chaos(args: argparse.Namespace, out) -> int:
+    from repro.faults import build_scenario
+    from repro.faults.chaos import run_chaos
+
+    address = _bench_address(args)
+    network = datasets.load(args.network, scale=args.scale, seed=args.seed)
+    rng = random.Random(args.seed)
+    nodes = network.node_ids()
+    # Half the budget is unique pairs, issued twice: duplicates give the
+    # self-consistency identity check its teeth (two answers for the same
+    # (fingerprint, source, target) must agree bit-for-bit).
+    unique = [
+        (rng.choice(nodes), rng.choice(nodes))
+        for _ in range(max(1, args.requests // 2))
+    ]
+    pairs = (unique * 2)[: args.requests]
+    refreshes = []
+    if args.refreshes > 0:
+        edges = list(network.edges())
+        for index in range(args.refreshes):
+            batch = edges[4 * index : 4 * index + 4] or edges[:4]
+            refreshes.append(
+                [(e.source, e.target, e.weight * (1.5 + 0.1 * index)) for e in batch]
+            )
+    plan = build_scenario(args.scenario, seed=args.seed)
+    chaos_report = run_chaos(
+        address,
+        plan,
+        pairs,
+        method=args.method,
+        concurrency=args.concurrency,
+        deadline_ms=args.deadline_ms,
+        refreshes=refreshes,
+    )
+    mttr = chaos_report.mttr_s
+    fired = chaos_report.fault_stats.get("fired") or {}
+    rows = [
+        ["scenario / seed", f"{args.scenario} / {args.seed}"],
+        ["requests ok / total", f"{chaos_report.ok} / {chaos_report.requests}"],
+        ["availability (in-deadline)", f"{chaos_report.availability:.4f}"],
+        ["deadline misses", chaos_report.deadline_misses],
+        ["reconnects", chaos_report.reconnects],
+        ["stale responses", chaos_report.stale_responses],
+        ["identity violations", chaos_report.identity_violations],
+        ["errors", ", ".join(
+            f"{kind}:{count}" for kind, count in sorted(chaos_report.errors.items())
+        ) or "-"],
+        ["faults fired", ", ".join(
+            f"{point}:{count}" for point, count in sorted(fired.items())
+        ) or "-"],
+        ["worker respawns / MTTR (s)", f"{chaos_report.respawns} / "
+         + (f"{mttr:.3f}" if mttr is not None else "-")],
+        ["refreshes (degraded)", f"{len(chaos_report.refreshes)} "
+         f"({sum(1 for r in chaos_report.refreshes if r.get('degraded'))})"],
+        ["duration (s)", round(chaos_report.duration_s, 3)],
+    ]
+    print(
+        report.format_table(
+            ["Quantity", "Value"],
+            rows,
+            title=(
+                f"Chaos run: {args.requests} x {args.method} under "
+                f"'{args.scenario}' via {args.concurrency} connections"
+            ),
+        ),
+        file=out,
+    )
+    if chaos_report.identity_violations:
+        print(
+            f"FAIL: {chaos_report.identity_violations} bit-identity violations",
+            file=out,
+        )
+        return 1
+    if (
+        args.min_availability is not None
+        and chaos_report.availability < args.min_availability
+    ):
+        print(
+            f"FAIL: availability {chaos_report.availability:.4f} < "
+            f"{args.min_availability:.4f}",
+            file=out,
+        )
+        return 1
+    return 0
 
 
 def _command_ingest(args: argparse.Namespace, out) -> int:
@@ -896,6 +1081,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "store": _command_store,
         "serve": _command_serve,
         "bench-client": _command_bench_client,
+        "chaos": _command_chaos,
         "ingest": _command_ingest,
     }
     return handlers[args.command](args, out)

@@ -34,6 +34,7 @@ from repro.air.base import AirIndexScheme, ClientOptions, QueryResult, is_mismat
 from repro.broadcast.channel import BroadcastChannel
 from repro.concurrency import run_indexed
 from repro.engine.results import MethodRun, RefreshReport, WarmStartReport
+from repro.faults import runtime as faults
 from repro.fleet.devices import DeviceSpec
 from repro.fleet.results import FleetRun
 from repro.fleet.simulator import simulate_fleet as _simulate_fleet
@@ -719,6 +720,12 @@ class AirSystem:
     ) -> RefreshReport:
         """Worker body of :meth:`refresh_async`: build shadows, swap once."""
         try:
+            # Chaos hook: a plan targeting ``engine.refresh.fail`` aborts the
+            # rebuild here, before any shadow exists -- the exact failure the
+            # serving daemon's degraded mode must absorb.  On this (or any)
+            # failure the network delta stays uncleared, so the next refresh
+            # rebuilds from the *cumulative* updates.
+            faults.fail_if("engine.refresh.fail")
             incremental: List[str] = []
             rebuilt: List[str] = []
             dropped: List[str] = []

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the serving/refresh/store path.
+
+The package splits into plain-data schedules (:mod:`~repro.faults.plan`),
+the process-global runtime production code calls into
+(:mod:`~repro.faults.runtime` -- a no-op unless a plan is installed),
+curated named scenarios (:mod:`~repro.faults.scenarios`) and the live-daemon
+chaos driver (:mod:`~repro.faults.chaos`).
+"""
+
+from repro.faults.plan import FaultClock, FaultEvent, FaultPlan, FaultSpec
+from repro.faults.runtime import (
+    FaultInjected,
+    active,
+    clear,
+    fail_if,
+    inject,
+    install,
+)
+from repro.faults.scenarios import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "FaultClock",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "SCENARIOS",
+    "active",
+    "build_scenario",
+    "clear",
+    "fail_if",
+    "inject",
+    "install",
+    "scenario_names",
+]

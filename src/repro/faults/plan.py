@@ -1,0 +1,213 @@
+"""Deterministic, seed-driven fault schedules over named injection points.
+
+A :class:`FaultPlan` is a set of :class:`FaultSpec` rules evaluated against a
+per-point tick counter (the :class:`FaultClock`).  Every time code reaches an
+injection point it calls ``plan.fire(point)``; the clock advances by one tick
+for that point and each spec matching the point decides -- deterministically,
+from the plan seed -- whether the fault fires on this tick.  Two processes
+installing the same plan with the same seed see the same decision sequence,
+which is what makes chaos runs reproducible and their reports comparable.
+
+Plans are plain data: ``to_dict()``/``from_dict()`` round-trip through JSON so
+a client can ship a plan to a live daemon over the wire (the ``chaos`` op).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+def _derive_seed(seed: int, point: str, index: int) -> int:
+    """Stable per-(spec, point) RNG seed derived from the plan seed."""
+    digest = hashlib.sha256(f"{seed}|{point}|{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One rule: *when* a named injection point should fire.
+
+    point        injection-point name (exact match), e.g. ``serving.frame.drop``.
+    after        first tick (0-based) at which the spec is eligible.
+    until        tick at which eligibility ends (exclusive); ``None`` = forever.
+    period       fire on every ``period``-th eligible tick (cadence).
+    probability  independent per-tick firing probability, decided by a
+                 deterministic per-spec RNG stream.
+    times        total firing budget; ``None`` = unlimited.
+    params       free-form parameters handed to the injection site
+                 (e.g. ``{"latency_ms": 50}``).
+    """
+
+    point: str
+    after: int = 0
+    until: Optional[int] = None
+    period: int = 1
+    probability: float = 1.0
+    times: Optional[int] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ValueError("FaultSpec.point must be a non-empty string")
+        if self.period < 1:
+            raise ValueError("FaultSpec.period must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("FaultSpec.probability must be within [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ValueError("FaultSpec.times must be >= 1 when set")
+        if self.until is not None and self.until <= self.after:
+            raise ValueError("FaultSpec.until must be > after")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "after": self.after,
+            "until": self.until,
+            "period": self.period,
+            "probability": self.probability,
+            "times": self.times,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            point=payload["point"],
+            after=int(payload.get("after", 0)),
+            until=(None if payload.get("until") is None else int(payload["until"])),
+            period=int(payload.get("period", 1)),
+            probability=float(payload.get("probability", 1.0)),
+            times=(None if payload.get("times") is None else int(payload["times"])),
+            params=dict(payload.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault decision: returned by ``FaultPlan.fire`` when a spec fires."""
+
+    point: str
+    tick: int
+    spec_index: int
+    params: Mapping[str, Any]
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+
+class FaultClock:
+    """Per-injection-point tick counters with per-spec deterministic RNGs.
+
+    The clock is what separates "the third query" from "the third frame": every
+    point advances independently, so a plan targeting
+    ``serving.frame.corrupt`` tick 10 means the tenth frame regardless of how
+    many store reads happened in between.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._ticks: Dict[str, int] = {}
+        self._rngs: Dict[Tuple[str, int], random.Random] = {}
+
+    def tick(self, point: str) -> int:
+        """Advance ``point`` by one tick and return the tick just consumed."""
+        current = self._ticks.get(point, 0)
+        self._ticks[point] = current + 1
+        return current
+
+    def rng(self, point: str, spec_index: int) -> random.Random:
+        key = (point, spec_index)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = random.Random(_derive_seed(self.seed, point, spec_index))
+            self._rngs[key] = rng
+        return rng
+
+    def ticks(self, point: str) -> int:
+        return self._ticks.get(point, 0)
+
+    def points(self) -> List[str]:
+        """Every point that has ticked at least once."""
+        return sorted(self._ticks)
+
+
+class FaultPlan:
+    """A seeded set of fault specs plus the runtime state to evaluate them.
+
+    ``fire`` is thread-safe: the serving daemon evaluates plans from the
+    asyncio loop thread and worker processes evaluate their own copies, each
+    with an independent clock.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        self._clock = FaultClock(seed)
+        self._fired: Dict[int, int] = {}
+        self._events: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def fire(self, point: str, **context: Any) -> Optional[FaultEvent]:
+        """Consume one tick of ``point``; return the firing event, if any.
+
+        The first matching spec wins.  ``context`` keys are merged under the
+        spec params (spec params take precedence) so injection sites can pass
+        site-specific data through to handlers.
+        """
+        with self._lock:
+            tick = self._clock.tick(point)
+            for index, spec in enumerate(self.specs):
+                if spec.point != point:
+                    continue
+                if tick < spec.after:
+                    continue
+                if spec.until is not None and tick >= spec.until:
+                    continue
+                if (tick - spec.after) % spec.period != 0:
+                    continue
+                budget = self._fired.get(index, 0)
+                if spec.times is not None and budget >= spec.times:
+                    continue
+                if spec.probability < 1.0:
+                    rng = self._clock.rng(point, index)
+                    if rng.random() >= spec.probability:
+                        continue
+                self._fired[index] = budget + 1
+                self._events[point] = self._events.get(point, 0) + 1
+                params = dict(context)
+                params.update(spec.params)
+                return FaultEvent(point=point, tick=tick, spec_index=index, params=params)
+            return None
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Ticks seen and faults fired, per injection point."""
+        with self._lock:
+            points = sorted(
+                {spec.point for spec in self.specs}
+                | set(self._events)
+                | set(self._clock.points())
+            )
+            return {
+                "seed": self.seed,
+                "ticks": {p: self._clock.ticks(p) for p in points if self._clock.ticks(p)},
+                "fired": dict(sorted(self._events.items())),
+                "total_fired": sum(self._events.values()),
+            }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        specs = [FaultSpec.from_dict(item) for item in payload.get("specs", [])]
+        return cls(specs, seed=int(payload.get("seed", 0)))

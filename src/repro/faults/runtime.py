@@ -1,0 +1,69 @@
+"""Process-global fault-injection runtime.
+
+Production code threads injection points through hot paths as bare calls:
+
+    event = faults.inject("serving.frame.corrupt", op=op)
+    if event is not None:
+        ...
+
+With no plan installed (the default, and the production configuration)
+``inject`` is a single attribute load plus a ``None`` check -- there is no
+schedule evaluation, no locking, and no measurable overhead on the serving
+path.  Installing a plan (tests, the ``chaos`` CLI, the resilience benchmark)
+turns the same call sites into deterministic fault sources.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from .plan import FaultEvent, FaultPlan
+
+_active: Optional[FaultPlan] = None
+_lock = threading.Lock()
+
+
+class FaultInjected(RuntimeError):
+    """Raised by ``fail_if`` sites when their injection point fires."""
+
+    def __init__(self, event: FaultEvent) -> None:
+        super().__init__(f"injected fault at {event.point} (tick {event.tick})")
+        self.event = event
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-global active plan and return it."""
+    global _active
+    with _lock:
+        _active = plan
+    return plan
+
+
+def clear() -> None:
+    """Remove the active plan; all injection points become no-ops again."""
+    global _active
+    with _lock:
+        _active = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _active
+
+
+def inject(point: str, **context: Any) -> Optional[FaultEvent]:
+    """Evaluate ``point`` against the active plan; ``None`` when quiet."""
+    plan = _active
+    if plan is None:
+        return None
+    return plan.fire(point, **context)
+
+
+def fail_if(point: str, **context: Any) -> None:
+    """Raise :class:`FaultInjected` when ``point`` fires; otherwise no-op."""
+    plan = _active
+    if plan is None:
+        return
+    event = plan.fire(point, **context)
+    if event is not None:
+        raise FaultInjected(event)

@@ -1,0 +1,104 @@
+"""Named chaos scenarios: curated fault schedules for the serving path.
+
+Each scenario is a factory from a seed to a :class:`FaultPlan`.  The names are
+stable CLI/CI surface (``repro chaos --scenario worker-churn``); tune their
+shape here rather than in call sites so a scenario name always means the same
+schedule.
+
+Tick units are per-injection-point events (see ``FaultClock``): frame faults
+tick once per data-path response frame, ``serving.worker.kill`` once per
+dispatched data-path request, ``engine.refresh.fail`` once per refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .plan import FaultPlan, FaultSpec
+
+ScenarioFactory = Callable[[int], FaultPlan]
+
+SCENARIOS: Dict[str, ScenarioFactory] = {}
+
+
+def scenario(name: str) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    def register(factory: ScenarioFactory) -> ScenarioFactory:
+        SCENARIOS[name] = factory
+        return factory
+
+    return register
+
+
+def build_scenario(name: str, seed: int = 0) -> FaultPlan:
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown chaos scenario {name!r} (known: {known})") from None
+    return factory(seed)
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+@scenario("smoke")
+def _smoke(seed: int) -> FaultPlan:
+    """CI-sized: a couple of worker kills, sparse frame faults, one failed
+    refresh -- enough to exercise every recovery path in a short burst."""
+    return FaultPlan(
+        [
+            FaultSpec("serving.worker.kill", after=10, period=40, times=2),
+            FaultSpec("serving.frame.corrupt", after=5, probability=0.01, times=3),
+            FaultSpec("serving.frame.truncate", after=8, probability=0.01, times=2),
+            FaultSpec("serving.frame.drop", after=12, probability=0.01, times=2),
+            FaultSpec("engine.refresh.fail", times=1),
+        ],
+        seed=seed,
+    )
+
+
+@scenario("worker-churn")
+def _worker_churn(seed: int) -> FaultPlan:
+    """Kill a worker mid-request on a steady cadence; nothing else."""
+    return FaultPlan(
+        [FaultSpec("serving.worker.kill", after=20, period=60)],
+        seed=seed,
+    )
+
+
+@scenario("frame-chaos")
+def _frame_chaos(seed: int) -> FaultPlan:
+    """Aggressive protocol-layer damage: drops, truncations, bit flips."""
+    return FaultPlan(
+        [
+            FaultSpec("serving.frame.drop", probability=0.02),
+            FaultSpec("serving.frame.truncate", probability=0.02),
+            FaultSpec("serving.frame.corrupt", probability=0.03),
+        ],
+        seed=seed,
+    )
+
+
+@scenario("slow-network")
+def _slow_network(seed: int) -> FaultPlan:
+    """Latency injection on the response path: exercises client deadlines."""
+    return FaultPlan(
+        [FaultSpec("serving.latency_ms", probability=0.10, params={"latency_ms": 40})],
+        seed=seed,
+    )
+
+
+@scenario("refresh-degraded")
+def _refresh_degraded(seed: int) -> FaultPlan:
+    """Fail the next shadow rebuild: exercises degraded (stale) serving."""
+    return FaultPlan([FaultSpec("engine.refresh.fail", times=1)], seed=seed)
+
+
+@scenario("hung-worker")
+def _hung_worker(seed: int) -> FaultPlan:
+    """Make one request hang inside a worker: exercises hang eviction."""
+    return FaultPlan(
+        [FaultSpec("worker.hang_ms", after=15, times=1, params={"hang_ms": 120_000})],
+        seed=seed,
+    )

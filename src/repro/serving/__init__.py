@@ -19,8 +19,10 @@ Operational behaviour the tests pin down:
 * shutdown is graceful and idempotent.
 """
 
+from repro.serving.breaker import CircuitBreaker, CircuitOpenError
 from repro.serving.client import LoadReport, ServingClient, run_load
 from repro.serving.protocol import (
+    DeadlineExceeded,
     ProtocolError,
     ServerBusy,
     ServerError,
@@ -28,12 +30,16 @@ from repro.serving.protocol import (
     write_frame,
 )
 from repro.serving.server import AirServer, ServeConfig, ServerHandle
-from repro.serving.shm import SharedArtifactSegment
+from repro.serving.shm import SegmentIntegrityError, SharedArtifactSegment
 
 __all__ = [
     "AirServer",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceeded",
     "LoadReport",
     "ProtocolError",
+    "SegmentIntegrityError",
     "ServeConfig",
     "ServerBusy",
     "ServerError",

@@ -1,0 +1,111 @@
+"""Client-side circuit breaker: stop hammering a daemon that stopped answering.
+
+Classic three-state machine. **Closed** passes every call and counts
+consecutive transport failures; at ``failure_threshold`` it **opens** and
+fails calls instantly (:class:`CircuitOpenError`, with honest retry advice)
+without touching the socket.  After ``reset_after_s`` the breaker goes
+**half-open**: exactly one probe call is let through -- success closes the
+circuit, failure re-opens it and restarts the cooldown.  Only transport
+failures (connection errors, deadline expiry) trip the breaker; a ``busy``
+or ``error`` *response* proves the server is alive and counts as success.
+
+The breaker is deliberately shared-nothing with the server: it protects the
+client's own latency budget (fail in microseconds instead of burning a full
+timeout per doomed call) and sheds reconnect load from a struggling daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(ConnectionError):
+    """The breaker is open: the call was refused without touching the wire."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"circuit open, retry in {max(retry_after_s, 0.0):.2f}s")
+        self.retry_after_s = max(retry_after_s, 0.0)
+
+
+class CircuitBreaker:
+    """Three-state breaker with a single half-open probe (thread-safe)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s <= 0:
+            raise ValueError("reset_after_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Lifetime counters, surfaced by load reports.
+        self.rejections = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when open.
+
+        In half-open state exactly one caller is admitted as the probe;
+        everyone else is rejected until the probe reports back.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return
+            now = self._clock()
+            if self._state == self.OPEN:
+                remaining = self._opened_at + self.reset_after_s - now
+                if remaining > 0:
+                    self.rejections += 1
+                    raise CircuitOpenError(remaining)
+                self._state = self.HALF_OPEN
+                self._probe_inflight = False
+            if self._probe_inflight:
+                self.rejections += 1
+                raise CircuitOpenError(self.reset_after_s)
+            self._probe_inflight = True
+
+    def record_success(self) -> None:
+        """The gated call got an answer: close (or stay closed)."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """The gated call failed at the transport layer."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                # The probe failed: straight back to open, cooldown restarts.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self.trips += 1
+                return
+            self._failures += 1
+            if self._state == self.CLOSED and self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1

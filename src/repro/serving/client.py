@@ -10,6 +10,21 @@ list of source/target pairs over ``concurrency`` client connections,
 honours ``busy`` backpressure with the server's own retry advice, and
 reports wall-clock throughput plus client-side latency percentiles as a
 :class:`LoadReport`.
+
+Failure semantics (the client side of the resilience contract):
+
+* every socket wait is bounded -- a dead or hung server surfaces within
+  ``timeout`` as a typed exception, never as an indefinite block;
+* a timeout waiting for a response to *start* raises
+  :class:`~repro.serving.protocol.DeadlineExceeded`; a peer that dies or
+  stalls *mid-frame* raises the ``ConnectionError``-derived
+  :class:`~repro.serving.protocol.ProtocolError`;
+* per-call ``deadline_ms`` both caps the socket wait and travels in the
+  request, so the server stops burning worker time on requests whose
+  client already gave up;
+* an optional :class:`~repro.serving.breaker.CircuitBreaker` fails calls
+  in microseconds while the daemon is down instead of burning a timeout
+  per attempt, and re-probes on its half-open schedule.
 """
 
 from __future__ import annotations
@@ -22,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.serving import protocol
+from repro.serving.breaker import CircuitBreaker
 from repro.stats import percentile
 
 __all__ = ["LoadReport", "ServingClient", "run_load"]
@@ -32,27 +48,44 @@ __all__ = ["LoadReport", "ServingClient", "run_load"]
 Address = Union[str, Tuple]
 
 
-def _connect(address: Address) -> socket.socket:
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
     if isinstance(address, str):
         address = ("unix", address)
     kind = address[0]
     if kind == "unix":
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.connect(address[1])
+        if timeout is not None:
+            sock.settimeout(timeout)
+        try:
+            sock.connect(address[1])
+        except OSError:
+            sock.close()
+            raise
     elif kind == "tcp":
-        sock = socket.create_connection((address[1], address[2]))
+        sock = socket.create_connection((address[1], address[2]), timeout=timeout)
     else:
         raise ValueError(f"unknown address kind {kind!r}")
     return sock
 
 
 class ServingClient:
-    """One blocking connection to an :class:`~repro.serving.server.AirServer`."""
+    """One blocking connection to an :class:`~repro.serving.server.AirServer`.
 
-    def __init__(self, address: Address, timeout: Optional[float] = 120.0) -> None:
-        self._sock = _connect(address)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
+    ``timeout`` bounds every socket operation including the initial connect;
+    ``breaker`` (optional) short-circuits calls while the daemon is known to
+    be down -- transport failures trip it, any framed response (even ``busy``
+    or ``error``) proves liveness and resets it.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: Optional[float] = 120.0,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        self._timeout = timeout
+        self._breaker = breaker
+        self._sock = _connect(address, timeout)
 
     def __enter__(self) -> "ServingClient":
         return self
@@ -69,12 +102,54 @@ class ServingClient:
     # ------------------------------------------------------------------
     # Request plumbing
     # ------------------------------------------------------------------
-    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        """One raw request/response round trip; raises on non-``ok``."""
-        protocol.write_frame(self._sock, request)
-        response = protocol.read_frame(self._sock)
-        if response is None:
-            raise protocol.ProtocolError("server closed the connection")
+    def call(
+        self, request: Dict[str, Any], deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One raw request/response round trip; raises on non-``ok``.
+
+        With ``deadline_ms``, the socket wait is capped at the deadline (in
+        addition to the connection timeout) and the budget is stamped into
+        the request so the server can propagate it to workers and stop
+        spending compute on an abandoned request.  A response that fails to
+        *start* within the budget raises
+        :class:`~repro.serving.protocol.DeadlineExceeded`; one that starts
+        and stalls raises :class:`~repro.serving.protocol.ProtocolError`.
+        """
+        if self._breaker is not None:
+            self._breaker.before_call()
+        restore_timeout = False
+        try:
+            if deadline_ms is not None:
+                request = {**request, "deadline_ms": float(deadline_ms)}
+                budget_s = max(deadline_ms, 0.0) / 1000.0
+                if self._timeout is None or budget_s < self._timeout:
+                    self._sock.settimeout(budget_s)
+                    restore_timeout = True
+            try:
+                protocol.write_frame(self._sock, request)
+                response = protocol.read_frame(self._sock)
+            except protocol.ProtocolError:
+                raise
+            except TimeoutError:
+                raise protocol.DeadlineExceeded(
+                    f"no response within "
+                    f"{deadline_ms if deadline_ms is not None else (self._timeout or 0) * 1000.0:.0f} ms"
+                ) from None
+            except OSError as exc:
+                raise protocol.ProtocolError(f"transport failure: {exc}") from exc
+            if response is None:
+                raise protocol.ProtocolError("server closed the connection")
+        except (protocol.ProtocolError, protocol.DeadlineExceeded):
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        finally:
+            if restore_timeout:
+                self._sock.settimeout(self._timeout)
+        if self._breaker is not None:
+            # Any framed response -- ok, busy or error -- proves the server
+            # is alive; only transport failures count against the breaker.
+            self._breaker.record_success()
         return protocol.raise_for_status(response)
 
     def call_with_retry(
@@ -195,6 +270,9 @@ class LoadReport:
     requests: int = 0
     errors: int = 0
     busy_retries: int = 0
+    deadline_misses: int = 0
+    reconnects: int = 0
+    stale_responses: int = 0
     duration_s: float = 0.0
     qps: float = 0.0
     latency_ms: Dict[str, float] = field(default_factory=dict)
@@ -206,6 +284,9 @@ class LoadReport:
             "requests": self.requests,
             "errors": self.errors,
             "busy_retries": self.busy_retries,
+            "deadline_misses": self.deadline_misses,
+            "reconnects": self.reconnects,
+            "stale_responses": self.stale_responses,
             "duration_s": self.duration_s,
             "qps": self.qps,
             "latency_ms": dict(self.latency_ms),
@@ -220,6 +301,8 @@ def run_load(
     concurrency: int = 4,
     tune_in_offset: Optional[int] = 0,
     max_retries: int = 200,
+    deadline_ms: Optional[float] = None,
+    timeout: Optional[float] = 120.0,
 ) -> LoadReport:
     """Drive ``pairs`` through the daemon from ``concurrency`` connections.
 
@@ -227,6 +310,12 @@ def run_load(
     on ``busy`` with the server's advice.  Latencies are wall-clock per
     request (including retries), so the percentiles reflect what a real
     client experiences under the configured pressure.
+
+    A connection that fails at the transport layer (server restart, torn
+    frame) is re-established and the driver moves on to its next pair, so a
+    flaky daemon costs errors in the report, never a silently-truncated
+    run.  With ``deadline_ms`` every request carries that end-to-end
+    budget; expiries count as ``deadline_misses``.
     """
     concurrency = max(1, min(concurrency, len(pairs) or 1))
     slices: List[List[Tuple[int, int]]] = [[] for _ in range(concurrency)]
@@ -236,41 +325,78 @@ def run_load(
     lock = threading.Lock()
     latencies: List[float] = []
     workers: Dict[str, int] = {}
-    counters = {"requests": 0, "errors": 0, "busy_retries": 0}
+    counters = {
+        "requests": 0,
+        "errors": 0,
+        "busy_retries": 0,
+        "deadline_misses": 0,
+        "reconnects": 0,
+        "stale_responses": 0,
+    }
 
     def drive(batch: List[Tuple[int, int]]) -> None:
-        client = ServingClient(address)
+        client: Optional[ServingClient] = ServingClient(address, timeout=timeout)
         try:
             for source, target in batch:
+                if client is None:
+                    try:
+                        client = ServingClient(address, timeout=timeout)
+                        with lock:
+                            counters["reconnects"] += 1
+                    except OSError:
+                        with lock:
+                            counters["errors"] += 1
+                        continue
+                request = {
+                    "op": "query",
+                    "method": method,
+                    "source": int(source),
+                    "target": int(target),
+                    **(
+                        {"tune_in_offset": int(tune_in_offset)}
+                        if tune_in_offset is not None
+                        else {}
+                    ),
+                }
                 started = time.perf_counter()
                 try:
-                    response, retries = client.call_with_retry(
-                        {
-                            "op": "query",
-                            "method": method,
-                            "source": int(source),
-                            "target": int(target),
-                            **(
-                                {"tune_in_offset": int(tune_in_offset)}
-                                if tune_in_offset is not None
-                                else {}
-                            ),
-                        },
-                        max_retries=max_retries,
-                    )
+                    if deadline_ms is None:
+                        response, retries = client.call_with_retry(
+                            request, max_retries=max_retries
+                        )
+                    else:
+                        response, retries = client.call(request, deadline_ms=deadline_ms), 0
+                except protocol.DeadlineExceeded:
+                    with lock:
+                        counters["errors"] += 1
+                        counters["deadline_misses"] += 1
+                    # A late answer to this request may still arrive on the
+                    # connection; drop it rather than desync request/response.
+                    client.close()
+                    client = None
+                    continue
                 except (protocol.ServerBusy, protocol.ServerError):
                     with lock:
                         counters["errors"] += 1
+                    continue
+                except (protocol.ProtocolError, OSError):
+                    with lock:
+                        counters["errors"] += 1
+                    client.close()
+                    client = None
                     continue
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 with lock:
                     counters["requests"] += 1
                     counters["busy_retries"] += retries
+                    if response.get("stale"):
+                        counters["stale_responses"] += 1
                     latencies.append(elapsed_ms)
                     worker = str(response.get("worker"))
                     workers[worker] = workers.get(worker, 0) + 1
         finally:
-            client.close()
+            if client is not None:
+                client.close()
 
     threads = [
         threading.Thread(target=drive, args=(batch,), daemon=True)
@@ -288,6 +414,9 @@ def run_load(
         requests=counters["requests"],
         errors=counters["errors"],
         busy_retries=counters["busy_retries"],
+        deadline_misses=counters["deadline_misses"],
+        reconnects=counters["reconnects"],
+        stale_responses=counters["stale_responses"],
         duration_s=duration,
         qps=(counters["requests"] / duration) if duration > 0 else 0.0,
         workers=workers,

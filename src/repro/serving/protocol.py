@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "DeadlineExceeded",
     "ProtocolError",
     "ServerBusy",
     "ServerError",
@@ -49,6 +50,16 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 class ProtocolError(ConnectionError):
     """Malformed frame or unexpectedly closed peer."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's end-to-end deadline expired before an answer arrived.
+
+    Raised client-side when the socket times out waiting for a response,
+    and translated from server responses carrying ``error_kind: deadline``
+    (the server gave up on a dispatched request whose budget ran out).
+    ``TimeoutError``-derived so generic timeout handling still applies.
+    """
 
 
 class ServerError(RuntimeError):
@@ -93,7 +104,17 @@ def write_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
 def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
     chunks = bytearray()
     while len(chunks) < count:
-        chunk = sock.recv(count - len(chunks))
+        try:
+            chunk = sock.recv(count - len(chunks))
+        except TimeoutError:
+            if chunks:
+                # The peer sent part of a frame and stalled: a torn frame is
+                # a protocol failure, not a quiet socket -- surface it typed
+                # instead of letting a raw timeout escape mid-read.
+                raise ProtocolError(
+                    f"timed out mid-frame after {len(chunks)}/{count} bytes"
+                ) from None
+            raise
         if not chunk:
             return None
         chunks += chunk
@@ -101,14 +122,26 @@ def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
 
 
 def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    """Read one frame from a blocking socket; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` when the peer closes or stalls *inside* a
+    frame (half-written frames must never hang a reader past its socket
+    timeout); a timeout while waiting for the frame to *start* propagates
+    as ``TimeoutError`` for the caller's deadline handling.
+    """
     prefix = _recv_exactly(sock, _LENGTH.size)
     if prefix is None:
         return None
     (length,) = _LENGTH.unpack(prefix)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds the maximum")
-    payload = _recv_exactly(sock, length)
+    try:
+        payload = _recv_exactly(sock, length)
+    except TimeoutError:
+        # The length prefix arrived but the payload never did: mid-frame.
+        raise ProtocolError(
+            f"timed out mid-frame waiting for a {length}-byte payload"
+        ) from None
     if payload is None:
         raise ProtocolError("connection closed mid-frame")
     return _decode_payload(payload)
@@ -140,5 +173,7 @@ def raise_for_status(response: Dict[str, Any]) -> Dict[str, Any]:
     if status == "busy":
         raise ServerBusy(float(response.get("retry_after_ms", 50.0)))
     if status == "error":
+        if response.get("error_kind") == "deadline":
+            raise DeadlineExceeded(str(response.get("error", "deadline exceeded")))
         raise ServerError(str(response.get("error", "unknown server error")))
     raise ProtocolError(f"malformed response status: {status!r}")

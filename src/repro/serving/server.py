@@ -27,7 +27,24 @@ Operational contract:
   The old segment is unlinked once every worker has acknowledged.
 * **Crash safety.**  A liveness monitor respawns dead workers and
   re-dispatches their un-answered requests to the replacement, so a crash
-  costs latency, never a wrong answer.
+  costs latency, never a wrong answer.  The same monitor evicts *hung*
+  workers -- a pending request older than ``hang_timeout_s`` or a missed
+  heartbeat probe gets the worker SIGKILLed and respawned; its stuck
+  requests are answered with a typed error (never replayed, in case the
+  request itself is the poison).
+* **Deadlines.**  A request carrying ``deadline_ms`` is timed from the
+  moment the server reads it: the absolute monotonic expiry travels to the
+  worker (which refuses to start expired work) and the front end answers
+  ``error_kind: deadline`` the instant the budget runs out, instead of
+  holding the connection for an answer the client no longer wants.
+* **Degraded refresh.**  A refresh whose rebuild or re-publication fails
+  keeps the daemon serving the *previous* cycle: the old segment stays
+  mapped, data responses carry ``"stale": true`` until a later refresh
+  succeeds, and the refresh call reports ``degraded`` instead of erroring.
+* **Fault injection.**  Named injection points (frame drop/truncate/
+  corrupt, latency, worker SIGKILL mid-request) are threaded through the
+  hot path behind :mod:`repro.faults` -- single ``None`` checks unless a
+  chaos plan is installed via the ``chaos`` admin op.
 * **Shutdown.**  ``stop()`` drains workers with an exit message, joins
   them, and releases the segment; it is idempotent (double shutdown is a
   no-op) and also runs on ``shutdown`` requests from clients.
@@ -40,6 +57,7 @@ import dataclasses
 import itertools
 import multiprocessing
 import os
+import signal
 import tempfile
 import threading
 import uuid
@@ -48,14 +66,25 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.system import AirSystem
 from repro.experiments import ExperimentConfig
+from repro.faults import runtime as faults
+from repro.faults.plan import FaultPlan
 from repro.partitioning.base import Partitioning
 from repro.partitioning.kdtree import KDTreePartitioner
 from repro.serving import protocol
-from repro.serving.shm import SharedArtifactSegment, mapping_stats, process_rss_kb
+from repro.serving.shm import (
+    SegmentIntegrityError,
+    SharedArtifactSegment,
+    mapping_stats,
+    process_rss_kb,
+)
 from repro.serving.worker import worker_main
 from repro.store import ArtifactStore
 
 __all__ = ["ServeConfig", "AirServer", "ServerHandle"]
+
+#: Ops dispatched to workers; also the ops fault-injection and staleness
+#: stamping apply to (admin/control ops must stay reliable under chaos).
+_DATA_OPS = ("query", "query_batch", "fleet")
 
 
 @dataclass(frozen=True)
@@ -92,6 +121,13 @@ class ServeConfig:
     #: Worker start method; ``fork`` warm-starts in milliseconds, ``spawn``
     #: is the portable fallback.
     start_method: str = "fork"
+    #: Oldest-pending age (seconds) past which a live-but-silent worker is
+    #: SIGKILLed and respawned (hang eviction).
+    hang_timeout_s: float = 30.0
+    #: Idle-worker heartbeat cadence: with no pending requests, a ping probe
+    #: is dispatched this often so an idle-hung worker still ages past
+    #: ``hang_timeout_s`` instead of playing dead forever.
+    heartbeat_interval_s: float = 2.0
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(
@@ -112,12 +148,22 @@ class _Worker:
     worker_id: int
     process: Any
     conn: Any
-    #: request id -> (future, original request) for everything in flight.
-    pending: Dict[int, Tuple[asyncio.Future, Dict[str, Any]]] = field(default_factory=dict)
+    #: request id -> (future, original request, dispatch time) in flight.
+    pending: Dict[int, Tuple[asyncio.Future, Dict[str, Any], float]] = field(
+        default_factory=dict
+    )
+    #: When the last idle heartbeat probe was dispatched (loop time).
+    last_probe_at: float = 0.0
 
     @property
     def depth(self) -> int:
         return len(self.pending)
+
+    def oldest_pending_age(self, now: float) -> float:
+        """Age of the longest-waiting in-flight request, 0 when idle."""
+        if not self.pending:
+            return 0.0
+        return now - min(entry[2] for entry in self.pending.values())
 
 
 class AirServer:
@@ -133,6 +179,17 @@ class AirServer:
         self.respawns = 0
         self.busy_rejections = 0
         self.requests_dispatched = 0
+        self.hang_evictions = 0
+        self.deadline_rejections = 0
+        self.refresh_failures = 0
+        #: Degraded mode: a failed refresh keeps the old cycle serving with
+        #: this flag set; data responses carry ``"stale": true`` until a
+        #: later refresh succeeds.
+        self.stale = False
+        self.degraded_reason: Optional[str] = None
+        #: Recent worker recoveries: ``{worker, detected, restored, mttr_s}``
+        #: with loop-time stamps; bounded to the last 64 entries.
+        self.respawn_log: List[Dict[str, Any]] = []
         self._partitioning: Optional[Partitioning] = None
         self._mp = multiprocessing.get_context(config.start_method)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -264,7 +321,7 @@ class AirServer:
         loop = asyncio.get_running_loop()
         request_id = next(self._request_ids)
         future = loop.create_future()
-        worker.pending[request_id] = (future, request)
+        worker.pending[request_id] = (future, request, loop.time())
         self.requests_dispatched += 1
         try:
             worker.conn.send({**request, "id": request_id})
@@ -305,24 +362,93 @@ class AirServer:
                 "status": "busy",
                 "retry_after_ms": self.config.retry_after_ms,
             }
-        return await self._submit(worker, request)
+        loop = asyncio.get_running_loop()
+        deadline_at: Optional[float] = None
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None:
+            # Absolute monotonic expiry: loop.time() is CLOCK_MONOTONIC,
+            # comparable across forked workers on Linux, so the worker can
+            # refuse to start work the client already abandoned.
+            deadline_at = loop.time() + float(deadline_ms) / 1000.0
+            request = {**request, "deadline_at": deadline_at}
+        future = self._submit(worker, request)
+        kill = faults.inject("serving.worker.kill", op=request.get("op"))
+        if kill is not None:
+            # SIGKILL the worker with this request in flight: the monitor
+            # must detect, respawn and replay for the answer to ever arrive.
+            try:
+                os.kill(worker.process.pid, signal.SIGKILL)
+            except (ProcessLookupError, TypeError):  # pragma: no cover - race
+                pass
+        if deadline_at is None:
+            response = await future
+        else:
+            try:
+                response = await asyncio.wait_for(
+                    future, timeout=max(deadline_at - loop.time(), 0.0)
+                )
+            except asyncio.TimeoutError:
+                # The cancelled future stays in ``pending``; the drain and
+                # replay paths skip done futures, so a late worker answer is
+                # discarded instead of resurrecting the request.
+                self.deadline_rejections += 1
+                return {
+                    "status": "error",
+                    "error": f"deadline of {float(deadline_ms):.0f} ms expired",
+                    "error_kind": "deadline",
+                }
+        if self.stale and response.get("status") == "ok":
+            response = {**response, "stale": True}
+        return response
 
     # ------------------------------------------------------------------
     # Liveness monitor and respawn
     # ------------------------------------------------------------------
     async def _monitor(self) -> None:
-        """Detect dead workers and respawn them, re-dispatching their load."""
+        """Liveness loop: respawn the dead, evict the hung, probe the idle.
+
+        Dead workers (process gone) are respawned and their un-answered
+        requests replayed on the replacement.  *Hung* workers -- alive but
+        silent past ``hang_timeout_s`` on their oldest in-flight request --
+        are SIGKILLed with their pendings answered by a typed
+        ``worker_evicted`` error and **not** replayed: a request that hangs
+        one worker must not be given the chance to hang its replacement.
+        Idle workers get a heartbeat ping every ``heartbeat_interval_s`` so
+        an idle-hung worker accumulates a pending probe and ages into
+        eviction like any other hang.
+        """
+        loop = asyncio.get_running_loop()
         while not self._stopping:
             await asyncio.sleep(0.15)
             for index, worker in enumerate(list(self.workers)):
-                if self._stopping or worker.process.is_alive():
+                if self._stopping:
+                    break
+                if worker.process.is_alive():
+                    now = loop.time()
+                    if worker.pending:
+                        if worker.oldest_pending_age(now) > self.config.hang_timeout_s:
+                            self._evict(worker)
+                    elif now - worker.last_probe_at > self.config.heartbeat_interval_s:
+                        worker.last_probe_at = now
+                        self._submit(worker, {"op": "ping", "_probe": True})
                     continue
+                detected = loop.time()
                 self.respawns += 1
                 replacement = await self._respawn(worker)
                 if replacement is None:
                     continue
+                restored = loop.time()
+                self.respawn_log.append(
+                    {
+                        "worker": worker.worker_id,
+                        "detected": detected,
+                        "restored": restored,
+                        "mttr_s": restored - detected,
+                    }
+                )
+                del self.respawn_log[:-64]
                 self.workers[index] = replacement
-                for future, request in worker.pending.values():
+                for future, request, _dispatched in worker.pending.values():
                     if future.done():
                         continue
                     if request.get("op") == "_crash":
@@ -335,13 +461,40 @@ class AirServer:
                         self._relay(request, future, replacement)
                 worker.pending.clear()
 
+    def _evict(self, worker: _Worker) -> None:
+        """SIGKILL a hung worker; answer (don't replay) its stuck requests."""
+        self.hang_evictions += 1
+        for future, _request, _dispatched in worker.pending.values():
+            if not future.done():
+                future.set_result(
+                    {
+                        "status": "error",
+                        "error": f"worker {worker.worker_id} evicted "
+                        f"(hung past {self.config.hang_timeout_s:.0f}s)",
+                        "error_kind": "worker_evicted",
+                    }
+                )
+        worker.pending.clear()
+        try:
+            os.kill(worker.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, TypeError):  # pragma: no cover - race
+            pass
+        # The next monitor pass sees the dead process and respawns it.
+
     def _relay(
         self, request: Dict[str, Any], future: asyncio.Future, worker: _Worker
     ) -> None:
         replay = self._submit(worker, request)
-        replay.add_done_callback(
-            lambda done: future.done() or future.set_result(done.result())
-        )
+
+        def _forward(done: asyncio.Future) -> None:
+            if future.done():
+                return
+            if done.cancelled():
+                future.cancel()
+            else:
+                future.set_result(done.result())
+
+        replay.add_done_callback(_forward)
 
     async def _respawn(self, worker: _Worker) -> Optional[_Worker]:
         loop = asyncio.get_running_loop()
@@ -387,7 +540,20 @@ class AirServer:
                 report = self.system.refresh_async().wait()
                 return report, self._publish_segment()
 
-            report, new_segment = await loop.run_in_executor(None, _rebuild)
+            try:
+                report, new_segment = await loop.run_in_executor(None, _rebuild)
+            except Exception as exc:
+                # Degrade, don't die: the old segment keeps serving (the
+                # engine left the network delta uncleared, so the *next*
+                # refresh rebuilds from the cumulative updates), and data
+                # responses carry the staleness flag until one succeeds.
+                return self._degrade(f"{type(exc).__name__}: {exc}")
+            try:
+                new_segment.verify()
+            except SegmentIntegrityError as exc:
+                new_segment.unlink()
+                new_segment.close()
+                return self._degrade(str(exc))
             old_segment, self.segment = self.segment, new_segment
             # The swap bypasses the backpressure bound: FIFO pipes guarantee
             # queued requests finish on the old cycle first, and a full
@@ -405,6 +571,8 @@ class AirServer:
                 for result in results
                 if isinstance(result, dict) and result.get("status") == "ok"
             )
+            self.stale = False
+            self.degraded_reason = None
             return {
                 "status": "ok",
                 "fingerprint": self.system.network.fingerprint(),
@@ -415,6 +583,21 @@ class AirServer:
                 "rebuilt": list(report.rebuilt),
                 "num_changes": report.num_changes,
             }
+
+    def _degrade(self, reason: str) -> Dict[str, Any]:
+        """Enter degraded mode after a failed refresh: old cycle, flagged."""
+        self.stale = True
+        self.degraded_reason = reason
+        self.refresh_failures += 1
+        return {
+            "status": "ok",
+            "degraded": True,
+            "stale": True,
+            "error": reason,
+            "fingerprint": self.segment.fingerprint if self.segment else None,
+            "generation": self.generation,
+            "workers_swapped": 0,
+        }
 
     # ------------------------------------------------------------------
     # Front end
@@ -431,18 +614,49 @@ class AirServer:
                 if request is None:
                     break
                 response = await self._handle_request(request)
-                writer.write(protocol.encode_frame(response))
+                frame = protocol.encode_frame(response)
+                closing = False
+                if faults.active() is not None and request.get("op") in _DATA_OPS:
+                    frame, closing, dropped = await self._damage_frame(frame)
+                    if dropped:
+                        continue
+                writer.write(frame)
                 await writer.drain()
-                if request.get("op") == "shutdown":
+                if closing or request.get("op") == "shutdown":
                     break
         except ConnectionError:  # pragma: no cover - client vanished
             pass
         finally:
             writer.close()
 
+    async def _damage_frame(self, frame: bytes) -> Tuple[bytes, bool, bool]:
+        """Apply protocol-layer fault points to one outgoing data frame.
+
+        Returns ``(frame, close_after_write, drop)``.  Only data-path
+        responses are damaged (``_DATA_OPS``): admin and chaos-control ops
+        must stay reachable under any plan, or a chaos run could never be
+        stopped.  ``drop`` swallows the response entirely (client deadline
+        territory); ``truncate`` writes a half frame then closes (the
+        client's mid-frame ``ProtocolError``); ``corrupt`` flips the first
+        payload byte, guaranteeing a JSON parse failure rather than a
+        silently-altered answer.
+        """
+        latency = faults.inject("serving.latency_ms")
+        if latency is not None:
+            await asyncio.sleep(float(latency.param("latency_ms", 25.0)) / 1000.0)
+        if faults.inject("serving.frame.drop") is not None:
+            return frame, False, True
+        if faults.inject("serving.frame.truncate") is not None:
+            return frame[: max(5, len(frame) // 2)], True, False
+        if faults.inject("serving.frame.corrupt") is not None:
+            damaged = bytearray(frame)
+            damaged[4] ^= 0xFF
+            return bytes(damaged), False, False
+        return frame, False, False
+
     async def _handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         op = request.get("op")
-        if op in ("query", "query_batch", "fleet"):
+        if op in _DATA_OPS:
             return await self._dispatch(request)
         if op == "ping":
             return {"status": "ok", "generation": self.generation}
@@ -450,12 +664,55 @@ class AirServer:
             return self._info()
         if op == "refresh":
             return await self._refresh(request)
+        if op == "chaos":
+            return await self._chaos(request)
         if op == "crash_worker":
             return self._crash_worker(request)
         if op == "shutdown":
             asyncio.get_running_loop().create_task(self.stop())
             return {"status": "ok", "stopping": True}
         return {"status": "error", "error": f"unknown op {op!r}"}
+
+    async def _chaos(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Admin op: install/clear/inspect a fault plan, server *and* workers.
+
+        Install parses the JSON plan once here (a malformed plan is rejected
+        before anything changes) and forwards the raw dict to every worker,
+        each of which builds its own instance -- same seed, private clock,
+        so per-worker decision streams are deterministic.  Workers forked
+        *after* an install (respawns) inherit the server plan through fork.
+        """
+        action = request.get("action", "install")
+        if action == "stats":
+            plan = faults.active()
+            return {"status": "ok", "faults": plan.stats() if plan else {}}
+        if action == "install":
+            plan_dict = request.get("plan") or {}
+            try:
+                plan = FaultPlan.from_dict(plan_dict)
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"status": "error", "error": f"bad fault plan: {exc}"}
+            faults.install(plan)
+            forward: Dict[str, Any] = {
+                "op": "_chaos",
+                "action": "install",
+                "plan": plan_dict,
+            }
+        elif action == "clear":
+            faults.clear()
+            forward = {"op": "_chaos", "action": "clear"}
+        else:
+            return {"status": "error", "error": f"unknown chaos action {action!r}"}
+        acks = await asyncio.gather(
+            *(self._submit(worker, forward) for worker in self.workers),
+            return_exceptions=True,
+        )
+        applied = sum(
+            1
+            for ack in acks
+            if isinstance(ack, dict) and ack.get("status") == "ok"
+        )
+        return {"status": "ok", "action": action, "workers_applied": applied}
 
     def _crash_worker(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Diagnostic op: kill one worker abruptly (crash-recovery drills)."""
@@ -485,6 +742,7 @@ class AirServer:
             if stats is not None:
                 row["segment_mapping"] = stats
             worker_rows.append(row)
+        plan = faults.active()
         return {
             "status": "ok",
             "generation": self.generation,
@@ -497,6 +755,13 @@ class AirServer:
             "requests_dispatched": self.requests_dispatched,
             "busy_rejections": self.busy_rejections,
             "respawns": self.respawns,
+            "respawn_log": list(self.respawn_log),
+            "hang_evictions": self.hang_evictions,
+            "deadline_rejections": self.deadline_rejections,
+            "refresh_failures": self.refresh_failures,
+            "stale": self.stale,
+            "degraded_reason": self.degraded_reason,
+            "faults": plan.stats() if plan is not None else None,
             "workers": worker_rows,
         }
 

@@ -29,18 +29,29 @@ model (the server owns the segment's lifetime).
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from array import array
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.faults import runtime as faults
 from repro.network.csr import CSRGraph
 from repro.network.graph import RoadNetwork
 from repro.serialize.artifacts import BuildArtifact
 from repro.serialize.codec import decode_value, encode_value
 from repro.serialize.graphs import encode_network, restore_network
 
-__all__ = ["SharedArtifactSegment", "mapping_stats", "process_rss_kb"]
+__all__ = [
+    "SegmentIntegrityError",
+    "SharedArtifactSegment",
+    "mapping_stats",
+    "process_rss_kb",
+]
+
+
+class SegmentIntegrityError(ValueError):
+    """The segment's payload does not match its published checksum."""
 
 _MAGIC = b"AIRS"
 _DIR_LEN = struct.Struct("<I")
@@ -108,6 +119,8 @@ class SharedArtifactSegment:
             "csr_name": csr.name,
             "csr": {},
             "artifacts": {},
+            "payload_sha256": "",
+            "payload_bytes": 0,
         }
         network_raw = encode_network(network)
         sections.append((network_raw, ("network",)))
@@ -140,6 +153,19 @@ class SharedArtifactSegment:
                 directory["csr"][slot[1]] = [start, length]
             else:
                 directory["artifacts"][slot[1]] = [start, length]
+        # Checksum the payload area exactly as it will land in the segment
+        # (sections in order, alignment gaps zero -- fresh shared memory is
+        # zero-filled), so workers can verify integrity before serving.
+        digest = hashlib.sha256()
+        position = 0
+        for (raw, _slot), (_s, start, length) in zip(sections, slots):
+            if start > position:
+                digest.update(b"\x00" * (start - position))
+            digest.update(raw)
+            position = start + length
+        directory["payload_sha256"] = digest.hexdigest()
+        directory["payload_bytes"] = payload_bytes
+
         directory_raw = encode_value(directory)
         base = _align(len(_MAGIC) + _DIR_LEN.size + len(directory_raw))
 
@@ -153,6 +179,13 @@ class SharedArtifactSegment:
         buf[header_end : header_end + len(directory_raw)] = directory_raw
         for (raw, _slot), (_s, start, length) in zip(sections, slots):
             buf[base + start : base + start + length] = raw
+        event = faults.inject("shm.segment.tamper", segment=shm.name)
+        if event is not None:
+            # Flip one payload byte *after* the checksum was recorded: the
+            # segment now fails ``verify()``, exactly like a stray writer or
+            # DMA corruption would.
+            victim = base + payload_bytes // 2
+            buf[victim] = buf[victim] ^ 0xFF
         directory["_base"] = base
         return cls(shm, owner=True, directory=directory)
 
@@ -201,6 +234,35 @@ class SharedArtifactSegment:
             raise ValueError("segment is closed")
         base = self._directory["_base"]
         return self._buf[base + start : base + start + length]
+
+    def verify(self) -> bool:
+        """Re-hash the payload area against the published checksum.
+
+        Raises :class:`SegmentIntegrityError` on mismatch; returns ``True``
+        otherwise.  Workers call this between :meth:`attach` and serving, so
+        a segment corrupted in flight (or tampered via the
+        ``shm.segment.tamper`` fault point) is rejected before a single
+        query reads through it.  Segments published by older layouts carry
+        no checksum and pass vacuously.
+        """
+        expected = self._directory.get("payload_sha256")
+        if not expected:
+            return True
+        if self._buf is None:
+            raise ValueError("segment is closed")
+        base = self._directory["_base"]
+        payload_bytes = int(self._directory.get("payload_bytes", 0))
+        view = self._buf[base : base + payload_bytes]
+        try:
+            actual = hashlib.sha256(view).hexdigest()
+        finally:
+            view.release()
+        if actual != expected:
+            raise SegmentIntegrityError(
+                f"segment {self.name!r} payload hash {actual[:12]}... does not "
+                f"match published {expected[:12]}..."
+            )
+        return True
 
     def csr_graph(self) -> CSRGraph:
         """A :meth:`CSRGraph.from_buffers` snapshot over the mapping."""

@@ -23,6 +23,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.air.base import AirIndexScheme, ClientOptions
 from repro.engine.system import AirSystem
+from repro.faults import runtime as faults
+from repro.faults.plan import FaultPlan
 from repro.serving.shm import SharedArtifactSegment
 from repro.stats import summarize_latencies
 
@@ -73,15 +75,25 @@ class WorkerRuntime:
         Used both for the initial warm start and for refresh swaps; the old
         segment (if any) is released afterwards, so during a swap the two
         mappings coexist only for the microseconds the exchange takes.
+
+        The attached segment is integrity-checked *before* anything is
+        restored from it: a corrupted publication raises
+        :class:`~repro.serving.shm.SegmentIntegrityError` and leaves the
+        worker serving its previous segment untouched.
         """
         segment = SharedArtifactSegment.attach(segment_name)
-        network = segment.restore_network()
-        system = AirSystem(network, config=self.config)
-        for name in segment.scheme_names:
-            artifact = segment.artifact(name)
-            scheme = AirIndexScheme.from_artifact(network, artifact, zero_copy=True)
-            resolved = system._resolve_params(name, dict(artifact.params))
-            system._schemes[system._cache_key(name, resolved)] = scheme
+        try:
+            segment.verify()
+            network = segment.restore_network()
+            system = AirSystem(network, config=self.config)
+            for name in segment.scheme_names:
+                artifact = segment.artifact(name)
+                scheme = AirIndexScheme.from_artifact(network, artifact, zero_copy=True)
+                resolved = system._resolve_params(name, dict(artifact.params))
+                system._schemes[system._cache_key(name, resolved)] = scheme
+        except Exception:
+            segment.close()
+            raise
         previous = self.segment
         self.segment, self.system = segment, system
         if previous is not None:
@@ -109,9 +121,28 @@ class WorkerRuntime:
         segment -- produces ``status: error`` and leaves the worker
         serving; only a genuine crash (tested via the ``_crash`` op, which
         :func:`worker_main` implements) takes the process down.
+
+        Requests may carry ``deadline_at`` -- an absolute
+        ``time.monotonic()`` instant set by the server from the client's
+        ``deadline_ms`` budget (``CLOCK_MONOTONIC`` is process-shared on
+        Linux).  A request that reaches the worker already expired is
+        answered with a ``deadline`` error instead of burning compute on an
+        answer nobody is waiting for.
         """
         op = request.get("op")
         try:
+            deadline_at = request.get("deadline_at")
+            if deadline_at is not None and time.monotonic() > float(deadline_at):
+                self.requests_served += 1
+                return {
+                    "status": "error",
+                    "error": "deadline expired before the worker started",
+                    "error_kind": "deadline",
+                    "worker": self.worker_id,
+                }
+            hang = faults.inject("worker.hang_ms", op=op)
+            if hang is not None:
+                time.sleep(float(hang.param("hang_ms", 60_000.0)) / 1000.0)
             if op == "ping":
                 response: Dict[str, Any] = {"status": "ok"}
             elif op == "info":
@@ -124,6 +155,8 @@ class WorkerRuntime:
                 response = self._fleet(request)
             elif op == "_swap":
                 response = {"status": "ok", **self.load_segment(request["segment"])}
+            elif op == "_chaos":
+                response = self._chaos(request)
             else:
                 response = {"status": "error", "error": f"unknown op {op!r}"}
         except Exception as exc:  # a bad request must not kill the worker
@@ -150,6 +183,22 @@ class WorkerRuntime:
     def _pace(self, access_latency_packets: float) -> None:
         if self.pace_packet_us > 0.0:
             time.sleep(access_latency_packets * self.pace_packet_us / 1e6)
+
+    def _chaos(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Install or clear this worker's copy of a fault plan.
+
+        Each worker evaluates its own plan instance (same seed, private
+        clock), so per-worker fault streams are deterministic regardless of
+        how the server spreads requests across the pool.
+        """
+        action = request.get("action", "install")
+        if action == "install":
+            faults.install(FaultPlan.from_dict(request.get("plan") or {}))
+        elif action == "clear":
+            faults.clear()
+        else:
+            raise ValueError(f"unknown chaos action {action!r}")
+        return {"status": "ok", "action": action}
 
     def _info(self) -> Dict[str, Any]:
         segment = self.segment

@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import os
 import pathlib
 import uuid
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.faults import runtime as faults
 from repro.serialize.artifacts import (
     FORMAT_VERSION,
     ArtifactChecksumError,
@@ -139,20 +141,35 @@ class ArtifactStore:
         The bytes are staged under a unique temporary name in the final
         directory and renamed into place, so concurrent writers of the same
         key never expose a partial file.  Returns the object path.
+
+        The ``store.put.torn`` fault point simulates a writer killed
+        mid-``put``: the staging file is truncated and left on disk (the
+        debris a real SIGKILL leaves), and :class:`FaultInjected` raised --
+        the object path itself is never touched, which is the property the
+        torn-write tests pin down.
         """
         key = self.key_of(artifact)
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         staging = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        keep_staging = False
         try:
             # Streamed, not ``write_bytes(artifact.to_bytes())``: the framed
             # body of a continental CSR payload is never concatenated in
             # memory (see ``BuildArtifact.write_to``).
             with staging.open("wb") as handle:
                 artifact.write_to(handle)
+            event = faults.inject("store.put.torn", key=key)
+            if event is not None:
+                written = staging.stat().st_size
+                keep = max(1, int(written * float(event.param("fraction", 0.5))))
+                with staging.open("rb+") as handle:
+                    handle.truncate(keep)
+                keep_staging = True
+                raise faults.FaultInjected(event)
             os.replace(staging, path)
         finally:
-            if staging.exists():  # pragma: no cover - only on a failed replace
+            if not keep_staging and staging.exists():  # pragma: no cover - failed replace
                 staging.unlink()
         self.writes += 1
         if self.max_bytes is not None:
@@ -182,7 +199,17 @@ class ArtifactStore:
             # checksum verified incrementally, instead of read_bytes()
             # materializing the whole framed file first.
             with path.open("rb") as handle:
-                artifact = BuildArtifact.read_from(handle)
+                event = faults.inject("store.get.corrupt", key=key)
+                if event is not None:
+                    # Simulated bit rot: flip one payload byte of what the
+                    # reader sees, driving the real corruption-to-quarantine
+                    # path below without damaging the test's disk.
+                    raw = bytearray(handle.read())
+                    if raw:
+                        raw[(len(raw) * 3) // 4] ^= 0xFF
+                    artifact = BuildArtifact.read_from(io.BytesIO(bytes(raw)))
+                else:
+                    artifact = BuildArtifact.read_from(handle)
         except OSError:
             # Absent key, but also any read failure (permissions, transient
             # I/O): the disk tier degrades to a miss, never to a crash.
@@ -321,14 +348,32 @@ class ArtifactStore:
                 ok += 1
         return {"checked": checked, "ok": ok, "stale": stale, "quarantined": quarantined}
 
+    def clean_staging(self) -> int:
+        """Remove abandoned staging files (writers killed mid-``put``).
+
+        Staging names are process-unique dotfiles in the object shards; a
+        writer that died between staging and rename leaves one behind.  They
+        are invisible to readers (``get`` only opens final paths), so this
+        is pure debris collection.  Returns the number removed.
+        """
+        removed = 0
+        if not self.objects_dir.is_dir():
+            return removed
+        for path in sorted(self.objects_dir.glob("*/.*.tmp")):
+            self._discard(path)
+            removed += 1
+        return removed
+
     def gc(self, max_bytes: Optional[int] = None, purge_quarantine: bool = False) -> Dict[str, int]:
         """Enforce a byte cap (default: the store's own) and tidy up.
 
         Evicts least recently used objects until the store fits, optionally
-        deletes quarantined files, and removes empty shard directories.
+        deletes quarantined files, removes abandoned staging files and
+        empty shard directories.
         """
         cap = self.max_bytes if max_bytes is None else max_bytes
         evicted = self._evict_to(cap) if cap is not None else 0
+        staging_removed = self.clean_staging()
         purged = 0
         if purge_quarantine and self.quarantine_dir.is_dir():
             for path in sorted(self.quarantine_dir.iterdir()):
@@ -344,6 +389,7 @@ class ArtifactStore:
         return {
             "evicted": evicted,
             "purged_quarantine": purged,
+            "staging_removed": staging_removed,
             "remaining_entries": len(self._object_paths()),
             "remaining_bytes": self.total_bytes(),
         }

@@ -281,6 +281,118 @@ class TestServeAndBenchClient:
             run_cli(["bench-client", "--requests", "1"] + COMMON)
 
 
+class TestStoreRepair:
+    def test_verify_repair_rebuilds_corrupted_artifacts(self, tmp_path):
+        build = ["store", "--dir", str(tmp_path), "build", "--methods", "NR,DJ"] + COMMON
+        assert run_cli(build)[0] == 0
+        from repro.store import ArtifactStore
+
+        entry = ArtifactStore(tmp_path).entries()[0]
+        entry.path.write_bytes(entry.path.read_bytes()[:-4])  # torn object
+
+        code, output = run_cli(
+            ["store", "--dir", str(tmp_path), "verify", "--repair",
+             "--methods", "NR,DJ"] + COMMON
+        )
+        assert code == 0
+        assert "rebuilt" in output and "intact" in output
+        assert "post-repair quarantined" in output
+        # The store is whole again: a plain verify passes with exit 0.
+        code, output = run_cli(["store", "--dir", str(tmp_path), "verify"])
+        assert code == 0
+        code, output = run_cli(["store", "--dir", str(tmp_path), "ls"])
+        assert "2 entries" in output
+
+    def test_verify_repair_on_a_clean_store_is_a_noop(self, tmp_path):
+        run_cli(["store", "--dir", str(tmp_path), "build", "--methods", "NR"] + COMMON)
+        code, output = run_cli(
+            ["store", "--dir", str(tmp_path), "verify", "--repair",
+             "--methods", "NR"] + COMMON
+        )
+        assert code == 0
+        assert "intact" in output and "rebuilt" not in output
+
+
+class TestChaosCommand:
+    def test_parser_defaults_and_scenario_choices(self):
+        args = build_parser().parse_args(["chaos", "--socket", "/tmp/x.sock"])
+        assert args.scenario == "smoke"
+        assert args.requests == 200
+        assert args.concurrency == 4
+        assert args.deadline_ms == 2000.0
+        assert args.refreshes == 1
+        assert args.min_availability is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--scenario", "earthquake"])
+
+    def test_chaos_requires_an_address(self):
+        with pytest.raises(SystemExit):
+            run_cli(["chaos", "--requests", "1"] + COMMON)
+
+    def test_chaos_run_against_a_live_daemon(self, tmp_path):
+        import os
+        import threading
+        import time
+
+        socket_path = str(tmp_path / "chaos.sock")
+        serve_argv = (
+            ["serve", "--methods", "NR", "--workers", "2", "--socket", socket_path]
+            + COMMON
+        )
+        outcome = {}
+
+        def run_daemon():
+            outcome["code"], outcome["output"] = run_cli(serve_argv)
+
+        daemon = threading.Thread(target=run_daemon, daemon=True)
+        daemon.start()
+        deadline = time.time() + 120.0
+        while time.time() < deadline and not os.path.exists(socket_path):
+            time.sleep(0.1)
+        assert os.path.exists(socket_path), "daemon never opened its socket"
+
+        code, output = run_cli(
+            [
+                "chaos",
+                "--socket", socket_path,
+                "--scenario", "smoke",
+                "--requests", "40",
+                "--concurrency", "4",
+                "--deadline-ms", "5000",
+                "--refreshes", "1",
+                "--min-availability", "0.5",
+            ]
+            + COMMON
+        )
+        assert code == 0, output
+        assert "Chaos run: 40 x NR under 'smoke'" in output
+        assert "identity violations" in output
+        assert "FAIL" not in output
+        # The smoke plan fired at least one fault and it shows in the table.
+        fired_row = next(
+            line for line in output.splitlines() if "faults fired" in line
+        )
+        assert fired_row.split(None, 2)[-1].strip() != "-"
+
+        # The run cleared its plan: the daemon serves a clean burst after.
+        code, output = run_cli(
+            [
+                "bench-client",
+                "--method", "NR",
+                "--socket", socket_path,
+                "--requests", "8",
+                "--concurrency", "2",
+                "--shutdown",
+            ]
+            + COMMON
+        )
+        assert code == 0
+        assert "8 / 0" in output
+        daemon.join(timeout=60.0)
+        assert not daemon.is_alive()
+        assert outcome["code"] == 0
+
+
 class TestConsoleScriptEntryPoint:
     def test_pyproject_declares_the_repro_script(self):
         import pathlib

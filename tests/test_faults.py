@@ -1,0 +1,224 @@
+"""Unit tests for the deterministic fault-injection subsystem.
+
+Everything here is pure plan/clock/runtime mechanics -- no sockets, no
+processes.  The contract pinned down: firing decisions are a deterministic
+function of ``(plan seed, spec, per-point tick)``; plans round-trip through
+JSON unchanged (the wire format of the ``chaos`` op); the process-global
+runtime is a no-op without an installed plan; and every curated scenario
+builds and reproduces its own decision stream.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.faults import (
+    FaultClock,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    SCENARIOS,
+    build_scenario,
+    scenario_names,
+)
+from repro.faults import runtime as fault_runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Never let a test leave a process-global plan behind."""
+    fault_runtime.clear()
+    yield
+    fault_runtime.clear()
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="")
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", period=0)
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", times=0)
+        with pytest.raises(ValueError):
+            FaultSpec(point="x", after=5, until=5)
+
+    def test_dict_round_trip_through_json(self):
+        spec = FaultSpec(
+            point="serving.frame.drop",
+            after=3,
+            until=90,
+            period=7,
+            probability=0.25,
+            times=4,
+            params={"latency_ms": 40},
+        )
+        wired = json.loads(json.dumps(spec.to_dict()))
+        assert FaultSpec.from_dict(wired) == spec
+
+    def test_from_dict_defaults(self):
+        spec = FaultSpec.from_dict({"point": "p"})
+        assert spec == FaultSpec(point="p")
+
+
+class TestFaultClock:
+    def test_points_tick_independently(self):
+        clock = FaultClock(seed=1)
+        assert [clock.tick("a"), clock.tick("a"), clock.tick("b")] == [0, 1, 0]
+        assert clock.ticks("a") == 2
+        assert clock.ticks("b") == 1
+        assert clock.ticks("never") == 0
+
+    def test_rng_streams_are_per_spec_and_reproducible(self):
+        draws = [
+            FaultClock(seed=9).rng("p", index).random() for index in (0, 0, 1)
+        ]
+        # Same (seed, point, spec) -> same stream; different spec -> different.
+        assert draws[0] == draws[1]
+        assert draws[0] != draws[2]
+        assert FaultClock(seed=10).rng("p", 0).random() != draws[0]
+
+
+class TestFaultPlan:
+    def test_window_period_and_budget(self):
+        plan = FaultPlan(
+            [FaultSpec(point="p", after=2, until=9, period=3, times=2)], seed=0
+        )
+        fired = [plan.fire("p") is not None for _ in range(12)]
+        # Eligible ticks are 2, 5, 8 (after=2, period=3, until=9); the
+        # budget of 2 stops the third.
+        assert [i for i, f in enumerate(fired) if f] == [2, 5]
+
+    def test_first_matching_spec_wins_and_params_merge(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(point="p", params={"who": "first"}),
+                FaultSpec(point="p", params={"who": "second"}),
+            ],
+            seed=0,
+        )
+        event = plan.fire("p", op="query", who="site")
+        assert event is not None and event.spec_index == 0
+        # Spec params override the call-site context.
+        assert event.param("who") == "first"
+        assert event.param("op") == "query"
+        assert event.param("missing", 42) == 42
+
+    def test_probabilistic_firing_is_seed_deterministic(self):
+        def stream(seed):
+            plan = FaultPlan([FaultSpec(point="p", probability=0.3)], seed=seed)
+            return [plan.fire("p") is not None for _ in range(200)]
+
+        first = stream(5)
+        assert first == stream(5)
+        assert first != stream(6)
+        # The probability actually thins the stream (neither all nor none).
+        assert 0 < sum(first) < 200
+
+    def test_plan_round_trips_through_json_with_identical_decisions(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(point="a", probability=0.4, times=5),
+                FaultSpec(point="b", after=3, period=2),
+            ],
+            seed=11,
+        )
+        clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        for _ in range(50):
+            for point in ("a", "b"):
+                ours, theirs = plan.fire(point), clone.fire(point)
+                assert (ours is None) == (theirs is None)
+                if ours is not None:
+                    assert (ours.tick, ours.spec_index) == (
+                        theirs.tick,
+                        theirs.spec_index,
+                    )
+        assert plan.stats() == clone.stats()
+
+    def test_stats_report_ticks_and_firings(self):
+        plan = FaultPlan([FaultSpec(point="p", times=1)], seed=2)
+        plan.fire("p")
+        plan.fire("p")
+        plan.fire("quiet")
+        stats = plan.stats()
+        assert stats["seed"] == 2
+        assert stats["ticks"] == {"p": 2, "quiet": 1}
+        assert stats["fired"] == {"p": 1}
+        assert stats["total_fired"] == 1
+
+    def test_fire_is_thread_safe(self):
+        plan = FaultPlan([FaultSpec(point="p", times=100)], seed=0)
+        hits = []
+
+        def hammer():
+            for _ in range(100):
+                if plan.fire("p") is not None:
+                    hits.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The budget is enforced exactly despite racing callers.
+        assert len(hits) == 100
+        assert plan.stats()["ticks"] == {"p": 800}
+
+
+class TestRuntime:
+    def test_inject_without_plan_is_a_noop(self):
+        assert fault_runtime.active() is None
+        assert fault_runtime.inject("anything", op="query") is None
+        fault_runtime.fail_if("anything")  # must not raise
+
+    def test_install_fire_clear(self):
+        plan = fault_runtime.install(
+            FaultPlan([FaultSpec(point="p", times=1)], seed=0)
+        )
+        assert fault_runtime.active() is plan
+        event = fault_runtime.inject("p", where="here")
+        assert event is not None and event.param("where") == "here"
+        assert fault_runtime.inject("p") is None  # budget spent
+        fault_runtime.clear()
+        assert fault_runtime.active() is None
+        assert fault_runtime.inject("p") is None
+
+    def test_fail_if_raises_with_the_event_attached(self):
+        fault_runtime.install(
+            FaultPlan([FaultSpec(point="boom", times=1, params={"k": 1})], seed=0)
+        )
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_runtime.fail_if("boom")
+        assert excinfo.value.event.point == "boom"
+        assert excinfo.value.event.param("k") == 1
+
+
+class TestScenarios:
+    def test_registry_is_stable_surface(self):
+        assert set(scenario_names()) == set(SCENARIOS) == {
+            "smoke",
+            "worker-churn",
+            "frame-chaos",
+            "slow-network",
+            "refresh-degraded",
+            "hung-worker",
+        }
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_builds_and_round_trips(self, name):
+        plan = build_scenario(name, seed=13)
+        assert isinstance(plan, FaultPlan) and plan.specs
+        assert plan.seed == 13
+        clone = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert [spec.to_dict() for spec in clone.specs] == [
+            spec.to_dict() for spec in plan.specs
+        ]
+
+    def test_unknown_scenario_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            build_scenario("no-such-thing")

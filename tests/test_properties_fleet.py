@@ -105,6 +105,43 @@ def test_fleet_invariants_on_random_networks(scheme_name, seed):
         assert metrics.peak_memory_bytes > 0
 
 
+@pytest.mark.parametrize("scheme_name", sorted(SMALL_PARAMS))
+def test_lossy_fleet_invariants_on_random_networks(scheme_name):
+    """Loss > 0: every device recovers the truth, bit-identically threaded.
+
+    Lossy devices take the native packet-by-packet path, so this is the
+    recovery property: Bernoulli packet drops cost extra listening, never a
+    wrong (or torn) answer, and the pre-drawn loss seeds keep a thread-pool
+    run bit-identical to the sequential one.
+    """
+    seed = SEEDS[0]
+    network = random_network(seed)
+    scheme = air.create(scheme_name, network, **SMALL_PARAMS[scheme_name])
+    devices = fleet_uniform_trickle(
+        network, 10, seed=seed + 1, loss_rate=0.08, with_ground_truth=True
+    )
+
+    sequential = simulate_fleet(scheme, devices, seed=seed, concurrency=1)
+    threaded = simulate_fleet(scheme, devices, seed=seed, concurrency=4)
+
+    assert sequential.signature() == threaded.signature()
+    assert sequential.natives == len(devices) and sequential.replays == 0
+    assert sequential.mismatches == 0
+    total_lost = 0
+    for outcome in sequential.outcomes:
+        truth = shortest_path(network, outcome.spec.source, outcome.spec.target)
+        assert outcome.found
+        assert math.isclose(
+            outcome.distance, truth.distance, rel_tol=1e-6, abs_tol=1e-6
+        )
+        metrics = outcome.metrics
+        assert metrics.tuning_time_packets <= metrics.access_latency_packets
+        total_lost += metrics.lost_packets
+    # The property must actually exercise recovery: at 8% loss across ten
+    # whole sessions, some packets were dropped and re-listened for.
+    assert total_lost > 0
+
+
 @pytest.mark.parametrize("seed", SEEDS[:2])
 def test_fleet_aggregates_are_order_free_sums(seed):
     """Percentiles and means are functions of the outcome multiset only."""

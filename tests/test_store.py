@@ -13,9 +13,13 @@ import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import air
 from repro.engine import AirSystem
+from repro.faults import FaultInjected, FaultPlan, FaultSpec
+from repro.faults import runtime as fault_runtime
 from repro.network.generators import GeneratorConfig, generate_road_network
 from repro.serialize import BuildArtifact, FORMAT_VERSION, encode_value
 from repro.store import ArtifactStore
@@ -258,6 +262,92 @@ class TestPrune:
         )
         for artifact in artifacts[1:]:
             assert store.contains("DJ", artifact.params, artifact.network_fingerprint)
+
+
+class TestTornWrites:
+    """Writer-killed-mid-``put`` behaviour via the ``store.put.torn`` hook.
+
+    The property under test: no matter where the tear lands, the object
+    path is never exposed (readers see a clean miss, not corruption), the
+    only evidence is an invisible staging dotfile, and one
+    ``clean_staging()`` + re-``put`` pass makes the store whole again.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_plan(self):
+        yield
+        fault_runtime.clear()
+
+    @given(fraction=st.floats(0.05, 0.95), tag=st.integers(0, 999))
+    @settings(max_examples=20, deadline=None)
+    def test_torn_put_never_exposes_a_partial_object(
+        self, tmp_path_factory, fraction, tag
+    ):
+        store = ArtifactStore(tmp_path_factory.mktemp("torn"))
+        artifact = small_artifact(tag)
+        fault_runtime.install(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        point="store.put.torn",
+                        times=1,
+                        params={"fraction": fraction},
+                    )
+                ],
+                seed=1,
+            )
+        )
+        with pytest.raises(FaultInjected):
+            store.put(artifact)
+        fault_runtime.clear()
+
+        # The final path was never touched: a reader gets a clean miss and
+        # nothing lands in quarantine (there is no partial object to see).
+        assert store.get("DJ", artifact.params, artifact.network_fingerprint) is None
+        assert store.stats()["quarantined"] == 0
+        assert store.writes == 0
+
+        # The tear left exactly one truncated staging dotfile behind.
+        debris = list(store.objects_dir.glob("*/.*.tmp"))
+        assert len(debris) == 1
+        torn_size = debris[0].stat().st_size
+        assert torn_size > 0
+
+        # One-pass recovery: sweep the debris, re-publish, round-trip.
+        assert store.clean_staging() == 1
+        assert not list(store.objects_dir.glob("*/.*.tmp"))
+        path = store.put(artifact)
+        assert torn_size < path.stat().st_size
+        assert store.get("DJ", artifact.params, artifact.network_fingerprint) == artifact
+        assert store.verify() == {"checked": 1, "ok": 1, "stale": 0, "quarantined": 0}
+
+    def test_gc_sweeps_torn_staging_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fault_runtime.install(
+            FaultPlan([FaultSpec(point="store.put.torn", times=1)], seed=3)
+        )
+        with pytest.raises(FaultInjected):
+            store.put(small_artifact(1))
+        fault_runtime.clear()
+        outcome = store.gc()
+        assert outcome["staging_removed"] == 1
+        assert not list(store.objects_dir.glob("**/*.tmp"))
+
+    def test_read_side_bit_rot_quarantines_on_get(self, tmp_path):
+        """The ``store.get.corrupt`` hook drives the real quarantine path."""
+        store = ArtifactStore(tmp_path)
+        artifact = small_artifact(7)
+        store.put(artifact)
+        fault_runtime.install(
+            FaultPlan([FaultSpec(point="store.get.corrupt", times=1)], seed=2)
+        )
+        assert store.get("DJ", artifact.params, artifact.network_fingerprint) is None
+        fault_runtime.clear()
+        assert store.stats()["quarantined"] == 1
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+        # The slot is free again: a re-publish restores service.
+        store.put(artifact)
+        assert store.get("DJ", artifact.params, artifact.network_fingerprint) == artifact
 
 
 class TestKeying:
