@@ -18,8 +18,18 @@ from repro.broadcast.replay import (
     SessionTrace,
     replay_trace,
 )
+from repro.broadcast.replay_bulk import (
+    BulkReplayOutcome,
+    CycleLayout,
+    TraceTable,
+    replay_trace_bulk,
+)
 
 __all__ = [
+    "BulkReplayOutcome",
+    "CycleLayout",
+    "TraceTable",
+    "replay_trace_bulk",
     "PACKET_SIZE_BYTES",
     "BroadcastChannel",
     "BroadcastCycle",

@@ -26,6 +26,10 @@ class BroadcastCycle:
         self.segments: List[Segment] = list(segments)
         self._starts: List[int] = []
         self._by_name: Dict[str, int] = {}
+        #: Lazily compiled :class:`~repro.broadcast.replay_bulk.CycleLayout`
+        #: (cycles are immutable by contract, so one compilation serves the
+        #: cycle's whole lifetime).
+        self._compiled_layout = None
         offset = 0
         for position, segment in enumerate(self.segments):
             if segment.name in self._by_name:
@@ -129,6 +133,20 @@ class BroadcastCycle:
         if start >= cycle_offset:
             return base + start
         return base + self._total_packets + start
+
+    def compiled_layout(self):
+        """The cycle's :class:`~repro.broadcast.replay_bulk.CycleLayout`.
+
+        Compiled on first access and cached for the cycle's lifetime (safe:
+        cycles are immutable -- every incremental refresh path constructs a
+        new cycle object rather than mutating segments in place).  The
+        layout backs the vectorized fleet-replay kernel; requires numpy.
+        """
+        if self._compiled_layout is None:
+            from repro.broadcast.replay_bulk import CycleLayout
+
+            self._compiled_layout = CycleLayout(self)
+        return self._compiled_layout
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import cached_property
 from typing import List, Optional, Sequence, Tuple
 
 from repro.broadcast.channel import ClientSession, PacketLossModel
@@ -93,10 +94,32 @@ class SessionTrace:
     #: Loss rate of the recording session; replay requires ``0.0``.
     loss_rate: float = 0.0
 
-    @property
+    @cached_property
     def tuning_packets(self) -> int:
-        """Total packets received by the recorded session."""
+        """Total packets received by the recorded session.
+
+        Cached: a fleet replays one trace for thousands of devices, and the
+        sum is a pure function of the frozen op tuple.
+        """
         return sum(op.packets for op in self.ops)
+
+    @cached_property
+    def replay_plan(self) -> Tuple[int, Tuple[TraceOp, ...], Tuple[Tuple[int, TraceOp], ...]]:
+        """``(head_len, body, segment_ops)`` -- the replay's fixed structure.
+
+        The position-anchored head length, the rotatable body, and the
+        body's ``SEGMENT`` ops with their body indices are properties of the
+        trace alone, so :func:`replay_trace` hoists this scan out of the
+        per-device hot path when the trace is reused across a fleet.
+        """
+        head = 0
+        while head < len(self.ops) and self.ops[head].kind is not OpKind.SEGMENT:
+            head += 1
+        body = self.ops[head:]
+        segment_ops = tuple(
+            (index, op) for index, op in enumerate(body) if op.kind is OpKind.SEGMENT
+        )
+        return head, body, segment_ops
 
 
 class RecordingSession(ClientSession):
@@ -207,15 +230,12 @@ def replay_trace(
             position = start + op.last_offset + 1
 
     # Position-anchored head: reads of "whatever is on the air right now".
-    index = 0
-    while index < len(trace.ops) and trace.ops[index].kind is not OpKind.SEGMENT:
-        apply(trace.ops[index])
-        index += 1
+    # The head/body/segment-op structure is a property of the trace alone,
+    # computed once per trace (not per device) via the cached replay plan.
+    head_len, body, segment_ops = trace.replay_plan
+    for op in trace.ops[:head_len]:
+        apply(op)
 
-    body = trace.ops[index:]
-    segment_ops = [
-        (i, op) for i, op in enumerate(body) if op.kind is OpKind.SEGMENT
-    ]
     if segment_ops:
         # Rotate to the reception next on the air after the current position.
         rotation = min(

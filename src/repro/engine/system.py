@@ -940,9 +940,12 @@ class AirSystem:
         The scheme (and its cycle) comes from the system cache, so a fleet
         over an already-built scheme pays for session replay only -- no
         rebuilds.  Lossless devices share probe sessions via the
-        :mod:`repro.broadcast.replay` fast path; lossy devices are simulated
-        natively.  Like :meth:`query_batch`, the result is bit-identical for
-        every ``concurrency`` value (wall-clock fields excepted).
+        :mod:`repro.broadcast.replay` fast path, executed in bulk through
+        the vectorized :mod:`repro.broadcast.replay_bulk` kernel when numpy
+        is available (scalar per-device replay otherwise); lossy devices
+        are simulated natively.  Like :meth:`query_batch`, the result is
+        bit-identical for every ``concurrency`` value -- and for either
+        replay backend (wall-clock fields excepted).
 
         ``devices`` typically comes from a scenario generator such as
         :func:`repro.experiments.workloads.fleet_rush_hour`.

@@ -1,12 +1,25 @@
-"""Aggregated outcome of a fleet simulation."""
+"""Aggregated outcome of a fleet simulation, stored columnarly.
+
+A million-device fleet cannot afford one :class:`DeviceOutcome` object per
+device on the hot path, so :class:`FleetRun` keeps its per-device results as
+flat index-addressed columns (numpy arrays when available, plain lists
+otherwise): the simulator scatters whole replay groups into the columns with
+vectorized writes, and the aggregate views -- nearest-rank percentiles,
+means, per-fleet energy -- run as bulk array passes over the columns.  The
+object-level API is preserved: :attr:`FleetRun.outcomes` materializes the
+:class:`DeviceOutcome` list lazily (and caches it), so reporting and test
+code keeps iterating devices exactly as before.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.broadcast.device import CHANNEL_2MBPS, ChannelRate, DeviceProfile, J2ME_CLAMSHELL
 from repro.broadcast.metrics import ClientMetrics
+from repro.broadcast.replay_bulk import numpy_or_none
 
 from repro.fleet.devices import DeviceSpec
 from repro.stats import percentile
@@ -44,33 +57,258 @@ class DeviceOutcome:
         )
 
 
-@dataclass
-class FleetRun:
-    """Aggregated outcome of one fleet over one broadcast cycle."""
+#: :class:`ClientMetrics` field -> column name, for the aggregate views.
+_METRIC_COLUMNS = {
+    "tuning_time_packets": "tuning",
+    "access_latency_packets": "latency",
+    "peak_memory_bytes": "peak_memory",
+    "cpu_seconds": "cpu",
+    "lost_packets": "lost",
+}
 
-    scheme: str
-    outcomes: List[DeviceOutcome] = field(default_factory=list)
-    #: Distinct probe sessions actually simulated end to end.
-    probes: int = 0
-    #: Devices served by trace replay.
-    replays: int = 0
-    #: Devices simulated natively (lossy channels).
-    natives: int = 0
-    concurrency: int = 1
-    wall_seconds: float = 0.0
-    cycle_packets: int = 0
+
+class _OutcomeColumns:
+    """Index-addressed flat storage of per-device outcome fields.
+
+    One slot per device, in device order.  With numpy the columns are typed
+    arrays and group writes are fancy-index scatters; without it they are
+    plain lists and the (already slow) scalar paths fill them one row at a
+    time.  ``extra_id`` indexes into the run's shared table of
+    ``metrics.extra`` source dicts, so a replay group of 100k devices stores
+    one dict, not 100k copies.
+    """
+
+    __slots__ = (
+        "count",
+        "offsets",
+        "tuning",
+        "latency",
+        "peak_memory",
+        "cpu",
+        "lost",
+        "distance",
+        "found",
+        "mismatch",
+        "replay",
+        "extra_id",
+    )
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        np = numpy_or_none()
+        if np is not None:
+            self.offsets = np.zeros(count, dtype=np.int64)
+            self.tuning = np.zeros(count, dtype=np.int64)
+            self.latency = np.zeros(count, dtype=np.int64)
+            self.peak_memory = np.zeros(count, dtype=np.int64)
+            self.cpu = np.zeros(count, dtype=np.float64)
+            self.lost = np.zeros(count, dtype=np.int64)
+            self.distance = np.zeros(count, dtype=np.float64)
+            self.found = np.zeros(count, dtype=bool)
+            self.mismatch = np.zeros(count, dtype=bool)
+            self.replay = np.zeros(count, dtype=bool)
+            self.extra_id = np.full(count, -1, dtype=np.int64)
+        else:
+            self.offsets = [0] * count
+            self.tuning = [0] * count
+            self.latency = [0] * count
+            self.peak_memory = [0] * count
+            self.cpu = [0.0] * count
+            self.lost = [0] * count
+            self.distance = [0.0] * count
+            self.found = [False] * count
+            self.mismatch = [False] * count
+            self.replay = [False] * count
+            self.extra_id = [-1] * count
+
+
+class FleetRun:
+    """Aggregated outcome of one fleet over one broadcast cycle.
+
+    Constructed empty by the simulator, sized with :meth:`allocate`, then
+    filled through the columnar recorders (:meth:`record_replay_group` for
+    whole bulk-replayed groups, :meth:`record_device` for one device).  All
+    aggregate methods read the flat columns directly; per-device
+    :class:`DeviceOutcome` objects exist only once :attr:`outcomes` is
+    touched.
+    """
+
+    def __init__(self, scheme: str, concurrency: int = 1) -> None:
+        self.scheme = scheme
+        #: Distinct probe sessions actually simulated end to end.
+        self.probes = 0
+        #: Devices served by trace replay.
+        self.replays = 0
+        #: Devices simulated natively (lossy channels).
+        self.natives = 0
+        self.concurrency = concurrency
+        self.wall_seconds = 0.0
+        self.cycle_packets = 0
+        self._specs: List[DeviceSpec] = []
+        self._columns: Optional[_OutcomeColumns] = None
+        #: ``extra_id`` -> ``(source_dict, copy_on_materialize)``.
+        self._extra_sources: List[Tuple[Dict[str, float], bool]] = []
+        self._outcomes: Optional[List[DeviceOutcome]] = None
+
+    # ------------------------------------------------------------------
+    # Columnar recording (simulator-facing)
+    # ------------------------------------------------------------------
+    def allocate(self, specs: Sequence[DeviceSpec]) -> None:
+        """Size the columns for one slot per device, in device order."""
+        self._specs = list(specs)
+        self._columns = _OutcomeColumns(len(self._specs))
+        self._outcomes = None
+
+    def register_extra(self, source: Dict[str, float], copy: bool) -> int:
+        """Intern one ``metrics.extra`` source dict; returns its ``extra_id``.
+
+        ``copy=True`` materializes a fresh copy per device (the replay path,
+        where devices must not share the probe's dict); ``copy=False`` hands
+        the dict through as-is (the native path, whose dict is the session's
+        own).
+        """
+        self._extra_sources.append((source, copy))
+        return len(self._extra_sources) - 1
+
+    def record_replay_group(
+        self,
+        indices: Any,
+        offsets: Any,
+        tuning_packets: int,
+        latencies: Any,
+        distance: float,
+        found: bool,
+        mismatches: Any,
+        peak_memory_bytes: int,
+        cpu_seconds: float,
+        extra_id: int,
+    ) -> None:
+        """Scatter one bulk-replayed group into the columns.
+
+        ``indices``/``offsets``/``latencies`` are aligned arrays (device
+        index, tune-in offset, access latency); the remaining fields are the
+        probe's, shared by the whole group.  ``mismatches`` may be a scalar
+        (the common case: one ground truth per query) or a per-device array.
+        """
+        columns = self._columns
+        assert columns is not None, "allocate() must run before recording"
+        self._outcomes = None
+        columns.offsets[indices] = offsets
+        columns.tuning[indices] = tuning_packets
+        columns.latency[indices] = latencies
+        columns.peak_memory[indices] = peak_memory_bytes
+        columns.cpu[indices] = cpu_seconds
+        columns.distance[indices] = distance
+        columns.found[indices] = found
+        columns.mismatch[indices] = mismatches
+        columns.replay[indices] = True
+        columns.extra_id[indices] = extra_id
+
+    def record_device(
+        self,
+        index: int,
+        offset: int,
+        distance: float,
+        found: bool,
+        replay: bool,
+        metrics: ClientMetrics,
+        mismatch: bool,
+        extra_id: int,
+    ) -> None:
+        """Record one device's outcome (native and scalar-fallback paths)."""
+        columns = self._columns
+        assert columns is not None, "allocate() must run before recording"
+        self._outcomes = None
+        columns.offsets[index] = offset
+        columns.tuning[index] = metrics.tuning_time_packets
+        columns.latency[index] = metrics.access_latency_packets
+        columns.peak_memory[index] = metrics.peak_memory_bytes
+        columns.cpu[index] = metrics.cpu_seconds
+        columns.lost[index] = metrics.lost_packets
+        columns.distance[index] = distance
+        columns.found[index] = found
+        columns.mismatch[index] = mismatch
+        columns.replay[index] = replay
+        columns.extra_id[index] = extra_id
+
+    # ------------------------------------------------------------------
+    # Object-level view (lazy)
+    # ------------------------------------------------------------------
+    def _materialize_extra(self, extra_id: int) -> Dict[str, float]:
+        if extra_id < 0:
+            return {}
+        source, copy = self._extra_sources[extra_id]
+        return dict(source) if copy else source
+
+    @property
+    def outcomes(self) -> List[DeviceOutcome]:
+        """Per-device outcomes, in device order (materialized lazily)."""
+        if self._outcomes is None:
+            columns = self._columns
+            if columns is None:
+                self._outcomes = []
+                return self._outcomes
+            rows = zip(
+                self._specs,
+                _as_list(columns.offsets),
+                _as_list(columns.tuning),
+                _as_list(columns.latency),
+                _as_list(columns.peak_memory),
+                _as_list(columns.cpu),
+                _as_list(columns.lost),
+                _as_list(columns.distance),
+                _as_list(columns.found),
+                _as_list(columns.mismatch),
+                _as_list(columns.replay),
+                _as_list(columns.extra_id),
+            )
+            self._outcomes = [
+                DeviceOutcome(
+                    spec=spec,
+                    tune_in_offset=offset,
+                    distance=distance,
+                    found=found,
+                    mode="replay" if replay else "native",
+                    metrics=ClientMetrics(
+                        tuning_time_packets=tuning,
+                        access_latency_packets=latency,
+                        peak_memory_bytes=peak,
+                        cpu_seconds=cpu,
+                        lost_packets=lost,
+                        extra=self._materialize_extra(extra_id),
+                    ),
+                    mismatch=mismatch,
+                )
+                for (
+                    spec,
+                    offset,
+                    tuning,
+                    latency,
+                    peak,
+                    cpu,
+                    lost,
+                    distance,
+                    found,
+                    mismatch,
+                    replay,
+                    extra_id,
+                ) in rows
+            ]
+        return self._outcomes
 
     # ------------------------------------------------------------------
     # Counts and throughput
     # ------------------------------------------------------------------
     @property
     def num_devices(self) -> int:
-        return len(self.outcomes)
+        return len(self._specs)
 
     @property
     def mismatches(self) -> int:
         """Devices whose on-air answer disagreed with the ground truth."""
-        return sum(1 for outcome in self.outcomes if outcome.mismatch)
+        if self._columns is None:
+            return 0
+        return int(sum(self._columns.mismatch))
 
     @property
     def devices_per_second(self) -> float:
@@ -80,14 +318,42 @@ class FleetRun:
         return self.num_devices / self.wall_seconds
 
     # ------------------------------------------------------------------
-    # Aggregates
+    # Aggregates (bulk array passes over the columns)
     # ------------------------------------------------------------------
+    def _column(self, metric: str):
+        try:
+            name = _METRIC_COLUMNS[metric]
+        except KeyError:
+            raise AttributeError(
+                f"unknown ClientMetrics field {metric!r} "
+                f"(one of {sorted(_METRIC_COLUMNS)})"
+            ) from None
+        if self._columns is None:
+            return []
+        return getattr(self._columns, name)
+
     def _values(self, metric: str) -> List[float]:
-        return [float(getattr(o.metrics, metric)) for o in self.outcomes]
+        return [float(value) for value in self._column(metric)]
 
     def percentile(self, metric: str, q: float) -> float:
-        """Nearest-rank percentile of a :class:`ClientMetrics` field."""
-        return percentile(self._values(metric), q)
+        """Nearest-rank percentile of a :class:`ClientMetrics` field.
+
+        Same definition as :func:`repro.stats.percentile` (which remains the
+        scalar reference), computed as one vectorized sort when numpy backs
+        the columns.
+        """
+        column = self._column(metric)
+        np = numpy_or_none()
+        if np is None or isinstance(column, list):
+            return percentile(self._values(metric), q)
+        size = len(column)
+        if size == 0:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = np.sort(column.astype(np.float64))
+        rank = max(1, math.ceil(size * q / 100.0))
+        return float(ordered[min(rank, size) - 1])
 
     def latency_percentiles(self, qs: Sequence[float] = (50, 90, 99)) -> Dict[float, float]:
         return {q: self.percentile("access_latency_packets", q) for q in qs}
@@ -96,20 +362,45 @@ class FleetRun:
         return {q: self.percentile("tuning_time_packets", q) for q in qs}
 
     def mean(self, metric: str) -> float:
-        values = self._values(metric)
-        return sum(values) / len(values) if values else 0.0
+        column = self._column(metric)
+        size = len(column)
+        if size == 0:
+            return 0.0
+        np = numpy_or_none()
+        if np is None or isinstance(column, list):
+            return float(sum(float(value) for value in column)) / size
+        return float(column.astype(np.float64).sum() / size)
 
     def mean_energy_joules(
         self,
         device: Optional[DeviceProfile] = None,
         rate: ChannelRate = CHANNEL_2MBPS,
     ) -> float:
-        """Average per-query energy across the fleet."""
-        if not self.outcomes:
+        """Average per-query energy across the fleet.
+
+        Vectorized over the flat tuning/latency/CPU columns when numpy is
+        available; the scalar fallback sums
+        :meth:`ClientMetrics.energy_joules` per device, same formula.
+        """
+        columns = self._columns
+        if columns is None or columns.count == 0:
             return 0.0
         device = device or J2ME_CLAMSHELL
-        total = sum(o.metrics.energy_joules(device, rate) for o in self.outcomes)
-        return total / len(self.outcomes)
+        np = numpy_or_none()
+        if np is None or isinstance(columns.tuning, list):
+            total = sum(o.metrics.energy_joules(device, rate) for o in self.outcomes)
+            return total / columns.count
+        packets_per_second = rate.packets_per_second
+        receive_seconds = columns.tuning / packets_per_second
+        sleep_seconds = np.maximum(
+            0.0, columns.latency / packets_per_second - receive_seconds
+        )
+        energy = (
+            receive_seconds * device.receive_watts
+            + sleep_seconds * device.sleep_watts
+            + columns.cpu * device.cpu_watts
+        )
+        return float(energy.sum() / columns.count)
 
     def signature(self) -> Tuple[Tuple, ...]:
         """Per-device deterministic fields, in device order.
@@ -118,7 +409,31 @@ class FleetRun:
         matter the ``concurrency`` -- this is what the bit-identical tests
         and the scaling benchmark compare.
         """
-        return tuple(outcome.deterministic_fields() for outcome in self.outcomes)
+        columns = self._columns
+        if columns is None:
+            return ()
+        infinity = float("inf")
+        return tuple(
+            (
+                spec.device_id,
+                round(distance, 9) if found else infinity,
+                tuning,
+                latency,
+                peak,
+                lost,
+                mismatch,
+            )
+            for spec, distance, found, tuning, latency, peak, lost, mismatch in zip(
+                self._specs,
+                _as_list(columns.distance),
+                _as_list(columns.found),
+                _as_list(columns.tuning),
+                _as_list(columns.latency),
+                _as_list(columns.peak_memory),
+                _as_list(columns.lost),
+                _as_list(columns.mismatch),
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -126,3 +441,10 @@ class FleetRun:
             f"probes={self.probes}, replays={self.replays}, natives={self.natives}, "
             f"mismatches={self.mismatches})"
         )
+
+
+def _as_list(column: Any) -> List:
+    """A column as a plain Python list (numpy ``tolist`` unboxes scalars)."""
+    if isinstance(column, list):
+        return column
+    return column.tolist()

@@ -5,18 +5,28 @@ One broadcast cycle, N devices.  The simulator partitions the fleet into
 * **lossless** devices, served by the shared-session fast path: one real
   *probe* session per distinct ``(source, target, memory_bound)`` key
   materializes the packet stream (:mod:`repro.broadcast.replay`), and every
-  device with that key replays it at its own tune-in offset with O(ops)
-  packet arithmetic -- the probe's answer, working set and CPU cost are
-  reused, so per-device cost is session replay only; and
+  device with that key replays it at its own tune-in offset.  With numpy the
+  replay runs through the vectorized kernel
+  (:func:`repro.broadcast.replay_bulk.replay_trace_bulk`): the trace compiles
+  once into a columnar :class:`~repro.broadcast.replay_bulk.TraceTable` and
+  the whole group's tuning/latency comes out of O(ops) array passes, so
+  per-device Python cost vanishes; without numpy every device falls back to
+  the scalar :func:`~repro.broadcast.replay.replay_trace` loop; and
 * **lossy** devices, simulated natively packet by packet (their Bernoulli
   loss draws are part of the result and cannot be shared).
+
+Replay -- bulk or scalar -- is pure array/packet arithmetic and runs inline
+on the calling thread; the worker pool is reserved for the phases that do
+real simulation work (probe sessions and native lossy devices), where
+threads actually pay off.
 
 Determinism: tune-in offsets and loss seeds are drawn from per-device RNGs
 keyed by the device's position in the fleet, the probe for each key is the
 first device with that key in device order (fixed before any probe runs, so
 probes may fan out over the pool too), and every phase writes into
-index-addressed slots -- so the outcome is bit-identical regardless of
-``concurrency`` (wall-clock fields excepted).
+index-addressed column slots -- so the outcome is bit-identical regardless
+of ``concurrency`` and of whether the bulk kernel is active (wall-clock
+fields excepted).
 """
 
 from __future__ import annotations
@@ -36,10 +46,11 @@ from repro.air.base import (
 from repro.broadcast.channel import ClientSession, PacketLossModel
 from repro.broadcast.metrics import ClientMetrics
 from repro.broadcast.replay import RecordingSession, SessionTrace, replay_trace
+from repro.broadcast.replay_bulk import TraceTable, numpy_or_none, replay_trace_bulk
 from repro.concurrency import run_indexed
 
 from repro.fleet.devices import DeviceSpec
-from repro.fleet.results import DeviceOutcome, FleetRun
+from repro.fleet.results import FleetRun
 
 __all__ = ["simulate_fleet", "MISMATCH_RTOL"]
 
@@ -47,11 +58,14 @@ __all__ = ["simulate_fleet", "MISMATCH_RTOL"]
 _TraceKey = Tuple[int, int, bool]
 
 
-def _resolve_tune_in(spec: DeviceSpec, rng: random.Random, total: int) -> int:
+def _resolve_tune_in(
+    spec: DeviceSpec, rng: Optional[random.Random], total: int
+) -> int:
     if spec.tune_in_offset is not None:
         return spec.tune_in_offset % total
     if spec.tune_in_fraction is not None:
         return int(spec.tune_in_fraction * total) % total
+    assert rng is not None  # callers create the RNG whenever a draw is due
     return rng.randrange(total)
 
 
@@ -78,8 +92,9 @@ def simulate_fleet(
         the option's, and per-device loss models replace the option's
         channel-level loss fields.
     concurrency:
-        Worker threads for the replay/native phase.  Must be >= 1; results
-        are bit-identical for every value.
+        Worker threads for the probe/native phases (replay itself is bulk
+        arithmetic and always runs inline).  Must be >= 1; results are
+        bit-identical for every value.
     seed:
         Seed of the per-device tune-in/loss draws (for specs that leave
         them unset).
@@ -88,12 +103,6 @@ def simulate_fleet(
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     specs = list(devices)
     network = scheme.network
-    for spec in specs:
-        if spec.source not in network or spec.target not in network:
-            raise ValueError(
-                f"device {spec.device_id}: query {spec.source}->{spec.target} "
-                f"references nodes outside network {network.name!r}"
-            )
     started = time.perf_counter()
     run = FleetRun(scheme=scheme.short_name, concurrency=concurrency)
     if not specs:
@@ -103,19 +112,54 @@ def simulate_fleet(
     cycle = scheme.cycle
     total = cycle.total_packets
     run.cycle_packets = total
+    run.allocate(specs)
     base_options = options or ClientOptions()
 
     # ------------------------------------------------------------------
-    # Pre-draw every random choice in device order (determinism contract).
+    # One fused pass over the fleet, in device order: validate each distinct
+    # query once (the error still names the first offending device),
+    # resolve every random choice (determinism contract: the per-device RNG
+    # draws the tune-in offset first, then the loss seed -- and is skipped
+    # entirely when neither draw can be observed, which leaves the drawn
+    # values bit-identical), and partition devices into lossless replay
+    # groups and native lossy indices.
     # ------------------------------------------------------------------
-    offsets: List[int] = []
-    loss_seeds: List[int] = []
+    offsets: List[int] = [0] * len(specs)
+    loss_seeds: List[int] = [0] * len(specs)
+    groups: Dict[_TraceKey, List[int]] = {}
+    native_indices: List[int] = []
+    checked_pairs: set = set()
+    memory_modes: set = set()
     for index, spec in enumerate(specs):
-        rng = random.Random(seed * 1_000_003 + index + 1)
-        offsets.append(_resolve_tune_in(spec, rng, total))
-        loss_seeds.append(
-            spec.loss_seed if spec.loss_seed is not None else rng.randrange(2**31)
+        pair = (spec.source, spec.target)
+        if pair not in checked_pairs:
+            if spec.source not in network or spec.target not in network:
+                raise ValueError(
+                    f"device {spec.device_id}: query {spec.source}->{spec.target} "
+                    f"references nodes outside network {network.name!r}"
+                )
+            checked_pairs.add(pair)
+        memory_modes.add(spec.memory_bound)
+        explicit_tune_in = (
+            spec.tune_in_offset is not None or spec.tune_in_fraction is not None
         )
+        needs_loss_seed = spec.loss_seed is None and spec.loss_rate != 0.0
+        rng = (
+            random.Random(seed * 1_000_003 + index + 1)
+            if (not explicit_tune_in or needs_loss_seed)
+            else None
+        )
+        offsets[index] = _resolve_tune_in(spec, rng, total)
+        if spec.loss_seed is not None:
+            loss_seeds[index] = spec.loss_seed
+        elif needs_loss_seed:
+            loss_seeds[index] = rng.randrange(2**31)
+        if spec.loss_rate == 0.0:
+            groups.setdefault(
+                (spec.source, spec.target, spec.memory_bound), []
+            ).append(index)
+        else:
+            native_indices.append(index)
 
     # One client per memory mode present in the fleet, created up front so
     # the parallel phase only reads shared state; a memory-bound client on a
@@ -124,7 +168,7 @@ def simulate_fleet(
         memory_bound: scheme.client(
             options=base_options.replace(memory_bound=memory_bound, loss_rate=0.0)
         )
-        for memory_bound in sorted({spec.memory_bound for spec in specs})
+        for memory_bound in sorted(memory_modes)
     }
 
     def client_for(memory_bound: bool) -> AirClient:
@@ -132,21 +176,15 @@ def simulate_fleet(
 
     # ------------------------------------------------------------------
     # Probe phase: one real session per distinct lossless trace key, probed
-    # at the first device of that key in device order.  The probe set and
-    # every probe input are fixed before any probe runs, so the probes
-    # themselves fan out over the pool without affecting determinism --
-    # which matters when most queries are distinct and probing, not replay,
-    # dominates the wall clock.
+    # at the first device of that key in device order (the dict preserves
+    # first-seen order).  The probe set and every probe input are fixed
+    # before any probe runs, so the probes themselves fan out over the pool
+    # without affecting determinism -- which matters when most queries are
+    # distinct and probing, not replay, dominates the wall clock.
     # ------------------------------------------------------------------
-    probe_items: List[Tuple[_TraceKey, int]] = []
-    seen: set = set()
-    for index, spec in enumerate(specs):
-        if spec.loss_rate != 0.0:
-            continue
-        key = (spec.source, spec.target, spec.memory_bound)
-        if key not in seen:
-            seen.add(key)
-            probe_items.append((key, index))
+    probe_items: List[Tuple[_TraceKey, int]] = [
+        (key, indices[0]) for key, indices in groups.items()
+    ]
 
     def probe(item: int) -> Tuple[SessionTrace, QueryResult]:
         _, index = probe_items[item]
@@ -165,52 +203,102 @@ def simulate_fleet(
     run.probes = len(traces)
 
     # ------------------------------------------------------------------
-    # Replay/native phase (parallelizable: every input was pre-drawn).
+    # Replay phase: bulk array passes per group (inline -- the kernel is
+    # pure numpy arithmetic, a worker pool would only add handoff cost).
     # ------------------------------------------------------------------
-    def process(index: int) -> DeviceOutcome:
+    np = numpy_or_none()
+    if np is not None and groups:
+        layout = cycle.compiled_layout()
+        offsets_arr = np.asarray(offsets, dtype=np.int64)
+        for key, indices in groups.items():
+            trace, probe_result = traces[key]
+            table = TraceTable.compile(trace, layout)
+            group_indices = np.asarray(indices, dtype=np.int64)
+            group_offsets = offsets_arr[group_indices]
+            replayed = replay_trace_bulk(table, layout, group_offsets)
+            truths = {specs[i].true_distance for i in indices}
+            if len(truths) == 1:
+                # Common case: one ground truth per query -> one comparison.
+                mismatches = _is_mismatch(probe_result.distance, truths.pop())
+            else:
+                mismatches = np.fromiter(
+                    (
+                        _is_mismatch(probe_result.distance, specs[i].true_distance)
+                        for i in indices
+                    ),
+                    dtype=bool,
+                    count=len(indices),
+                )
+            run.record_replay_group(
+                indices=group_indices,
+                offsets=group_offsets,
+                tuning_packets=replayed.tuning_packets,
+                latencies=replayed.access_latency_packets,
+                distance=probe_result.distance,
+                found=probe_result.found,
+                mismatches=mismatches,
+                peak_memory_bytes=probe_result.metrics.peak_memory_bytes,
+                cpu_seconds=probe_result.metrics.cpu_seconds,
+                extra_id=run.register_extra(probe_result.metrics.extra, copy=True),
+            )
+    elif groups:
+        # Scalar fallback (no numpy, or the bulk kernel switched off):
+        # per-device replay_trace, still inline -- O(ops) arithmetic per
+        # device gains nothing from thread handoff under the GIL.
+        for key, indices in groups.items():
+            trace, probe_result = traces[key]
+            extra_id = run.register_extra(probe_result.metrics.extra, copy=True)
+            for index in indices:
+                offset = offsets[index]
+                replayed = replay_trace(trace, cycle, offset)
+                run.record_device(
+                    index=index,
+                    offset=offset,
+                    distance=probe_result.distance,
+                    found=probe_result.found,
+                    replay=True,
+                    metrics=ClientMetrics(
+                        tuning_time_packets=replayed.tuning_packets,
+                        access_latency_packets=replayed.access_latency_packets,
+                        peak_memory_bytes=probe_result.metrics.peak_memory_bytes,
+                        cpu_seconds=probe_result.metrics.cpu_seconds,
+                        lost_packets=0,
+                    ),
+                    mismatch=_is_mismatch(
+                        probe_result.distance, specs[index].true_distance
+                    ),
+                    extra_id=extra_id,
+                )
+    run.replays = sum(len(indices) for indices in groups.values())
+
+    # ------------------------------------------------------------------
+    # Native phase (parallelizable: every input was pre-drawn; results come
+    # back in index order and are scattered into the columns serially).
+    # ------------------------------------------------------------------
+    def process_native(item: int) -> QueryResult:
+        index = native_indices[item]
         spec = specs[index]
-        offset = offsets[index]
-        if spec.loss_rate == 0.0:
-            trace, probe = traces[(spec.source, spec.target, spec.memory_bound)]
-            replayed = replay_trace(trace, cycle, offset)
-            metrics = ClientMetrics(
-                tuning_time_packets=replayed.tuning_packets,
-                access_latency_packets=replayed.access_latency_packets,
-                peak_memory_bytes=probe.metrics.peak_memory_bytes,
-                cpu_seconds=probe.metrics.cpu_seconds,
-                lost_packets=0,
-                extra=dict(probe.metrics.extra),
-            )
-            return DeviceOutcome(
-                spec=spec,
-                tune_in_offset=offset,
-                distance=probe.distance,
-                found=probe.found,
-                mode="replay",
-                metrics=metrics,
-                mismatch=_is_mismatch(probe.distance, spec.true_distance),
-            )
         session = ClientSession(
-            cycle, offset, PacketLossModel(spec.loss_rate, seed=loss_seeds[index])
+            cycle, offsets[index], PacketLossModel(spec.loss_rate, seed=loss_seeds[index])
         )
-        result = client_for(spec.memory_bound).query(
+        return client_for(spec.memory_bound).query(
             spec.source, spec.target, session=session
         )
-        return DeviceOutcome(
-            spec=spec,
-            tune_in_offset=offset,
+
+    for index, result in zip(
+        native_indices,
+        run_indexed(process_native, len(native_indices), concurrency, chunk_size),
+    ):
+        run.record_device(
+            index=index,
+            offset=offsets[index],
             distance=result.distance,
             found=result.found,
-            mode="native",
+            replay=False,
             metrics=result.metrics,
-            mismatch=_is_mismatch(result.distance, spec.true_distance),
+            mismatch=_is_mismatch(result.distance, specs[index].true_distance),
+            extra_id=run.register_extra(result.metrics.extra, copy=False),
         )
-
-    for outcome in run_indexed(process, len(specs), concurrency, chunk_size):
-        run.outcomes.append(outcome)
-        if outcome.mode == "replay":
-            run.replays += 1
-        else:
-            run.natives += 1
+    run.natives = len(native_indices)
     run.wall_seconds = time.perf_counter() - started
     return run
